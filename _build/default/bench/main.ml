@@ -1,0 +1,143 @@
+(* Benchmark harness: one Bechamel test per reproduced figure/table.
+
+   Part 1 (bechamel) times the computation that regenerates each
+   artifact — figure replays, theorem checks, quantitative sweeps — so
+   regressions in the checker or the Markov engine show up as timing
+   changes here.
+
+   Part 2 prints the artifacts themselves: the per-theorem verdict
+   tables and the E1-E4 stabilization-time tables recorded in
+   EXPERIMENTS.md. The run aborts with a non-zero exit code if any
+   theorem check fails, so `dune exec bench/main.exe` doubles as a
+   repro gate. *)
+
+open Bechamel
+
+let stage_unit f = Staged.stage (fun () -> ignore (f ()))
+
+let tests =
+  [
+    Test.make ~name:"fig1-token-trace" (stage_unit (fun () -> Stabexp.Figures.fig1 ()));
+    Test.make ~name:"fig2-leader-convergence" (stage_unit Stabexp.Figures.fig2);
+    Test.make ~name:"fig3-sync-divergence" (stage_unit Stabexp.Figures.fig3);
+    Test.make ~name:"thm1-sync-equivalence" (stage_unit Stabexp.Theorems.theorem1);
+    Test.make ~name:"thm2-weak-not-self"
+      (stage_unit (fun () -> Stabexp.Theorems.theorem2 ~max_n:5 ()));
+    Test.make ~name:"thm3-impossibility" (stage_unit Stabexp.Theorems.theorem3);
+    Test.make ~name:"thm4-leader-weak"
+      (stage_unit (fun () -> Stabexp.Theorems.theorem4 ~max_n:5 ()));
+    Test.make ~name:"thm6-gouda-vs-strong" (stage_unit Stabexp.Theorems.theorem6);
+    Test.make ~name:"thm7-markov-equivalence" (stage_unit Stabexp.Theorems.theorem7);
+    Test.make ~name:"thm8-transformer" (stage_unit Stabexp.Theorems.theorems8_9);
+    Test.make ~name:"e1-token-sweep"
+      (stage_unit (fun () -> Stabexp.Quantitative.e1_token_sweep ~quick:true ()));
+    Test.make ~name:"e2-leader-sweep"
+      (stage_unit (fun () -> Stabexp.Quantitative.e2_leader_sweep ~quick:true ()));
+    Test.make ~name:"e3-transformer-overhead"
+      (stage_unit (fun () -> Stabexp.Quantitative.e3_transformer_overhead ~quick:true ()));
+    Test.make ~name:"e4-scheduler-comparison"
+      (stage_unit (fun () -> Stabexp.Quantitative.e4_scheduler_comparison ~quick:true ()));
+    Test.make ~name:"e5-convergence-radius"
+      (stage_unit (fun () -> Stabexp.Quantitative.e5_convergence_radius ~quick:true ()));
+    Test.make ~name:"e7-convergence-curves"
+      (stage_unit (fun () -> Stabexp.Quantitative.e7_convergence_curves ~quick:true ()));
+    Test.make ~name:"p1-portfolio" (stage_unit Stabexp.Portfolio.classify);
+    Test.make ~name:"p2-taxonomy" (stage_unit Stabexp.Portfolio.taxonomy);
+    Test.make ~name:"e9-sync-orbit-census"
+      (stage_unit (fun () -> Stabexp.Quantitative.e9_sync_orbit_census ~quick:true ()));
+    Test.make ~name:"e8-dijkstra-threshold"
+      (stage_unit (fun () -> Stabexp.Portfolio.dijkstra_k_threshold ~max_n:4 ()));
+  ]
+
+let benchmark () =
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:50 ~quota:(Time.second 0.5) ~kde:None ~stabilize:false ()
+  in
+  let grouped = Test.make_grouped ~name:"repro" tests in
+  let raw = Benchmark.all cfg instances grouped in
+  let ols = Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |] in
+  Analyze.all ols Toolkit.Instance.monotonic_clock raw
+
+let print_timings results =
+  let table =
+    Stabexp.Report.create ~title:"benchmark: time to regenerate each artifact"
+      ~columns:[ "artifact"; "time per run"; "r^2" ]
+  in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols ->
+      let time_ns =
+        match Analyze.OLS.estimates ols with Some [ t ] -> t | _ -> Float.nan
+      in
+      let pretty =
+        if Float.is_nan time_ns then "n/a"
+        else if time_ns > 1e9 then Printf.sprintf "%.3f s" (time_ns /. 1e9)
+        else if time_ns > 1e6 then Printf.sprintf "%.3f ms" (time_ns /. 1e6)
+        else Printf.sprintf "%.3f us" (time_ns /. 1e3)
+      in
+      let r2 =
+        match Analyze.OLS.r_square ols with
+        | Some r -> Printf.sprintf "%.4f" r
+        | None -> "-"
+      in
+      rows := (name, [ name; pretty; r2 ]) :: !rows)
+    results;
+  List.iter (fun (_, row) -> Stabexp.Report.add_row table row) (List.sort compare !rows);
+  Stabexp.Report.print table
+
+let print_figures () =
+  let fig1 = Stabexp.Figures.fig1 () in
+  print_string fig1.Stabexp.Figures.rendering;
+  print_newline ();
+  let fig2 = Stabexp.Figures.fig2 () in
+  print_string fig2.Stabexp.Figures.rendering;
+  print_newline ();
+  let fig3 = Stabexp.Figures.fig3 () in
+  print_string fig3.Stabexp.Figures.rendering;
+  print_newline ()
+
+let print_theorems () =
+  let ok = ref true in
+  List.iter
+    (fun r ->
+      Stabexp.Report.print (Stabexp.Theorems.report r);
+      let holds = Stabexp.Theorems.all_hold r in
+      if not holds then ok := false;
+      Printf.printf "   => %s\n\n" (if holds then "VERIFIED" else "FAILED"))
+    (Stabexp.Theorems.all ());
+  !ok
+
+let print_quantitative () =
+  let _, t1 = Stabexp.Quantitative.e1_token_sweep ~quick:true () in
+  Stabexp.Report.print t1;
+  let _, t2 = Stabexp.Quantitative.e2_leader_sweep ~quick:true () in
+  Stabexp.Report.print t2;
+  let _, t3 = Stabexp.Quantitative.e3_transformer_overhead ~quick:true () in
+  Stabexp.Report.print t3;
+  let _, t4 = Stabexp.Quantitative.e4_scheduler_comparison ~quick:true () in
+  Stabexp.Report.print t4;
+  Stabexp.Report.print (Stabexp.Quantitative.e5_convergence_radius ~quick:true ());
+  Stabexp.Report.print (Stabexp.Quantitative.e6_steps_vs_rounds ~quick:true ());
+  Stabexp.Report.print (Stabexp.Quantitative.e7_convergence_curves ~quick:true ());
+  Stabexp.Report.print (Stabexp.Quantitative.e9_sync_orbit_census ~quick:true ());
+  Stabexp.Report.print (Stabexp.Quantitative.e10_fault_recovery ~quick:true ());
+  Stabexp.Report.print (Stabexp.Portfolio.dijkstra_k_threshold ());
+  let _, portfolio = Stabexp.Portfolio.classify () in
+  Stabexp.Report.print portfolio;
+  let _, taxonomy = Stabexp.Portfolio.taxonomy () in
+  Stabexp.Report.print taxonomy
+
+let () =
+  print_endline "=== Part 1: micro-benchmarks (bechamel, OLS on monotonic clock) ===\n";
+  print_timings (benchmark ());
+  print_endline "=== Part 2: reproduced figures ===\n";
+  print_figures ();
+  print_endline "=== Part 3: theorem verdicts ===\n";
+  let theorems_ok = print_theorems () in
+  print_endline "=== Part 4: quantitative experiments (E1-E4) ===\n";
+  print_quantitative ();
+  if not theorems_ok then begin
+    prerr_endline "bench: some theorem checks FAILED";
+    exit 1
+  end

@@ -1,0 +1,486 @@
+(* stabsim: command-line front end for the stabilization laboratory.
+
+   Subcommands mirror the library pipeline: trace (simulate one
+   execution), check (exhaustive stabilization verdicts), markov
+   (probability-1 convergence and expected hitting times), montecarlo
+   (sampled stabilization times), figures / theorems / experiments
+   (paper reproduction reports). *)
+
+open Cmdliner
+
+(* --- shared arguments --- *)
+
+let protocol_arg =
+  let doc =
+    Printf.sprintf "Protocol name. One of: %s." (String.concat ", " Stabexp.Registry.names)
+  in
+  Arg.(value & opt string "token-ring" & info [ "p"; "protocol" ] ~docv:"NAME" ~doc)
+
+let topology_arg =
+  let doc =
+    "Topology: ring:N (or a bare integer), chain:N, star:N, or random:N:SEED \
+     (random tree). Ring protocols need rings; tree protocols need trees."
+  in
+  Arg.(value & opt string "ring:5" & info [ "t"; "topology" ] ~docv:"TOPO" ~doc)
+
+let transformed_arg =
+  let doc = "Apply the Section 4 coin-toss transformer to the protocol." in
+  Arg.(value & flag & info [ "transformed" ] ~doc)
+
+let seed_arg =
+  let doc = "PRNG seed; equal seeds reproduce runs exactly." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let steps_arg =
+  let doc = "Maximum number of steps to simulate." in
+  Arg.(value & opt int 50 & info [ "steps" ] ~docv:"STEPS" ~doc)
+
+let scheduler_arg =
+  let doc =
+    "Scheduler: central-random, distributed-random, synchronous, central-first, \
+     round-robin."
+  in
+  Arg.(value & opt string "distributed-random" & info [ "s"; "scheduler" ] ~docv:"SCHED" ~doc)
+
+let sched_class_arg =
+  let doc = "Scheduler class for exhaustive checking: central, distributed, synchronous." in
+  Arg.(value & opt string "distributed" & info [ "class" ] ~docv:"CLASS" ~doc)
+
+let quick_arg =
+  let doc = "Keep experiment instance sizes small (fast); disable for the full sweep." in
+  Arg.(value & opt bool true & info [ "quick" ] ~docv:"BOOL" ~doc)
+
+let scheduler_of_string : type a. string -> a Stabcore.Scheduler.t = function
+  | "central-random" -> Stabcore.Scheduler.central_random ()
+  | "distributed-random" -> Stabcore.Scheduler.distributed_random ()
+  | "synchronous" -> Stabcore.Scheduler.synchronous ()
+  | "central-first" -> Stabcore.Scheduler.central_first ()
+  | "round-robin" -> Stabcore.Scheduler.round_robin ()
+  | other -> invalid_arg ("unknown scheduler " ^ other)
+
+let sched_class_of_string = function
+  | "central" -> Stabcore.Statespace.Central
+  | "distributed" -> Stabcore.Statespace.Distributed
+  | "synchronous" -> Stabcore.Statespace.Synchronous
+  | other -> invalid_arg ("unknown scheduler class " ^ other)
+
+let randomization_of_string = function
+  | "central-random" | "central" -> Stabcore.Markov.Central_uniform
+  | "distributed-random" | "distributed" -> Stabcore.Markov.Distributed_uniform
+  | "synchronous" | "sync" -> Stabcore.Markov.Sync
+  | other -> invalid_arg ("unknown randomization " ^ other)
+
+let wrap f = try Ok (f ()) with Invalid_argument msg | Failure msg -> Error (`Msg msg)
+
+let file_arg =
+  let doc =
+    "Load the protocol from a .gcp file instead of the built-in registry (the \
+     topology argument still applies)."
+  in
+  Arg.(value & opt (some string) None & info [ "f"; "file" ] ~docv:"FILE" ~doc)
+
+(* Resolve the protocol either from a GCP file or from the registry. *)
+let resolve ~protocol ~topology ~transformed ~file =
+  match file with
+  | None -> Stabexp.Registry.find ~name:protocol ~topology ~transformed ()
+  | Some path ->
+    let program =
+      match Stabgcp.Gcp.load path with Ok p -> p | Error m -> failwith m
+    in
+    let graph = Stabexp.Registry.topology_of_string topology in
+    let base_protocol, spec =
+      match Stabgcp.Gcp.instantiate program graph with
+      | Ok pair -> pair
+      | Error m -> failwith m
+    in
+    let label =
+      Printf.sprintf "%s(%s)" (Stabgcp.Gcp.name program) topology
+    in
+    let describe = Printf.sprintf "loaded from %s" path in
+    if transformed then
+      Stabexp.Registry.Entry
+        {
+          label = "trans(" ^ label ^ ")";
+          protocol = Stabcore.Transformer.randomize base_protocol;
+          spec = Stabcore.Transformer.lift_spec spec;
+          describe;
+        }
+    else Stabexp.Registry.Entry { label; protocol = base_protocol; spec; describe }
+
+(* --- trace --- *)
+
+let trace_cmd =
+  let run protocol topology transformed file seed steps scheduler =
+    wrap (fun () ->
+        let (Stabexp.Registry.Entry e) = resolve ~protocol ~topology ~transformed ~file in
+        let rng = Stabrng.Rng.create seed in
+        let sched = scheduler_of_string scheduler in
+        let init = Stabcore.Protocol.random_config rng e.protocol in
+        let result =
+          Stabcore.Engine.run ~stop_on:e.spec ~max_steps:steps rng e.protocol sched ~init
+        in
+        Format.printf "%s under %s (seed %d)@.%s@.@.%a@.@.stop: %s after %d steps@."
+          e.label scheduler seed e.describe
+          (Stabcore.Trace.pp e.protocol)
+          result.Stabcore.Engine.trace
+          (match result.Stabcore.Engine.stop with
+          | Stabcore.Engine.Converged -> "converged to the legitimate set"
+          | Stabcore.Engine.Terminal -> "reached a terminal configuration"
+          | Stabcore.Engine.Exhausted -> "step budget exhausted")
+          result.Stabcore.Engine.steps)
+  in
+  let term =
+    Term.(
+      term_result
+        (const run $ protocol_arg $ topology_arg $ transformed_arg $ file_arg $ seed_arg
+       $ steps_arg $ scheduler_arg))
+  in
+  Cmd.v (Cmd.info "trace" ~doc:"Simulate one execution and print its trace.") term
+
+(* --- check --- *)
+
+let check_cmd =
+  let run protocol topology transformed file cls =
+    wrap (fun () ->
+        let (Stabexp.Registry.Entry e) = resolve ~protocol ~topology ~transformed ~file in
+        let cls = sched_class_of_string cls in
+        let space = Stabcore.Statespace.build e.protocol in
+        let v = Stabcore.Checker.analyze space cls e.spec in
+        Format.printf "%s under the %a class (%d configurations)@.%s@.@.%a@.@."
+          e.label Stabcore.Statespace.pp_sched_class cls
+          (Stabcore.Statespace.count space)
+          e.describe Stabcore.Checker.pp_verdict v;
+        Format.printf "verdicts:@.  weak-stabilizing: %b@.  self-stabilizing (unfair): %b@.  \
+                       self-stabilizing (weakly fair): %b@.  self-stabilizing (strongly fair): %b@."
+          (Stabcore.Checker.weak_stabilizing v)
+          (Stabcore.Checker.self_stabilizing v)
+          (Stabcore.Checker.self_stabilizing_weakly_fair v)
+          (Stabcore.Checker.self_stabilizing_strongly_fair v))
+  in
+  let term =
+    Term.(
+      term_result
+        (const run $ protocol_arg $ topology_arg $ transformed_arg $ file_arg
+       $ sched_class_arg))
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Exhaustively decide weak/self stabilization (small instances).")
+    term
+
+(* --- markov --- *)
+
+let markov_cmd =
+  let run protocol topology transformed file randomization =
+    wrap (fun () ->
+        let (Stabexp.Registry.Entry e) = resolve ~protocol ~topology ~transformed ~file in
+        let r = randomization_of_string randomization in
+        let space = Stabcore.Statespace.build e.protocol in
+        let legitimate = Stabcore.Statespace.legitimate_set space e.spec in
+        let chain = Stabcore.Markov.of_space space r in
+        (match Stabcore.Markov.converges_with_prob_one chain ~legitimate with
+        | Ok () ->
+          let times = Stabcore.Markov.expected_hitting_times chain ~legitimate in
+          let mean =
+            Array.fold_left ( +. ) 0.0 times /. float_of_int (Array.length times)
+          in
+          let worst = Array.fold_left Float.max 0.0 times in
+          Format.printf
+            "%s: converges with probability 1 under %s@.expected stabilization time: \
+             mean %.4f steps, worst initial configuration %.4f steps@."
+            e.label randomization mean worst
+        | Error c ->
+          Format.printf
+            "%s: does NOT converge with probability 1 under %s@.counterexample \
+             configuration (code %d): %a@."
+            e.label randomization c
+            (Stabcore.Protocol.pp_config e.protocol)
+            (Stabcore.Statespace.config space c)))
+  in
+  let randomization_arg =
+    let doc = "Randomized daemon: central-random, distributed-random, synchronous." in
+    Arg.(value & opt string "distributed-random" & info [ "r"; "randomization" ] ~docv:"R" ~doc)
+  in
+  let term =
+    Term.(
+      term_result
+        (const run $ protocol_arg $ topology_arg $ transformed_arg $ file_arg
+       $ randomization_arg))
+  in
+  Cmd.v
+    (Cmd.info "markov"
+       ~doc:"Probability-1 convergence and exact expected stabilization times.")
+    term
+
+(* --- montecarlo --- *)
+
+let montecarlo_cmd =
+  let run protocol topology transformed file seed scheduler runs max_steps =
+    wrap (fun () ->
+        let (Stabexp.Registry.Entry e) = resolve ~protocol ~topology ~transformed ~file in
+        let rng = Stabrng.Rng.create seed in
+        let sched = scheduler_of_string scheduler in
+        let result =
+          Stabcore.Montecarlo.estimate ~runs ~max_steps rng e.protocol sched e.spec
+        in
+        Format.printf "%s under %s: %d runs from uniform initial configurations@.%a@."
+          e.label scheduler runs Stabcore.Montecarlo.pp_result result)
+  in
+  let runs_arg =
+    Arg.(value & opt int 1000 & info [ "runs" ] ~docv:"RUNS" ~doc:"Number of sampled runs.")
+  in
+  let max_steps_arg =
+    Arg.(
+      value & opt int 1_000_000
+      & info [ "max-steps" ] ~docv:"N" ~doc:"Per-run step budget before declaring a timeout.")
+  in
+  let term =
+    Term.(
+      term_result
+        (const run $ protocol_arg $ topology_arg $ transformed_arg $ file_arg $ seed_arg
+       $ scheduler_arg $ runs_arg $ max_steps_arg))
+  in
+  Cmd.v (Cmd.info "montecarlo" ~doc:"Sampled stabilization-time estimates.") term
+
+(* --- reach (on-the-fly analysis) --- *)
+
+let reach_cmd =
+  let run protocol topology transformed file cls seed inits max_states =
+    wrap (fun () ->
+        let (Stabexp.Registry.Entry e) = resolve ~protocol ~topology ~transformed ~file in
+        let cls = sched_class_of_string cls in
+        let space = Stabcore.Statespace.build ~max_configs:max_int e.protocol in
+        let rng = Stabrng.Rng.create seed in
+        let init_configs =
+          List.init inits (fun _ -> Stabcore.Protocol.random_config rng e.protocol)
+        in
+        let show (verdict, stats) what =
+          Format.printf "%s: %s (explored %d configurations, %d edges%s)@." what
+            (match verdict with
+            | Stabcore.Onthefly.Converges -> "HOLDS on the reachable sub-system"
+            | Stabcore.Onthefly.Counterexample code ->
+              Format.asprintf "FAILS; counterexample %a"
+                (Stabcore.Protocol.pp_config e.protocol)
+                (Stabcore.Statespace.config space code)
+            | Stabcore.Onthefly.Unknown -> "UNKNOWN (state budget exhausted)")
+            stats.Stabcore.Onthefly.explored stats.Stabcore.Onthefly.edges
+            (if stats.Stabcore.Onthefly.complete then "" else "; incomplete")
+        in
+        Format.printf "%s under the %a class, %d random initial configurations (seed %d)@."
+          e.label Stabcore.Statespace.pp_sched_class cls inits seed;
+        show
+          (Stabcore.Onthefly.possible_convergence_from ~max_states space cls e.spec
+             ~inits:init_configs)
+          "possible convergence (weak)";
+        show
+          (Stabcore.Onthefly.certain_convergence_from ~max_states space cls e.spec
+             ~inits:init_configs)
+          "certain convergence (self)")
+  in
+  let inits_arg =
+    Arg.(
+      value & opt int 5
+      & info [ "inits" ] ~docv:"K" ~doc:"Number of random initial configurations.")
+  in
+  let max_states_arg =
+    Arg.(
+      value & opt int 1_000_000
+      & info [ "max-states" ] ~docv:"N" ~doc:"On-the-fly exploration budget.")
+  in
+  let term =
+    Term.(
+      term_result
+        (const run $ protocol_arg $ topology_arg $ transformed_arg $ file_arg
+       $ sched_class_arg $ seed_arg $ inits_arg $ max_states_arg))
+  in
+  Cmd.v
+    (Cmd.info "reach"
+       ~doc:
+        "On-the-fly convergence analysis from random initial configurations \
+         (scales far beyond exhaustive checking).")
+    term
+
+(* --- orbit (synchronous census) --- *)
+
+let orbit_cmd =
+  let run protocol topology transformed file =
+    wrap (fun () ->
+        let (Stabexp.Registry.Entry e) = resolve ~protocol ~topology ~transformed ~file in
+        let space = Stabcore.Statespace.build e.protocol in
+        let census = Stabcore.Checker.sync_orbit_census space in
+        Format.printf
+          "%s: synchronous limit-cycle census over %d configurations@.\
+           (length 0 = reaches a terminal configuration)@.@."
+          e.label (Stabcore.Statespace.count space);
+        List.iter
+          (fun (length, count) -> Format.printf "  cycle length %d: %d configurations@." length count)
+          census)
+  in
+  let term =
+    Term.(term_result (const run $ protocol_arg $ topology_arg $ transformed_arg $ file_arg))
+  in
+  Cmd.v
+    (Cmd.info "orbit"
+       ~doc:"Census of synchronous limit cycles (how prevalent Figure-3 oscillations are).")
+    term
+
+(* --- faults (recovery profiling) --- *)
+
+let faults_cmd =
+  let run protocol topology transformed file seed faults runs =
+    wrap (fun () ->
+        let (Stabexp.Registry.Entry e) = resolve ~protocol ~topology ~transformed ~file in
+        let rng = Stabrng.Rng.create seed in
+        (* Find a legitimate starting configuration by simulation. *)
+        let start =
+          let rec hunt attempts =
+            if attempts = 0 then
+              failwith "could not reach a legitimate configuration to corrupt"
+            else begin
+              let init = Stabcore.Protocol.random_config rng e.protocol in
+              let r =
+                Stabcore.Engine.run ~record:false ~stop_on:e.spec ~max_steps:100_000 rng
+                  e.protocol
+                  (Stabcore.Scheduler.central_random ())
+                  ~init
+              in
+              if r.Stabcore.Engine.stop = Stabcore.Engine.Converged then r.Stabcore.Engine.final
+              else hunt (attempts - 1)
+            end
+          in
+          hunt 50
+        in
+        Format.printf "%s: recovery from injected faults (central randomized daemon)@."
+          e.label;
+        Format.printf "stabilized start: %a@.@." (Stabcore.Protocol.pp_config e.protocol) start;
+        List.iter
+          (fun k ->
+            let profile =
+              Stabcore.Faults.recovery_profile ~runs ~max_steps:1_000_000 rng e.protocol
+                (Stabcore.Scheduler.central_random ())
+                e.spec ~from:start ~faults:k
+            in
+            Format.printf "k = %d faults: %a@." k Stabcore.Montecarlo.pp_result profile)
+          faults)
+  in
+  let faults_list_arg =
+    Arg.(
+      value
+      & opt (list int) [ 1; 2; 3 ]
+      & info [ "k" ] ~docv:"K,K,..." ~doc:"Fault counts to profile.")
+  in
+  let runs_arg =
+    Arg.(value & opt int 500 & info [ "runs" ] ~docv:"RUNS" ~doc:"Runs per fault count.")
+  in
+  let term =
+    Term.(
+      term_result
+        (const run $ protocol_arg $ topology_arg $ transformed_arg $ file_arg $ seed_arg
+       $ faults_list_arg $ runs_arg))
+  in
+  Cmd.v
+    (Cmd.info "faults"
+       ~doc:"Measure recovery time after injecting k memory-corruption faults.")
+    term
+
+(* --- figures / theorems / experiments --- *)
+
+let figures_cmd =
+  let run () =
+    wrap (fun () ->
+        print_string (Stabexp.Figures.fig1 ()).Stabexp.Figures.rendering;
+        print_newline ();
+        print_string (Stabexp.Figures.fig2 ()).Stabexp.Figures.rendering;
+        print_newline ();
+        print_string (Stabexp.Figures.fig3 ()).Stabexp.Figures.rendering)
+  in
+  Cmd.v
+    (Cmd.info "figures" ~doc:"Reproduce the paper's Figures 1-3 (example executions).")
+    Term.(term_result (const run $ const ()))
+
+let theorems_cmd =
+  let run id =
+    wrap (fun () ->
+        let results = Stabexp.Theorems.all () in
+        let selected =
+          match id with
+          | None -> results
+          | Some id ->
+            List.filter
+              (fun r -> String.lowercase_ascii r.Stabexp.Theorems.id = String.lowercase_ascii id)
+              results
+        in
+        if selected = [] then failwith "no such theorem id (use e.g. T2 or T8/T9)";
+        List.iter
+          (fun r ->
+            Stabexp.Report.print (Stabexp.Theorems.report r);
+            Printf.printf "   => %s\n\n"
+              (if Stabexp.Theorems.all_hold r then "VERIFIED" else "FAILED"))
+          selected)
+  in
+  let id_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "id" ] ~docv:"ID" ~doc:"Check a single theorem (T1, T2, T3, T4, T6, T7, T8/T9).")
+  in
+  Cmd.v
+    (Cmd.info "theorems" ~doc:"Machine-check the paper's theorems on small instances.")
+    Term.(term_result (const run $ id_arg))
+
+let experiments_cmd =
+  let run quick seed =
+    wrap (fun () ->
+        let _, t1 = Stabexp.Quantitative.e1_token_sweep ~seed ~quick () in
+        Stabexp.Report.print t1;
+        let _, t2 = Stabexp.Quantitative.e2_leader_sweep ~seed:(seed + 1) ~quick () in
+        Stabexp.Report.print t2;
+        let _, t3 = Stabexp.Quantitative.e3_transformer_overhead ~quick () in
+        Stabexp.Report.print t3;
+        let _, t4 = Stabexp.Quantitative.e4_scheduler_comparison ~quick () in
+        Stabexp.Report.print t4;
+        Stabexp.Report.print (Stabexp.Quantitative.e5_convergence_radius ~quick ());
+        Stabexp.Report.print (Stabexp.Quantitative.e6_steps_vs_rounds ~seed:(seed + 2) ~quick ());
+        Stabexp.Report.print (Stabexp.Quantitative.e7_convergence_curves ~quick ());
+        Stabexp.Report.print (Stabexp.Quantitative.e9_sync_orbit_census ~quick ());
+        Stabexp.Report.print
+          (Stabexp.Quantitative.e10_fault_recovery ~seed:(seed + 3) ~quick ()))
+  in
+  Cmd.v
+    (Cmd.info "experiments"
+       ~doc:"Run the quantitative experiments E1-E7 (expected stabilization times).")
+    Term.(term_result (const run $ quick_arg $ seed_arg))
+
+let portfolio_cmd =
+  let run () =
+    wrap (fun () ->
+        let _, table = Stabexp.Portfolio.classify () in
+        Stabexp.Report.print table;
+        let _, taxonomy = Stabexp.Portfolio.taxonomy () in
+        Stabexp.Report.print taxonomy;
+        Stabexp.Report.print (Stabexp.Portfolio.dijkstra_k_threshold ()))
+  in
+  Cmd.v
+    (Cmd.info "portfolio"
+       ~doc:
+        "Classify every bundled algorithm under every scheduler class (tables P1, P2, E8).")
+    Term.(term_result (const run $ const ()))
+
+let main =
+  let doc = "stabilization laboratory: weak vs. self vs. probabilistic stabilization" in
+  let info = Cmd.info "stabsim" ~version:"1.0.0" ~doc in
+  Cmd.group info
+    [
+      trace_cmd;
+      check_cmd;
+      markov_cmd;
+      montecarlo_cmd;
+      figures_cmd;
+      theorems_cmd;
+      experiments_cmd;
+      portfolio_cmd;
+      reach_cmd;
+      orbit_cmd;
+      faults_cmd;
+    ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/leader_election.ml: Array Checker Engine Format List Protocol Stabalgo Stabcore Stabexp Stabgraph Statespace String Trace

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Checker Engine Format Fun Int List Markov Protocol Scheduler Spec Stabcore Stabgraph Stabrng Statespace Trace Transformer

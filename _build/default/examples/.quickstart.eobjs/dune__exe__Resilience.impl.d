@@ -1,0 +1,1 @@
+examples/resilience.ml: Engine Faults Format List Montecarlo Onthefly Protocol Scheduler Stabalgo Stabcore Stabrng Statespace

@@ -1,0 +1,1 @@
+examples/token_circulation.ml: Array Checker Engine Format List Markov Montecarlo Protocol Scheduler Stabalgo Stabcore Stabexp Stabrng Statespace String Trace

@@ -1,0 +1,1 @@
+examples/transformer_demo.ml: Engine Format List Markov Montecarlo Result Scheduler Stabalgo Stabcore Stabrng Statespace Trace Transformer

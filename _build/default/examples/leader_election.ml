@@ -1,0 +1,72 @@
+(* Leader election on anonymous trees — the paper's Algorithm 2 and its
+   two figures:
+
+   - Figure 2: a friendly schedule converging to a unique leader on the
+     8-process tree;
+   - Figure 3: the synchronous daemon oscillating forever on the
+     4-chain;
+   - Theorem 4's verdict on every small tree;
+   - the log N-bit alternative built on tree centers (Section 3.2).
+
+   Run with: dune exec examples/leader_election.exe *)
+
+open Stabcore
+
+let () =
+  (* Figure 2. *)
+  let fig2 = Stabexp.Figures.fig2 () in
+  print_string fig2.Stabexp.Figures.rendering;
+  Format.printf "converged in %d steps; leader = P%d; legitimate (LC) = %b@.@."
+    fig2.Stabexp.Figures.steps (fig2.Stabexp.Figures.final_leader + 1)
+    fig2.Stabexp.Figures.final_is_lc;
+
+  (* Figure 3. *)
+  let fig3 = Stabexp.Figures.fig3 () in
+  print_string fig3.Stabexp.Figures.rendering;
+  Format.printf "prefix %d, cycle %d, ever legitimate: %b@.@."
+    fig3.Stabexp.Figures.prefix_length fig3.Stabexp.Figures.cycle_length
+    fig3.Stabexp.Figures.ever_legitimate;
+
+  (* Theorem 4 on every tree with up to 6 nodes. *)
+  Format.printf "--- Theorem 4: exhaustive verdicts per tree@.";
+  List.iter
+    (fun size ->
+      List.iteri
+        (fun i g ->
+          let p = Stabalgo.Leader_tree.make g in
+          let v =
+            Checker.analyze (Statespace.build p) Statespace.Distributed
+              (Stabalgo.Leader_tree.spec g)
+          in
+          Format.printf "tree n=%d #%d: weak=%b self=%b@." size i
+            (Checker.weak_stabilizing v)
+            (Checker.self_stabilizing v))
+        (Stabgraph.Graph.all_trees size))
+    [ 2; 3; 4; 5; 6 ];
+  Format.printf "@.";
+
+  (* The other solution from Section 3.2: center finding + boolean
+     tie-break, using log N bits instead of log Delta. *)
+  Format.printf "--- Section 3.2's log N solution on the 4-chain@.";
+  let g = Stabgraph.Graph.chain 4 in
+  let p = Stabalgo.Center_leader.make g in
+  let init =
+    Array.map (fun level -> { Stabalgo.Center_leader.level; flag = false }) [| 0; 1; 1; 0 |]
+  in
+  Format.printf
+    "levels are stable; both centers carry the same bit, so both are enabled.@.";
+  Format.printf "activating only one center breaks the tie:@.";
+  let trace = Engine.replay p ~init [ [ 1 ] ] in
+  Format.printf "%a@." (Trace.pp p) trace;
+  let final = Engine.final_config trace in
+  Format.printf "leaders: %s; terminal: %b@.@."
+    (String.concat ","
+       (List.map string_of_int (Stabalgo.Center_leader.leaders g final)))
+    (Protocol.is_terminal p final);
+
+  (* And the synchronous pathology for it, too. *)
+  let space = Statespace.build p in
+  let _, cycle = Checker.synchronous_lasso space ~init:(Statespace.code space init) in
+  Format.printf
+    "under the synchronous daemon the two centers flip together forever (period %d)@."
+    (List.length cycle)

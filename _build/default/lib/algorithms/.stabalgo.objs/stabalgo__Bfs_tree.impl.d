@@ -1,0 +1,1 @@
+lib/algorithms/bfs_tree.ml: Array Format Fun List Printf Stabcore Stabgraph

@@ -1,0 +1,1 @@
+lib/algorithms/bfs_tree.mli: Stabcore Stabgraph

@@ -1,0 +1,1 @@
+lib/algorithms/center_leader.ml: Array Centers Format Fun List Printf Stabcore Stabgraph

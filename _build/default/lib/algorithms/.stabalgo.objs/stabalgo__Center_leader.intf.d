@@ -1,0 +1,1 @@
+lib/algorithms/center_leader.mli: Stabcore Stabgraph

@@ -1,0 +1,1 @@
+lib/algorithms/centers.ml: Array Format Fun Int List Printf Stabcore Stabgraph

@@ -1,0 +1,1 @@
+lib/algorithms/centers.mli: Stabcore Stabgraph

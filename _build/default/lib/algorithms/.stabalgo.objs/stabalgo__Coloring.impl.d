@@ -1,0 +1,1 @@
+lib/algorithms/coloring.ml: Array Format Fun Int List Option Printf Stabcore Stabgraph

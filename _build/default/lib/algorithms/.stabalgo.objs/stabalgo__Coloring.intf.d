@@ -1,0 +1,1 @@
+lib/algorithms/coloring.mli: Stabcore Stabgraph

@@ -1,0 +1,1 @@
+lib/algorithms/dijkstra_kstate.ml: Array Format Fun Int List Option Printf Stabcore Stabgraph

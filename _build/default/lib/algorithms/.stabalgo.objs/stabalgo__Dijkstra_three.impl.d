@@ -1,0 +1,1 @@
+lib/algorithms/dijkstra_three.ml: Array Format Fun Int List Printf Stabcore Stabgraph

@@ -1,0 +1,1 @@
+lib/algorithms/herman.ml: Array Bool Format Fun List Printf Stabcore Stabgraph

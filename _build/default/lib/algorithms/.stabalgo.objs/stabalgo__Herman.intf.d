@@ -1,0 +1,1 @@
+lib/algorithms/herman.mli: Stabcore

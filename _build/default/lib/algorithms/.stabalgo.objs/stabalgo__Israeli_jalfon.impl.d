@@ -1,0 +1,1 @@
+lib/algorithms/israeli_jalfon.ml: Array Fun List Stabcore Stabrng

@@ -1,0 +1,1 @@
+lib/algorithms/israeli_jalfon.mli: Stabcore Stabrng

@@ -1,0 +1,1 @@
+lib/algorithms/leader_tree.ml: Array Format List Printf Stabcore Stabgraph

@@ -1,0 +1,1 @@
+lib/algorithms/leader_tree.mli: Stabcore Stabgraph

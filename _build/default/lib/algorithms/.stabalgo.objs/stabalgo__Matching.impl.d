@@ -1,0 +1,1 @@
+lib/algorithms/matching.ml: Array Format Fun Hashtbl List Printf Stabcore Stabgraph

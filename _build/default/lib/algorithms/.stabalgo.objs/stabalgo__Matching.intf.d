@@ -1,0 +1,1 @@
+lib/algorithms/matching.mli: Stabcore Stabgraph

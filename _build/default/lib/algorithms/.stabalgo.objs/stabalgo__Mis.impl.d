@@ -1,0 +1,1 @@
+lib/algorithms/mis.ml: Array Bool Format List Printf Stabcore Stabgraph

@@ -1,0 +1,1 @@
+lib/algorithms/token_ring.ml: Array Format Fun Int List Printf Stabcore Stabgraph

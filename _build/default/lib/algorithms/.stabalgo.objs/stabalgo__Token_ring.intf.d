@@ -1,0 +1,1 @@
+lib/algorithms/token_ring.mli: Stabcore

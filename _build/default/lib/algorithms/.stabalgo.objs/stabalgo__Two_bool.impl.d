@@ -1,0 +1,1 @@
+lib/algorithms/two_bool.ml: Array Bool Format Stabcore Stabgraph

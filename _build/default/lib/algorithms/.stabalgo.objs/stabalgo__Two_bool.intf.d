@@ -1,0 +1,1 @@
+lib/algorithms/two_bool.mli: Stabcore

@@ -1,0 +1,71 @@
+module Graph = Stabgraph.Graph
+
+type state = { dist : int; parent : int }
+
+let root = 0
+
+let dist_cap g = Graph.size g
+
+(* Desired distance and parent (lowest local index attaining the
+   minimum neighbor distance). *)
+let desired g cfg p =
+  if p = root then { dist = 0; parent = 0 }
+  else begin
+    let best = ref max_int in
+    let best_k = ref 0 in
+    Array.iteri
+      (fun k q ->
+        if cfg.(q).dist < !best then begin
+          best := cfg.(q).dist;
+          best_k := k
+        end)
+      (Graph.neighbors g p);
+    { dist = min (1 + !best) (dist_cap g); parent = !best_k }
+  end
+
+let make g =
+  if not (Graph.is_connected g) then invalid_arg "Bfs_tree.make: graph is not connected";
+  let repair : state Stabcore.Protocol.action =
+    {
+      label = "repair";
+      guard =
+        (fun cfg p ->
+          let want = desired g cfg p in
+          if p = root then cfg.(p).dist <> 0
+          else cfg.(p).dist <> want.dist || cfg.(p).parent <> want.parent);
+      result = (fun cfg p -> [ (desired g cfg p, 1.0) ]);
+    }
+  in
+  {
+    Stabcore.Protocol.name = Printf.sprintf "bfs-tree(n=%d)" (Graph.size g);
+    graph = g;
+    domain =
+      (fun p ->
+        if p = root then
+          (* The root never uses its parent field; fixing it to 0 keeps
+             the state space minimal. *)
+          List.init (dist_cap g + 1) (fun d -> { dist = d; parent = 0 })
+        else
+          List.concat_map
+            (fun d -> List.init (Graph.degree g p) (fun k -> { dist = d; parent = k }))
+            (List.init (dist_cap g + 1) Fun.id));
+    actions = [ repair ];
+    equal = (fun a b -> a.dist = b.dist && a.parent = b.parent);
+    pp = (fun fmt s -> Format.fprintf fmt "%d^%d" s.dist s.parent);
+    randomized = false;
+  }
+
+let correct g cfg =
+  Graph.fold_nodes
+    (fun p acc ->
+      acc
+      &&
+      if p = root then cfg.(p).dist = 0
+      else begin
+        let level = Graph.dist g root p in
+        cfg.(p).dist = level
+        && cfg.(Graph.neighbor g p cfg.(p).parent).dist = level - 1
+      end)
+    g true
+
+let spec g = Stabcore.Spec.make ~name:"bfs-spanning-tree" (correct g)

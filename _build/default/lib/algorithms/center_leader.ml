@@ -1,0 +1,81 @@
+module Graph = Stabgraph.Graph
+
+type state = { level : int; flag : bool }
+
+let levels_of cfg = Array.map (fun s -> s.level) cfg
+
+let desired g cfg p = Centers.desired g (levels_of cfg) p
+
+let locally_center g cfg p = Centers.is_center g (levels_of cfg) p
+
+(* The neighbor tying p's level, if any — at the fixed point this is
+   the second center of Property 1. *)
+let tying_neighbor g cfg p =
+  Array.to_list (Graph.neighbors g p)
+  |> List.find_opt (fun q -> cfg.(q).level = cfg.(p).level)
+
+let is_unique_leader g cfg p =
+  locally_center g cfg p
+  &&
+  match tying_neighbor g cfg p with
+  | None -> true
+  | Some q -> cfg.(p).flag && not cfg.(q).flag
+
+let leaders g cfg =
+  List.filter (is_unique_leader g cfg) (List.init (Graph.size g) Fun.id)
+
+let make g =
+  if not (Graph.is_tree g) then invalid_arg "Center_leader.make: graph is not a tree";
+  let l1 : state Stabcore.Protocol.action =
+    {
+      label = "L1";
+      guard = (fun cfg p -> cfg.(p).level <> desired g cfg p);
+      result = (fun cfg p -> [ ({ cfg.(p) with level = desired g cfg p }, 1.0) ]);
+    }
+  in
+  let l2 : state Stabcore.Protocol.action =
+    {
+      label = "L2";
+      guard =
+        (fun cfg p ->
+          cfg.(p).level = desired g cfg p
+          && locally_center g cfg p
+          &&
+          match tying_neighbor g cfg p with
+          | Some q -> cfg.(q).flag = cfg.(p).flag
+          | None -> false);
+      result = (fun cfg p -> [ ({ cfg.(p) with flag = not cfg.(p).flag }, 1.0) ]);
+    }
+  in
+  let level_max = ((Graph.size g + 1) / 2) + 1 in
+  {
+    Stabcore.Protocol.name = Printf.sprintf "center-leader(n=%d)" (Graph.size g);
+    graph = g;
+    domain =
+      (fun _ ->
+        List.concat_map
+          (fun level -> [ { level; flag = false }; { level; flag = true } ])
+          (List.init (level_max + 1) Fun.id));
+    actions = [ l1; l2 ];
+    equal = (fun a b -> a.level = b.level && a.flag = b.flag);
+    pp =
+      (fun fmt s -> Format.fprintf fmt "%d%s" s.level (if s.flag then "t" else "f"));
+    randomized = false;
+  }
+
+let spec g =
+  Stabcore.Spec.make ~name:"unique-center-leader" (fun cfg ->
+      let protocol_terminal =
+        Graph.fold_nodes
+          (fun p acc ->
+            acc
+            && cfg.(p).level = desired g cfg p
+            && not
+                 (locally_center g cfg p
+                 &&
+                 match tying_neighbor g cfg p with
+                 | Some q -> cfg.(q).flag = cfg.(p).flag
+                 | None -> false))
+          g true
+      in
+      protocol_terminal && List.length (leaders g cfg) = 1)

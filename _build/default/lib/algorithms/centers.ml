@@ -1,0 +1,47 @@
+module Graph = Stabgraph.Graph
+
+let level_max g = ((Graph.size g + 1) / 2) + 1
+
+(* Second largest element (with multiplicity) of the neighbor levels;
+   -1 when there are fewer than two neighbors. *)
+let max2 levels =
+  match List.sort (fun a b -> compare b a) levels with
+  | _ :: second :: _ -> second
+  | [ _ ] | [] -> -1
+
+let desired g cfg p =
+  let neighbor_levels = Array.to_list (Array.map (fun q -> cfg.(q)) (Graph.neighbors g p)) in
+  min (1 + max2 neighbor_levels) (level_max g)
+
+let is_center g cfg p =
+  Array.for_all (fun q -> cfg.(p) >= cfg.(q)) (Graph.neighbors g p)
+
+let make g =
+  if not (Graph.is_tree g) then invalid_arg "Centers.make: graph is not a tree";
+  let update : int Stabcore.Protocol.action =
+    {
+      label = "A";
+      guard = (fun cfg p -> cfg.(p) <> desired g cfg p);
+      result = (fun cfg p -> [ (desired g cfg p, 1.0) ]);
+    }
+  in
+  {
+    Stabcore.Protocol.name = Printf.sprintf "tree-centers(n=%d)" (Graph.size g);
+    graph = g;
+    domain = (fun _ -> List.init (level_max g + 1) Fun.id);
+    actions = [ update ];
+    equal = Int.equal;
+    pp = Format.pp_print_int;
+    randomized = false;
+  }
+
+let spec g =
+  let centers = Graph.centers g in
+  Stabcore.Spec.make ~name:"stable-center-marking" (fun cfg ->
+      let stable =
+        Graph.fold_nodes (fun p acc -> acc && cfg.(p) = desired g cfg p) g true
+      in
+      stable
+      && Graph.fold_nodes
+           (fun p acc -> acc && is_center g cfg p = List.mem p centers)
+           g true)

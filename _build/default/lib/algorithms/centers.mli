@@ -1,0 +1,36 @@
+(** Self-stabilizing tree center finding, after Bruell, Ghosh, Karaata
+    and Pemmaraju (reference [4] of the paper).
+
+    Each process keeps a level [l_p]. The stable value of [l_p] is the
+    height of the subtree "hanging away" from the center through [p]:
+    leaves settle at 0, internal nodes at one plus the {e second}
+    largest neighbor level ([max2]), which filters out the one branch
+    leading toward the far side of the tree. At the fixed point, a
+    process is a center iff its level is maximal in its closed
+    neighborhood — the unique center, or the two neighboring centers of
+    the paper's Property 1.
+
+    {v A :: l_p <> desired(p) -> l_p <- desired(p) v}
+
+    where [desired(p) = min (1 + max2 {l_q : q ∈ Neig_p}, l_max)] and
+    [max2] of a multiset with fewer than two elements is [-1]. The
+    clamp [l_max] keeps the state space finite without moving any
+    fixed point (stable levels are at most ceil(D/2) < l_max).
+
+    The paper's first (log N bits) weak-stabilizing leader election
+    builds on this algorithm; see {!Center_leader}. *)
+
+val make : Stabgraph.Graph.t -> int Stabcore.Protocol.t
+(** The protocol on a tree; level domain is [[0 .. l_max]] with
+    [l_max = ceil(n/2) + 1]. Raises [Invalid_argument] on non-trees. *)
+
+val desired : Stabgraph.Graph.t -> int array -> int -> int
+(** The target level of [p] in the given configuration. *)
+
+val is_center : Stabgraph.Graph.t -> int array -> int -> bool
+(** The local center predicate [l_p >= l_q] for every neighbor [q];
+    meaningful at the fixed point. *)
+
+val spec : Stabgraph.Graph.t -> int Stabcore.Spec.t
+(** Legitimate: terminal (every process at its desired level) and the
+    local center predicate marks exactly the graph centers. *)

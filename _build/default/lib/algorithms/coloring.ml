@@ -1,0 +1,40 @@
+module Graph = Stabgraph.Graph
+
+let neighbor_colors g cfg p =
+  Array.to_list (Graph.neighbors g p) |> List.map (fun q -> cfg.(q))
+
+let in_conflict g cfg p = List.mem cfg.(p) (neighbor_colors g cfg p)
+
+let conflicts g cfg =
+  List.filter (in_conflict g cfg) (List.init (Graph.size g) Fun.id)
+
+let proper g cfg = conflicts g cfg = []
+
+let smallest_free g cfg p =
+  let taken = neighbor_colors g cfg p in
+  let rec go c = if List.mem c taken then go (c + 1) else c in
+  go 0
+
+let make ?colors g =
+  let colors = Option.value colors ~default:(Graph.max_degree g + 1) in
+  if colors <= Graph.max_degree g then
+    invalid_arg "Coloring.make: need colors > max degree";
+  let recolor : int Stabcore.Protocol.action =
+    {
+      label = "A";
+      guard = (fun cfg p -> in_conflict g cfg p);
+      result = (fun cfg p -> [ (smallest_free g cfg p, 1.0) ]);
+    }
+  in
+  {
+    Stabcore.Protocol.name =
+      Printf.sprintf "coloring(n=%d,k=%d)" (Graph.size g) colors;
+    graph = g;
+    domain = (fun _ -> List.init colors Fun.id);
+    actions = [ recolor ];
+    equal = Int.equal;
+    pp = Format.pp_print_int;
+    randomized = false;
+  }
+
+let spec g = Stabcore.Spec.make ~name:"proper-coloring" (proper g)

@@ -1,0 +1,38 @@
+let default_k n = n + 1
+
+let has_privilege ~n cfg p =
+  if p = 0 then cfg.(0) = cfg.(n - 1) else cfg.(p) <> cfg.(p - 1)
+
+let privileged ~n cfg = List.filter (has_privilege ~n cfg) (List.init n Fun.id)
+
+let make ~n ?k () =
+  let k = Option.value k ~default:(default_k n) in
+  if n < 3 then invalid_arg "Dijkstra_kstate.make: need n >= 3";
+  if k < 2 then invalid_arg "Dijkstra_kstate.make: need k >= 2";
+  let root : int Stabcore.Protocol.action =
+    {
+      label = "root";
+      guard = (fun cfg p -> p = 0 && cfg.(0) = cfg.(n - 1));
+      result = (fun cfg _ -> [ ((cfg.(0) + 1) mod k, 1.0) ]);
+    }
+  in
+  let other : int Stabcore.Protocol.action =
+    {
+      label = "copy";
+      guard = (fun cfg p -> p <> 0 && cfg.(p) <> cfg.(p - 1));
+      result = (fun cfg p -> [ (cfg.(p - 1), 1.0) ]);
+    }
+  in
+  {
+    Stabcore.Protocol.name = Printf.sprintf "dijkstra-kstate(n=%d,k=%d)" n k;
+    graph = Stabgraph.Graph.ring n;
+    domain = (fun _ -> List.init k Fun.id);
+    actions = [ root; other ];
+    equal = Int.equal;
+    pp = Format.pp_print_int;
+    randomized = false;
+  }
+
+let spec ~n =
+  Stabcore.Spec.make ~name:"single-privilege" (fun cfg ->
+      match privileged ~n cfg with [ _ ] -> true | _ -> false)

@@ -1,0 +1,32 @@
+let predecessor ~n p = (p - 1 + n) mod n
+
+let has_token ~n cfg p = Bool.equal cfg.(p) cfg.(predecessor ~n p)
+
+let token_holders ~n cfg =
+  List.filter (has_token ~n cfg) (List.init n Fun.id)
+
+let make ~n =
+  if n < 3 || n mod 2 = 0 then invalid_arg "Herman.make: need odd n >= 3";
+  let step : bool Stabcore.Protocol.action =
+    {
+      label = "H";
+      guard = (fun _ _ -> true);
+      result =
+        (fun cfg p ->
+          if has_token ~n cfg p then [ (false, 0.5); (true, 0.5) ]
+          else [ (cfg.(predecessor ~n p), 1.0) ]);
+    }
+  in
+  {
+    Stabcore.Protocol.name = Printf.sprintf "herman(n=%d)" n;
+    graph = Stabgraph.Graph.ring n;
+    domain = (fun _ -> [ false; true ]);
+    actions = [ step ];
+    equal = Bool.equal;
+    pp = (fun fmt b -> Format.pp_print_int fmt (Bool.to_int b));
+    randomized = true;
+  }
+
+let spec ~n =
+  Stabcore.Spec.make ~name:"single-herman-token" (fun cfg ->
+      match token_holders ~n cfg with [ _ ] -> true | _ -> false)

@@ -1,0 +1,118 @@
+module Graph = Stabgraph.Graph
+
+type pointer = Null | Pointer of int
+
+let equal_pointer a b =
+  match (a, b) with
+  | Null, Null -> true
+  | Pointer i, Pointer j -> i = j
+  | Null, Pointer _ | Pointer _, Null -> false
+
+let target g cfg p =
+  match cfg.(p) with Null -> None | Pointer k -> Some (Graph.neighbor g p k)
+
+let points_to g cfg q p = target g cfg q = Some p
+
+(* Local indexes of p's neighbors that point at p, ascending. *)
+let proposer_indexes g cfg p =
+  List.filter
+    (fun k -> points_to g cfg (Graph.neighbor g p k) p)
+    (List.init (Graph.degree g p) Fun.id)
+
+let null_neighbor_indexes g cfg p =
+  List.filter
+    (fun k -> cfg.(Graph.neighbor g p k) = Null)
+    (List.init (Graph.degree g p) Fun.id)
+
+let make g =
+  let r1 : pointer Stabcore.Protocol.action =
+    {
+      label = "R1";
+      guard = (fun cfg p -> cfg.(p) = Null && proposer_indexes g cfg p <> []);
+      result =
+        (fun cfg p ->
+          match proposer_indexes g cfg p with
+          | k :: _ -> [ (Pointer k, 1.0) ]
+          | [] -> assert false);
+    }
+  in
+  let r2 : pointer Stabcore.Protocol.action =
+    {
+      label = "R2";
+      guard =
+        (fun cfg p ->
+          cfg.(p) = Null
+          && proposer_indexes g cfg p = []
+          && null_neighbor_indexes g cfg p <> []);
+      result =
+        (fun cfg p ->
+          match null_neighbor_indexes g cfg p with
+          | k :: _ -> [ (Pointer k, 1.0) ]
+          | [] -> assert false);
+    }
+  in
+  let r3 : pointer Stabcore.Protocol.action =
+    {
+      label = "R3";
+      guard =
+        (fun cfg p ->
+          match target g cfg p with
+          | None -> false
+          | Some q -> (
+            match target g cfg q with
+            | None -> false
+            | Some r -> r <> p));
+      result = (fun _ _ -> [ (Null, 1.0) ]);
+    }
+  in
+  {
+    Stabcore.Protocol.name = Printf.sprintf "matching(n=%d)" (Graph.size g);
+    graph = g;
+    domain = (fun p -> Null :: List.init (Graph.degree g p) (fun k -> Pointer k));
+    actions = [ r1; r2; r3 ];
+    equal = equal_pointer;
+    pp =
+      (fun fmt s ->
+        match s with
+        | Null -> Format.pp_print_string fmt "."
+        | Pointer k -> Format.pp_print_int fmt k);
+    randomized = false;
+  }
+
+let matched_pairs g cfg =
+  Graph.fold_nodes
+    (fun p acc ->
+      match target g cfg p with
+      | Some q when p < q && points_to g cfg q p -> (p, q) :: acc
+      | Some _ | None -> acc)
+    g []
+  |> List.sort compare
+
+let is_maximal_matching g cfg =
+  let pairs = matched_pairs g cfg in
+  let matched = Hashtbl.create 16 in
+  List.iter
+    (fun (p, q) ->
+      Hashtbl.replace matched p ();
+      Hashtbl.replace matched q ())
+    pairs;
+  (* Every non-null pointer belongs to a matched pair. *)
+  let pointers_consistent =
+    Graph.fold_nodes
+      (fun p acc ->
+        acc
+        &&
+        match target g cfg p with
+        | None -> true
+        | Some q -> points_to g cfg q p)
+      g true
+  in
+  (* Maximality: no edge joins two unmatched processes. *)
+  let maximal =
+    List.for_all
+      (fun (p, q) -> Hashtbl.mem matched p || Hashtbl.mem matched q)
+      (Graph.edges g)
+  in
+  pointers_consistent && maximal
+
+let spec g = Stabcore.Spec.make ~name:"maximal-matching" (is_maximal_matching g)

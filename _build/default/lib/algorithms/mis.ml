@@ -1,0 +1,38 @@
+module Graph = Stabgraph.Graph
+
+let member_neighbor g cfg p =
+  Array.exists (fun q -> cfg.(q)) (Graph.neighbors g p)
+
+let independent g cfg =
+  List.for_all (fun (p, q) -> not (cfg.(p) && cfg.(q))) (Graph.edges g)
+
+let maximal_independent g cfg =
+  independent g cfg
+  && Graph.fold_nodes (fun p acc -> acc && (cfg.(p) || member_neighbor g cfg p)) g true
+
+let make g =
+  let enter : bool Stabcore.Protocol.action =
+    {
+      label = "enter";
+      guard = (fun cfg p -> (not cfg.(p)) && not (member_neighbor g cfg p));
+      result = (fun _ _ -> [ (true, 1.0) ]);
+    }
+  in
+  let retreat : bool Stabcore.Protocol.action =
+    {
+      label = "retreat";
+      guard = (fun cfg p -> cfg.(p) && member_neighbor g cfg p);
+      result = (fun _ _ -> [ (false, 1.0) ]);
+    }
+  in
+  {
+    Stabcore.Protocol.name = Printf.sprintf "mis(n=%d)" (Graph.size g);
+    graph = g;
+    domain = (fun _ -> [ false; true ]);
+    actions = [ enter; retreat ];
+    equal = Bool.equal;
+    pp = (fun fmt b -> Format.pp_print_string fmt (if b then "I" else "o"));
+    randomized = false;
+  }
+
+let spec g = Stabcore.Spec.make ~name:"maximal-independent-set" (maximal_independent g)

@@ -1,0 +1,29 @@
+let other p = 1 - p
+
+let make () =
+  let a1 : bool Stabcore.Protocol.action =
+    {
+      label = "A1";
+      guard = (fun cfg p -> (not cfg.(p)) && not cfg.(other p));
+      result = (fun _ _ -> [ (true, 1.0) ]);
+    }
+  in
+  let a2 : bool Stabcore.Protocol.action =
+    {
+      label = "A2";
+      guard = (fun cfg p -> cfg.(p) && not cfg.(other p));
+      result = (fun _ _ -> [ (false, 1.0) ]);
+    }
+  in
+  {
+    Stabcore.Protocol.name = "two-bool";
+    graph = Stabgraph.Graph.chain 2;
+    domain = (fun _ -> [ false; true ]);
+    actions = [ a1; a2 ];
+    equal = Bool.equal;
+    pp = Format.pp_print_bool;
+    randomized = false;
+  }
+
+let spec =
+  Stabcore.Spec.make ~name:"both-true" (fun cfg -> cfg.(0) && cfg.(1))

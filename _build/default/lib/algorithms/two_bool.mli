@@ -1,0 +1,23 @@
+(** Algorithm 3 of the paper: the two-process boolean rendezvous that
+    {e requires} synchrony to converge.
+
+    Two neighboring processes [p] and [q] each hold a boolean [B]:
+
+    {v
+A1 :: not B_i ∧ not B_j -> B_i <- true
+A2 :: B_i ∧ not B_j     -> B_i <- false
+    v}
+
+    The specification is the terminal predicate [B_p ∧ B_q]. The
+    protocol is deterministically weak-stabilizing under a distributed
+    strongly fair scheduler, but the only converging step out of
+    [(false, false)] is the synchronous one — so it diverges forever
+    under any central scheduler. The paper uses it to show that the
+    Section 4 transformer must keep synchronous steps possible
+    (Theorems 8/9). *)
+
+val make : unit -> bool Stabcore.Protocol.t
+(** The protocol on the two-process chain. *)
+
+val spec : bool Stabcore.Spec.t
+(** Legitimate iff both booleans hold. *)

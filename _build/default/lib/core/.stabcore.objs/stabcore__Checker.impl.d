@@ -1,0 +1,1 @@
+lib/core/checker.ml: Array Encoding Format Fun Hashtbl List Option Printf Protocol Queue Result Spec Stabgraph Stack Statespace

@@ -1,0 +1,1 @@
+lib/core/compose.ml: Array Format List Option Protocol Spec

@@ -1,0 +1,1 @@
+lib/core/encoding.ml: Array Protocol Stabgraph

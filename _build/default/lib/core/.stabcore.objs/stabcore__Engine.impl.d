@@ -1,0 +1,1 @@
+lib/core/engine.ml: Array List Printf Protocol Scheduler Spec

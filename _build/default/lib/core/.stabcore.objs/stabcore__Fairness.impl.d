@@ -1,0 +1,1 @@
+lib/core/fairness.ml: Array Engine Hashtbl List Protocol Stabgraph

@@ -1,0 +1,1 @@
+lib/core/faults.ml: Array Engine Fun List Montecarlo Protocol Stabrng

@@ -1,0 +1,1 @@
+lib/core/markov.ml: Array Float Fun Hashtbl List Option Printf Queue Stablinalg Stack Statespace

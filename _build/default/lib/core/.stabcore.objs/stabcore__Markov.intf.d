@@ -1,0 +1,1 @@
+lib/core/markov.mli: Statespace

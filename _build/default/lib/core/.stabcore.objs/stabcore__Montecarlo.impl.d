@@ -1,0 +1,1 @@
+lib/core/montecarlo.ml: Array Domain Engine Format List Protocol Stabrng Stabstats

@@ -1,0 +1,1 @@
+lib/core/montecarlo.mli: Format Protocol Scheduler Spec Stabrng Stabstats

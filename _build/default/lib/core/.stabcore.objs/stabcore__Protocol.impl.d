@@ -1,0 +1,1 @@
+lib/core/protocol.ml: Array Float Format List Stabgraph Stabrng

@@ -1,0 +1,1 @@
+lib/core/statespace.ml: Array Encoding Format Hashtbl List Printf Protocol Spec

@@ -1,0 +1,1 @@
+lib/core/statespace.mli: Encoding Format Protocol Spec

@@ -1,0 +1,1 @@
+lib/core/transformer.ml: Array Format List Option Protocol Spec

@@ -1,0 +1,1 @@
+lib/core/transformer.mli: Protocol Spec

@@ -1,0 +1,620 @@
+type graph = { fwd : (int list * int array) list array }
+
+let expand space cls =
+  let n = Statespace.count space in
+  let fwd = Array.make n [] in
+  for c = 0 to n - 1 do
+    fwd.(c) <-
+      List.map
+        (fun (active, outcomes) ->
+          (active, Array.of_list (List.map fst outcomes)))
+        (Statespace.transitions space cls c)
+  done;
+  { fwd }
+
+let graph_edge_count g =
+  Array.fold_left
+    (fun acc edges ->
+      List.fold_left (fun acc (_, succs) -> acc + Array.length succs) acc edges)
+    0 g.fwd
+
+type closure_violation =
+  | Empty_legitimate_set
+  | Escape of { config : int; active : int list; successor : int }
+  | Step_spec of { config : int; successor : int }
+
+let check_closure space g spec =
+  let legitimate = Statespace.legitimate_set space spec in
+  if not (Array.exists Fun.id legitimate) then Error Empty_legitimate_set
+  else begin
+    let violation = ref None in
+    let n = Statespace.count space in
+    (let exception Found in
+     try
+       for c = 0 to n - 1 do
+         if legitimate.(c) then
+           List.iter
+             (fun (active, succs) ->
+               Array.iter
+                 (fun c' ->
+                   if not legitimate.(c') then begin
+                     violation := Some (Escape { config = c; active; successor = c' });
+                     raise Found
+                   end
+                   else
+                     match spec.Spec.step_ok with
+                     | None -> ()
+                     | Some ok ->
+                       if
+                         not
+                           (ok (Statespace.config space c) (Statespace.config space c'))
+                       then begin
+                         violation := Some (Step_spec { config = c; successor = c' });
+                         raise Found
+                       end)
+                 succs)
+             g.fwd.(c)
+       done
+     with Found -> ());
+    match !violation with None -> Ok () | Some v -> Error v
+  end
+
+let possible_convergence space g ~legitimate =
+  let n = Statespace.count space in
+  (* Backward BFS from L over reversed edges. *)
+  let rev = Array.make n [] in
+  Array.iteri
+    (fun c edges ->
+      List.iter (fun (_, succs) -> Array.iter (fun c' -> rev.(c') <- c :: rev.(c')) succs) edges)
+    g.fwd;
+  let reaches = Array.copy legitimate in
+  let queue = Queue.create () in
+  Array.iteri (fun c ok -> if ok then Queue.add c queue) legitimate;
+  while not (Queue.is_empty queue) do
+    let c = Queue.pop queue in
+    List.iter
+      (fun pred ->
+        if not reaches.(pred) then begin
+          reaches.(pred) <- true;
+          Queue.add pred queue
+        end)
+      rev.(c)
+  done;
+  let rec find c = if c >= n then None else if reaches.(c) then find (c + 1) else Some c in
+  match find 0 with None -> Ok () | Some c -> Error c
+
+type divergence = Cycle of int list | Dead_end of int
+
+let illegitimate_terminals space ~legitimate =
+  let n = Statespace.count space in
+  let out = ref [] in
+  for c = n - 1 downto 0 do
+    if (not legitimate.(c)) && Statespace.enabled space c = [] then out := c :: !out
+  done;
+  !out
+
+(* Iterative depth-first cycle detection on the subgraph of
+   configurations outside L. color: 0 white, 1 on current path, 2 done. *)
+let find_cycle_outside g ~legitimate =
+  let n = Array.length g.fwd in
+  let color = Array.make n 0 in
+  let parent = Array.make n (-1) in
+  let successors c =
+    List.concat_map
+      (fun (_, succs) ->
+        Array.to_list succs |> List.filter (fun c' -> not legitimate.(c')))
+      g.fwd.(c)
+  in
+  let cycle = ref None in
+  let exception Found in
+  (try
+     for start = 0 to n - 1 do
+       if (not legitimate.(start)) && color.(start) = 0 then begin
+         (* Explicit stack of (node, remaining successors). *)
+         let stack = Stack.create () in
+         color.(start) <- 1;
+         Stack.push (start, ref (successors start)) stack;
+         while not (Stack.is_empty stack) do
+           let node, remaining = Stack.top stack in
+           match !remaining with
+           | [] ->
+             color.(node) <- 2;
+             ignore (Stack.pop stack)
+           | next :: rest ->
+             remaining := rest;
+             if color.(next) = 1 then begin
+               (* Back edge: walk parents from [node] to [next]. *)
+               let rec collect acc v = if v = next then v :: acc else collect (v :: acc) parent.(v) in
+               cycle := Some (collect [] node);
+               raise Found
+             end
+             else if color.(next) = 0 then begin
+               color.(next) <- 1;
+               parent.(next) <- node;
+               Stack.push (next, ref (successors next)) stack
+             end
+         done
+       end
+     done
+   with Found -> ());
+  !cycle
+
+let certain_convergence space g ~legitimate =
+  match illegitimate_terminals space ~legitimate with
+  | c :: _ -> Error (Dead_end c)
+  | [] -> (
+    match find_cycle_outside g ~legitimate with
+    | Some cycle -> Error (Cycle cycle)
+    | None -> Ok ())
+
+(* Iterative Tarjan SCC over the subgraph of nodes where alive.(c),
+   following only internal edges. Returns SCCs as lists. *)
+let sccs g ~alive =
+  let n = Array.length g.fwd in
+  let index = Array.make n (-1) in
+  let low = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let scc_stack = Stack.create () in
+  let next_index = ref 0 in
+  let out = ref [] in
+  let successors c =
+    List.concat_map
+      (fun (_, succs) -> Array.to_list succs |> List.filter (fun c' -> alive.(c')))
+      g.fwd.(c)
+  in
+  let visit root =
+    let work = Stack.create () in
+    Stack.push (root, ref (successors root)) work;
+    index.(root) <- !next_index;
+    low.(root) <- !next_index;
+    incr next_index;
+    Stack.push root scc_stack;
+    on_stack.(root) <- true;
+    while not (Stack.is_empty work) do
+      let node, remaining = Stack.top work in
+      match !remaining with
+      | next :: rest ->
+        remaining := rest;
+        if index.(next) < 0 then begin
+          index.(next) <- !next_index;
+          low.(next) <- !next_index;
+          incr next_index;
+          Stack.push next scc_stack;
+          on_stack.(next) <- true;
+          Stack.push (next, ref (successors next)) work
+        end
+        else if on_stack.(next) then low.(node) <- min low.(node) index.(next)
+      | [] ->
+        ignore (Stack.pop work);
+        if low.(node) = index.(node) then begin
+          let rec pop acc =
+            let v = Stack.pop scc_stack in
+            on_stack.(v) <- false;
+            if v = node then v :: acc else pop (v :: acc)
+          in
+          out := pop [] :: !out
+        end;
+        (match Stack.top work with
+        | parent, _ -> low.(parent) <- min low.(parent) low.(node)
+        | exception Stack.Empty -> ())
+    done
+  in
+  for c = 0 to n - 1 do
+    if alive.(c) && index.(c) < 0 then visit c
+  done;
+  !out
+
+(* True iff the SCC (given as a membership test plus member list) has at
+   least one internal edge — needed to sustain an infinite execution. *)
+let has_internal_edge g in_scc members =
+  List.exists
+    (fun c ->
+      List.exists
+        (fun (_, succs) -> Array.exists (fun c' -> in_scc c') succs)
+        g.fwd.(c))
+    members
+
+let enabled_in space members =
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun c -> List.iter (fun p -> Hashtbl.replace seen p ()) (Statespace.enabled space c))
+    members;
+  seen
+
+(* Processes firing on internal edges of the member set. *)
+let firing_in g in_scc members =
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun c ->
+      List.iter
+        (fun (active, succs) ->
+          if Array.exists (fun c' -> in_scc c') succs then
+            List.iter (fun p -> Hashtbl.replace seen p ()) active)
+        g.fwd.(c))
+    members;
+  seen
+
+let membership n members =
+  let mask = Array.make n false in
+  List.iter (fun c -> mask.(c) <- true) members;
+  mask
+
+(* Streett refinement for strong fairness: an SCC is accepting if every
+   process enabled somewhere inside also fires inside; otherwise prune
+   the states where the never-firing processes are enabled and
+   recurse. *)
+let strongly_fair_divergence space g ~legitimate =
+  let n = Array.length g.fwd in
+  let rec search alive =
+    let components = sccs g ~alive in
+    let try_component members =
+      let mask = membership n members in
+      let in_scc c = mask.(c) in
+      if not (has_internal_edge g in_scc members) then None
+      else begin
+        let enabled = enabled_in space members in
+        let firing = firing_in g in_scc members in
+        let bad =
+          Hashtbl.fold
+            (fun p () acc -> if Hashtbl.mem firing p then acc else p :: acc)
+            enabled []
+        in
+        match bad with
+        | [] -> Some (List.sort compare members)
+        | _ ->
+          (* Remove states where a never-firing process is enabled. *)
+          let alive' = Array.make n false in
+          let kept = ref 0 in
+          List.iter
+            (fun c ->
+              let here = Statespace.enabled space c in
+              if not (List.exists (fun p -> List.mem p here) bad) then begin
+                alive'.(c) <- true;
+                incr kept
+              end)
+            members;
+          if !kept = 0 then None else search alive'
+      end
+    in
+    List.fold_left
+      (fun acc members -> match acc with Some _ -> acc | None -> try_component members)
+      None components
+  in
+  let alive = Array.map not legitimate in
+  search alive
+
+(* Weak fairness needs no refinement: acceptance is monotone in the
+   component (see the design notes) — check maximal SCCs only. *)
+let weakly_fair_divergence space g ~legitimate =
+  let n = Array.length g.fwd in
+  let alive = Array.map not legitimate in
+  let components = sccs g ~alive in
+  let accepting members =
+    let mask = membership n members in
+    let in_scc c = mask.(c) in
+    if not (has_internal_edge g in_scc members) then false
+    else begin
+      let firing = firing_in g in_scc members in
+      let everywhere_enabled p =
+        List.for_all (fun c -> List.mem p (Statespace.enabled space c)) members
+      in
+      let processes = enabled_in space members in
+      Hashtbl.fold
+        (fun p () acc -> acc && (Hashtbl.mem firing p || not (everywhere_enabled p)))
+        processes true
+    end
+  in
+  List.find_opt accepting components |> Option.map (List.sort compare)
+
+type verdict = {
+  closure : (unit, closure_violation) result;
+  possible : (unit, int) result;
+  certain : (unit, divergence) result;
+  strongly_fair_diverges : int list option;
+  weakly_fair_diverges : int list option;
+  dead_ends : int list;
+}
+
+let analyze space cls spec =
+  let g = expand space cls in
+  let legitimate = Statespace.legitimate_set space spec in
+  {
+    closure = check_closure space g spec;
+    possible = possible_convergence space g ~legitimate;
+    certain = certain_convergence space g ~legitimate;
+    strongly_fair_diverges = strongly_fair_divergence space g ~legitimate;
+    weakly_fair_diverges = weakly_fair_divergence space g ~legitimate;
+    dead_ends = illegitimate_terminals space ~legitimate;
+  }
+
+let weak_stabilizing v = Result.is_ok v.closure && Result.is_ok v.possible
+
+let self_stabilizing v = Result.is_ok v.closure && Result.is_ok v.certain
+
+let self_stabilizing_strongly_fair v =
+  Result.is_ok v.closure && v.dead_ends = [] && v.strongly_fair_diverges = None
+  && Result.is_ok v.possible
+
+let self_stabilizing_weakly_fair v =
+  Result.is_ok v.closure && v.dead_ends = [] && v.weakly_fair_diverges = None
+  && Result.is_ok v.possible
+
+let pp_verdict fmt v =
+  let yesno b = if b then "yes" else "no" in
+  Format.fprintf fmt
+    "@[<v>closure: %s@,possible convergence: %s@,certain convergence: %s@,strongly-fair divergence: %s@,weakly-fair divergence: %s@,illegitimate terminals: %d@]"
+    (yesno (Result.is_ok v.closure))
+    (yesno (Result.is_ok v.possible))
+    (yesno (Result.is_ok v.certain))
+    (match v.strongly_fair_diverges with None -> "none" | Some w -> Printf.sprintf "witness of %d states" (List.length w))
+    (match v.weakly_fair_diverges with None -> "none" | Some w -> Printf.sprintf "witness of %d states" (List.length w))
+    (List.length v.dead_ends)
+
+let pseudo_stabilizing space g ~legitimate =
+  match illegitimate_terminals space ~legitimate with
+  | c :: _ -> Error (Dead_end c)
+  | [] ->
+    let n = Array.length g.fwd in
+    let alive = Array.make n true in
+    let offending =
+      List.find_opt
+        (fun members ->
+          let mask = membership n members in
+          has_internal_edge g (fun c -> mask.(c)) members
+          && List.exists (fun c -> not legitimate.(c)) members)
+        (sccs g ~alive)
+    in
+    (match offending with
+    | Some members -> Error (Cycle (List.sort compare members))
+    | None -> Ok ())
+
+let hamming space c1 c2 =
+  let p = Statespace.protocol space in
+  if Array.length c1 <> Array.length c2 then
+    invalid_arg "Checker.hamming: configuration length mismatch";
+  let count = ref 0 in
+  Array.iteri (fun i s -> if not (p.Protocol.equal s c2.(i)) then incr count) c1;
+  !count
+
+(* Configurations reachable from L by corrupting at most k process
+   memories: BFS in the "one corruption" graph. *)
+let k_faulty_set space ~legitimate ~k =
+  let enc = Statespace.encoding space in
+  let n = Statespace.count space in
+  let dist = Array.make n max_int in
+  let queue = Queue.create () in
+  Array.iteri
+    (fun c ok ->
+      if ok then begin
+        dist.(c) <- 0;
+        Queue.add c queue
+      end)
+    legitimate;
+  let p = Statespace.protocol space in
+  let processes = Stabgraph.Graph.size p.Protocol.graph in
+  while not (Queue.is_empty queue) do
+    let c = Queue.pop queue in
+    if dist.(c) < k then begin
+      let cfg = Encoding.decode enc c in
+      for i = 0 to processes - 1 do
+        let original = cfg.(i) in
+        List.iter
+          (fun s ->
+            if not (p.Protocol.equal s original) then begin
+              cfg.(i) <- s;
+              let c' = Encoding.encode enc cfg in
+              if dist.(c') = max_int then begin
+                dist.(c') <- dist.(c) + 1;
+                Queue.add c' queue
+              end
+            end)
+          (p.Protocol.domain i);
+        cfg.(i) <- original
+      done
+    end
+  done;
+  Array.map (fun d -> d <> max_int) dist
+
+let k_stabilizing space g ~legitimate ~k =
+  let faulty = k_faulty_set space ~legitimate ~k in
+  (* Forward closure of the faulty set. *)
+  let n = Array.length g.fwd in
+  let reachable = Array.make n false in
+  let queue = Queue.create () in
+  Array.iteri
+    (fun c f ->
+      if f then begin
+        reachable.(c) <- true;
+        Queue.add c queue
+      end)
+    faulty;
+  while not (Queue.is_empty queue) do
+    let c = Queue.pop queue in
+    List.iter
+      (fun (_, succs) ->
+        Array.iter
+          (fun c' ->
+            if not reachable.(c') then begin
+              reachable.(c') <- true;
+              Queue.add c' queue
+            end)
+          succs)
+      g.fwd.(c)
+  done;
+  (* Certain convergence restricted to the reachable sub-system:
+     configurations outside it are treated as if legitimate (they
+     cannot occur). *)
+  let restricted = Array.init n (fun c -> legitimate.(c) || not reachable.(c)) in
+  let dead_end =
+    List.find_opt (fun c -> reachable.(c)) (illegitimate_terminals space ~legitimate)
+  in
+  match dead_end with
+  | Some c -> Error (Dead_end c)
+  | None -> (
+    match find_cycle_outside g ~legitimate:restricted with
+    | Some cycle -> Error (Cycle cycle)
+    | None -> Ok ())
+
+let best_case_steps _space g ~legitimate =
+  let n = Array.length g.fwd in
+  let rev = Array.make n [] in
+  Array.iteri
+    (fun c edges ->
+      List.iter (fun (_, succs) -> Array.iter (fun c' -> rev.(c') <- c :: rev.(c')) succs) edges)
+    g.fwd;
+  let dist = Array.make n max_int in
+  let queue = Queue.create () in
+  Array.iteri
+    (fun c ok ->
+      if ok then begin
+        dist.(c) <- 0;
+        Queue.add c queue
+      end)
+    legitimate;
+  while not (Queue.is_empty queue) do
+    let c = Queue.pop queue in
+    List.iter
+      (fun pred ->
+        if dist.(pred) = max_int then begin
+          dist.(pred) <- dist.(c) + 1;
+          Queue.add pred queue
+        end)
+      rev.(c)
+  done;
+  dist
+
+let worst_case_steps space g ~legitimate =
+  match certain_convergence space g ~legitimate with
+  | Error (Cycle _ | Dead_end _) -> None
+  | Ok () ->
+    (* The C \ L subgraph is a DAG: longest-path DP in reverse
+       topological order (iterative Kahn peeling, so deep spaces cannot
+       blow the OCaml stack). A successor inside L ends the escape in
+       one step; a successor outside contributes 1 + its own value. *)
+    let n = Array.length g.fwd in
+    let value = Array.make n 0 in
+    let pending = Array.make n 0 in
+    let preds = Array.make n [] in
+    for c = 0 to n - 1 do
+      if not legitimate.(c) then
+        List.iter
+          (fun (_, succs) ->
+            Array.iter
+              (fun c' ->
+                if legitimate.(c') then value.(c) <- max value.(c) 1
+                else begin
+                  pending.(c) <- pending.(c) + 1;
+                  preds.(c') <- c :: preds.(c')
+                end)
+              succs)
+          g.fwd.(c)
+    done;
+    let queue = Queue.create () in
+    for c = 0 to n - 1 do
+      if (not legitimate.(c)) && pending.(c) = 0 then Queue.add c queue
+    done;
+    while not (Queue.is_empty queue) do
+      let c = Queue.pop queue in
+      List.iter
+        (fun p ->
+          value.(p) <- max value.(p) (1 + value.(c));
+          pending.(p) <- pending.(p) - 1;
+          if pending.(p) = 0 then Queue.add p queue)
+        preds.(c)
+    done;
+    Some value
+
+let convergence_radius_histogram space g ~legitimate =
+  let dist = best_case_steps space g ~legitimate in
+  let tbl = Hashtbl.create 16 in
+  Array.iter
+    (fun d ->
+      let key = if d = max_int then -1 else d in
+      Hashtbl.replace tbl key (1 + Option.value (Hashtbl.find_opt tbl key) ~default:0))
+    dist;
+  Hashtbl.fold (fun d c acc -> (d, c) :: acc) tbl [] |> List.sort compare
+
+let synchronous_lasso space ~init =
+  if (Statespace.protocol space).Protocol.randomized then
+    invalid_arg "Checker.synchronous_lasso: randomized protocol";
+  let seen = Hashtbl.create 64 in
+  let rec go c position acc =
+    match Hashtbl.find_opt seen c with
+    | Some first ->
+      let visited = List.rev acc in
+      let prefix = List.filteri (fun i _ -> i < first) visited in
+      let cycle = List.filteri (fun i _ -> i >= first) visited in
+      (prefix, cycle)
+    | None -> (
+      Hashtbl.add seen c position;
+      match Statespace.transitions space Statespace.Synchronous c with
+      | [] -> (List.rev (c :: acc), [])
+      | [ (_, [ (c', _) ]) ] -> go c' (position + 1) (c :: acc)
+      | _ -> invalid_arg "Checker.synchronous_lasso: non-deterministic step")
+  in
+  go init 0 []
+
+let sync_orbit_census space =
+  if (Statespace.protocol space).Protocol.randomized then
+    invalid_arg "Checker.sync_orbit_census: randomized protocol";
+  let n = Statespace.count space in
+  (* successor function: -1 for terminal configurations *)
+  let succ = Array.make n (-1) in
+  for c = 0 to n - 1 do
+    match Statespace.transitions space Statespace.Synchronous c with
+    | [] -> ()
+    | [ (_, [ (c', _) ]) ] -> succ.(c) <- c'
+    | _ -> invalid_arg "Checker.sync_orbit_census: non-deterministic step"
+  done;
+  (* Standard functional-graph coloring: walk unvisited paths, detect
+     the cycle (or terminal) they fall into, memoize the limit length
+     for every node on the path. *)
+  let limit = Array.make n (-2) in
+  for start = 0 to n - 1 do
+    if limit.(start) = -2 then begin
+      (* Walk forward, marking the path with a temporary stamp. *)
+      let path = ref [] in
+      let on_path = Hashtbl.create 16 in
+      let rec walk c position =
+        if c = -1 then 0 (* fell off a terminal configuration *)
+        else if limit.(c) <> -2 then limit.(c)
+        else
+          match Hashtbl.find_opt on_path c with
+          | Some first ->
+            (* new cycle of length position - first *)
+            position - first
+          | None ->
+            Hashtbl.add on_path c position;
+            path := c :: !path;
+            walk succ.(c) (position + 1)
+      in
+      let length = walk start 0 in
+      List.iter (fun c -> if limit.(c) = -2 then limit.(c) <- length) !path
+    end
+  done;
+  let tbl = Hashtbl.create 8 in
+  Array.iter
+    (fun l -> Hashtbl.replace tbl l (1 + Option.value (Hashtbl.find_opt tbl l) ~default:0))
+    limit;
+  Hashtbl.fold (fun l c acc -> (l, c) :: acc) tbl [] |> List.sort compare
+
+let sync_closed_set space member =
+  let n = Statespace.count space in
+  let result = ref None in
+  (let exception Found in
+   try
+     for c = 0 to n - 1 do
+       if member (Statespace.config space c) then
+         List.iter
+           (fun (_, outcomes) ->
+             List.iter
+               (fun (c', _) ->
+                 if not (member (Statespace.config space c')) then begin
+                   result := Some (c, c');
+                   raise Found
+                 end)
+               outcomes)
+           (Statespace.transitions space Statespace.Synchronous c)
+     done
+   with Found -> ());
+  !result

@@ -1,0 +1,196 @@
+(** Explicit-state verification of the paper's stabilization notions.
+
+    Given a protocol's full configuration space (the paper assumes
+    [I = C]) and a scheduler class, these checks decide, exactly:
+
+    - {b strong closure} (Definitions 1-3, condition i): no step leaves
+      the legitimate set [L], and steps inside [L] satisfy the spec's
+      per-step behaviour;
+    - {b possible convergence} (Definition 3, condition ii): from every
+      configuration some execution reaches [L] — weak stabilization;
+    - {b certain convergence} (Definition 1, condition ii): every
+      execution reaches [L] — deterministic self-stabilization under
+      an unconstrained daemon of the class;
+    - {b fair divergence}: whether a strongly-fair (resp. weakly-fair)
+      infinite execution avoiding [L] exists, via Streett-style SCC
+      refinement — this separates weak stabilization from
+      self-stabilization under the fairness assumptions of Section 3;
+    - {b synchronous analyses} used by Theorem 1, Theorem 3 and
+      Figure 3: the unique synchronous execution of a deterministic
+      protocol is a lasso; we compute it, and check closure of
+      arbitrary configuration sets under synchronous steps. *)
+
+type graph
+(** Expanded transition relation of a space under a scheduler class:
+    every edge carries the activated subset. *)
+
+val expand : 'a Statespace.t -> Statespace.sched_class -> graph
+(** Materialize all transitions. Cost is proportional to the number of
+    (configuration, allowed subset, outcome) triples. *)
+
+val graph_edge_count : graph -> int
+
+type closure_violation =
+  | Empty_legitimate_set
+      (** Definitions 1-3 require a non-empty [L] *)
+  | Escape of { config : int; active : int list; successor : int }
+      (** a step from [L] leaves [L] *)
+  | Step_spec of { config : int; successor : int }
+      (** a step inside [L] violates the spec's [step_ok] *)
+
+val check_closure :
+  'a Statespace.t -> graph -> 'a Spec.t -> (unit, closure_violation) result
+(** Strong closure of the spec's legitimate set. Fails with the first
+    violation found. Also fails if [L] is empty, which Definitions 1-3
+    exclude. *)
+
+val possible_convergence :
+  'a Statespace.t -> graph -> legitimate:bool array -> (unit, int) result
+(** [Error c] gives a configuration from which no execution reaches
+    [L] (backward reachability from [L] over all positive-probability
+    edges). *)
+
+type divergence =
+  | Cycle of int list  (** configuration codes of a cycle outside [L] *)
+  | Dead_end of int  (** terminal configuration outside [L] *)
+
+val certain_convergence :
+  'a Statespace.t -> graph -> legitimate:bool array -> (unit, divergence) result
+(** Every execution (no fairness assumed) reaches [L]: the subgraph
+    induced by [C \ L] must be acyclic and contain no terminal
+    configuration. *)
+
+val strongly_fair_divergence :
+  'a Statespace.t -> graph -> legitimate:bool array -> int list option
+(** [Some states] is a witness set outside [L] supporting an infinite
+    strongly-fair execution that never reaches [L] (every process
+    enabled somewhere in the set fires inside the set). [None] means
+    every strongly-fair execution converges — together with closure
+    this is deterministic self-stabilization under a strongly fair
+    daemon of the class. Terminal dead-ends are NOT reported here; use
+    {!certain_convergence} or {!illegitimate_terminals}. *)
+
+val weakly_fair_divergence :
+  'a Statespace.t -> graph -> legitimate:bool array -> int list option
+(** Same for weak fairness: the witness set has, for every process,
+    either a configuration where it is disabled or an internal
+    transition firing it. *)
+
+val illegitimate_terminals :
+  'a Statespace.t -> legitimate:bool array -> int list
+(** Terminal configurations outside [L]; any of these is a maximal
+    finite execution that never converges, whatever the fairness. *)
+
+(** {1 Verdicts} *)
+
+type verdict = {
+  closure : (unit, closure_violation) result;
+  possible : (unit, int) result;
+  certain : (unit, divergence) result;
+  strongly_fair_diverges : int list option;
+  weakly_fair_diverges : int list option;
+  dead_ends : int list;
+}
+
+val analyze : 'a Statespace.t -> Statespace.sched_class -> 'a Spec.t -> verdict
+
+val weak_stabilizing : verdict -> bool
+(** Closure holds and possible convergence holds (Definition 3). *)
+
+val self_stabilizing : verdict -> bool
+(** Closure and certain convergence (Definition 1, unfair daemon). *)
+
+val self_stabilizing_strongly_fair : verdict -> bool
+(** Closure, no dead ends, and no strongly-fair divergence. *)
+
+val self_stabilizing_weakly_fair : verdict -> bool
+
+val pp_verdict : Format.formatter -> verdict -> unit
+
+(** {1 The rest of the Section 1 taxonomy}
+
+    The paper's introduction situates weak stabilization among other
+    weakenings of self-stabilization: pseudo-stabilization (Burns,
+    Gouda, Miller) and k-stabilization (Beauquier, Genolini, Kutten).
+    Both are decidable on the explicit state space. *)
+
+val pseudo_stabilizing :
+  'a Statespace.t -> graph -> legitimate:bool array -> (unit, divergence) result
+(** Pseudo-stabilization: {e every} execution has a suffix inside [L]
+    (no bound on when the suffix starts). For a finite system this
+    holds iff no terminal configuration lies outside [L] and every
+    strongly connected component that can sustain an infinite execution
+    is entirely inside [L]. Self-stabilization implies it; the converse
+    fails whenever [L] is reachable from everywhere but escapable in
+    bounded prefixes. *)
+
+val hamming : 'a Statespace.t -> 'a array -> 'a array -> int
+(** Number of processes whose states differ — the fault measure of
+    k-stabilization (how many process memories changed). *)
+
+val k_faulty_set : 'a Statespace.t -> legitimate:bool array -> k:int -> bool array
+(** Configurations at Hamming distance at most [k] from some legitimate
+    configuration: the admissible initial configurations after at most
+    [k] memory-corruption faults. *)
+
+val k_stabilizing :
+  'a Statespace.t -> graph -> legitimate:bool array -> k:int -> (unit, divergence) result
+(** k-stabilization: from every configuration that [k] faults can
+    produce, every execution converges to [L]. Note the faulty set is
+    generally not closed, so the check runs certain convergence on the
+    sub-system reachable from the faulty set. *)
+
+(** {1 Convergence-time metrics}
+
+    For a weak-stabilizing system the adversarial convergence time is
+    unbounded (that is the point of Theorem 2), so the meaningful
+    metrics are the {e optimal-daemon} time — how fast a friendly
+    scheduler can converge from each configuration — and, for systems
+    that do certainly converge, the {e adversarial} worst case. *)
+
+val best_case_steps : 'a Statespace.t -> graph -> legitimate:bool array -> int array
+(** [best_case_steps space g ~legitimate] gives, per configuration, the
+    length of the shortest execution reaching [L] (0 inside [L],
+    [max_int] if unreachable — the system is then not
+    weak-stabilizing). This is the paper's possible-convergence
+    distance, computed by backward BFS. *)
+
+val worst_case_steps : 'a Statespace.t -> graph -> legitimate:bool array -> int array option
+(** Longest execution prefix that stays outside [L], per configuration
+    — finite only when the system certainly converges (the [C \ L]
+    subgraph is a DAG with no terminal configuration); [None]
+    otherwise. For a self-stabilizing protocol this is its exact
+    stabilization time under the worst daemon of the class. *)
+
+val convergence_radius_histogram :
+  'a Statespace.t -> graph -> legitimate:bool array -> (int * int) list
+(** Histogram of {!best_case_steps}: pairs (distance, number of
+    configurations), sorted by distance. Unreachable configurations
+    are reported under distance [-1]. *)
+
+(** {1 Synchronous analyses} *)
+
+val synchronous_lasso : 'a Statespace.t -> init:int -> int list * int list
+(** The unique synchronous execution of a deterministic protocol from
+    [init], as a lasso [(prefix, cycle)] of configuration codes. An
+    execution reaching a terminal configuration has an empty cycle and
+    the terminal code ends the prefix. Raises [Invalid_argument] on a
+    randomized protocol. *)
+
+val sync_orbit_census : 'a Statespace.t -> (int * int) list
+(** For a deterministic protocol the synchronous step is a (partial)
+    function on configurations, so every configuration falls into a
+    terminal configuration or a unique limit cycle.
+    [sync_orbit_census space] returns pairs (cycle length, number of
+    configurations whose synchronous execution ends in a cycle of that
+    length), sorted; terminal configurations count as cycles of length
+    0. This measures how prevalent Figure-3-style synchronous
+    oscillations are across the whole space. Raises [Invalid_argument]
+    on randomized protocols. *)
+
+val sync_closed_set :
+  'a Statespace.t -> ('a array -> bool) -> (int * int) option
+(** [sync_closed_set space member] checks that the configuration set
+    [member] is closed under synchronous steps — the induction behind
+    the Theorem 3 impossibility argument. Returns a counter-example
+    [(config, successor)] crossing the boundary, or [None] if closed. *)

@@ -1,0 +1,33 @@
+(** Dense integer encoding of configurations.
+
+    The explicit-state checker and the Markov analysis index the whole
+    configuration space [C] (the paper assumes [I = C]) by integers.
+    With per-process finite domains [D_0, ..., D_{n-1}], configurations
+    are mixed-radix numerals: the code of a configuration is
+    [sum_i index(s_i) * prod_{j<i} |D_j|]. *)
+
+type 'a t
+
+val make : equal:('a -> 'a -> bool) -> 'a list array -> 'a t
+(** [make ~equal domains] requires every domain to be non-empty and
+    duplicate-free (w.r.t. [equal]), and the total space size
+    [prod |D_i|] to fit in an OCaml [int]; raises [Invalid_argument]
+    otherwise. *)
+
+val of_protocol : 'a Protocol.t -> 'a t
+(** Encoding for the full configuration space of a protocol. *)
+
+val count : 'a t -> int
+(** Total number of configurations, the paper's [|C|]. *)
+
+val processes : 'a t -> int
+
+val encode : 'a t -> 'a array -> int
+(** Raises [Invalid_argument] if some state is outside its domain. *)
+
+val decode : 'a t -> int -> 'a array
+(** Fresh array; inverse of {!encode}. *)
+
+val iter : 'a t -> (int -> 'a array -> unit) -> unit
+(** Iterate over the full space in code order. The configuration array
+    is reused between calls; copy it if you keep it. *)

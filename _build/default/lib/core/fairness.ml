@@ -1,0 +1,69 @@
+type assessment = {
+  strongly_fair : bool;
+  weakly_fair : bool;
+  offenders : int list;
+}
+
+let check_cyclic protocol cycle =
+  match cycle with
+  | [] -> invalid_arg "Fairness: empty cycle"
+  | first :: _ ->
+    let rec go = function
+      | [ last ] ->
+        if not (Protocol.equal_config protocol last.Engine.after first.Engine.before)
+        then invalid_arg "Fairness: events do not close a cycle"
+      | e :: (e' :: _ as rest) ->
+        if not (Protocol.equal_config protocol e.Engine.after e'.Engine.before) then
+          invalid_arg "Fairness: events are not contiguous";
+        go rest
+      | [] -> ()
+    in
+    go cycle
+
+let assess_lasso protocol ~cycle =
+  check_cyclic protocol cycle;
+  let n = Stabgraph.Graph.size protocol.Protocol.graph in
+  let fires = Array.make n false in
+  let enabled_somewhere = Array.make n false in
+  let enabled_everywhere = Array.make n true in
+  List.iter
+    (fun e ->
+      List.iter (fun (p, _) -> fires.(p) <- true) e.Engine.fired;
+      let enabled_here p = Protocol.is_enabled protocol e.Engine.before p in
+      for p = 0 to n - 1 do
+        if enabled_here p then enabled_somewhere.(p) <- true
+        else enabled_everywhere.(p) <- false
+      done)
+    cycle;
+  let strong_offenders = ref [] in
+  let weak_offenders = ref [] in
+  for p = n - 1 downto 0 do
+    if enabled_somewhere.(p) && not fires.(p) then strong_offenders := p :: !strong_offenders;
+    if enabled_everywhere.(p) && not fires.(p) then weak_offenders := p :: !weak_offenders
+  done;
+  let strongly_fair = !strong_offenders = [] in
+  let weakly_fair = !weak_offenders = [] in
+  {
+    strongly_fair;
+    weakly_fair;
+    offenders = (if strongly_fair then !weak_offenders else !strong_offenders);
+  }
+
+let is_gouda_fair_cycle protocol ~cycle =
+  check_cyclic protocol cycle;
+  (* Transitions taken in the cycle, as (before, fired set) pairs keyed
+     by the single activated process — Gouda fairness over the central
+     scheduler's transition space. *)
+  let taken = Hashtbl.create 16 in
+  List.iter
+    (fun e ->
+      List.iter (fun (p, _) -> Hashtbl.replace taken (e.Engine.before, p) ()) e.Engine.fired)
+    cycle;
+  (* Configurations occurring infinitely often are exactly the cycle's;
+     every centrally-enabled transition from them must be taken. *)
+  List.for_all
+    (fun e ->
+      List.for_all
+        (fun p -> Hashtbl.mem taken (e.Engine.before, p))
+        (Protocol.enabled_processes protocol e.Engine.before))
+    cycle

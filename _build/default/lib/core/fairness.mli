@@ -1,0 +1,35 @@
+(** Fairness of concrete (ultimately periodic) executions.
+
+    The scheduler taxonomy of Section 2 constrains infinite executions.
+    A finite trace can never witness unfairness, but an ultimately
+    periodic execution — a prefix followed by a cycle repeated forever —
+    can be judged exactly. The Theorem 6 counter-example is of this
+    shape: two tokens alternating around a ring forever, which is
+    strongly fair yet never converges. These helpers decide the
+    fairness of such lassos. *)
+
+type assessment = {
+  strongly_fair : bool;
+      (** every process enabled in some cycle configuration fires
+          during the cycle *)
+  weakly_fair : bool;
+      (** every process enabled in all cycle configurations fires
+          during the cycle *)
+  offenders : int list;
+      (** processes breaking the strongest failed level, sorted *)
+}
+
+val assess_lasso : 'a Protocol.t -> cycle:'a Engine.event list -> assessment
+(** Judge the infinite execution that repeats [cycle] forever. The
+    cycle must be non-empty and genuinely cyclic (each event's [after]
+    is the next event's [before], last wrapping to first) —
+    [Invalid_argument] otherwise. *)
+
+val is_gouda_fair_cycle : 'a Protocol.t -> cycle:'a Engine.event list -> bool
+(** Gouda's strong fairness (Theorem 5): every transition enabled from
+    a configuration occurring infinitely often must occur infinitely
+    often. For a lasso this requires every scheduler choice available
+    in a cycle configuration to appear in the cycle; the paper's
+    Theorem 6 separates this from [strongly_fair]. The check is against
+    the central scheduler's choices (single-process steps), which is
+    enough to witness the separation. *)

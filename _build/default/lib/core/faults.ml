@@ -1,0 +1,49 @@
+let corrupt rng (p : 'a Protocol.t) cfg ~faults =
+  if faults < 0 then invalid_arg "Faults.corrupt: negative fault count";
+  let n = Array.length cfg in
+  let out = Array.copy cfg in
+  (* Choose the victims: a random subset of [faults] distinct
+     processes, skipping those with singleton domains. *)
+  let candidates =
+    Array.of_list
+      (List.filter (fun i -> List.length (p.Protocol.domain i) > 1) (List.init n Fun.id))
+  in
+  Stabrng.Rng.shuffle rng candidates;
+  let victims = min faults (Array.length candidates) in
+  for v = 0 to victims - 1 do
+    let i = candidates.(v) in
+    let others =
+      List.filter (fun s -> not (p.Protocol.equal s out.(i))) (p.Protocol.domain i)
+    in
+    out.(i) <- List.nth others (Stabrng.Rng.int rng (List.length others))
+  done;
+  out
+
+type recovery = {
+  faults : int;
+  steps : int option;
+  rounds : int option;
+}
+
+let recovery_time ~max_steps rng protocol scheduler spec ~from ~faults =
+  let corrupted = corrupt rng protocol from ~faults in
+  match Engine.convergence_cost ~max_steps rng protocol scheduler spec ~init:corrupted with
+  | Some (steps, rounds) -> { faults; steps = Some steps; rounds = Some rounds }
+  | None -> { faults; steps = None; rounds = None }
+
+let recovery_profile ~runs ~max_steps rng protocol scheduler spec ~from ~faults =
+  let times = ref [] in
+  let rounds = ref [] in
+  let timeouts = ref 0 in
+  for _ = 1 to runs do
+    let stream = Stabrng.Rng.split rng in
+    match recovery_time ~max_steps stream protocol scheduler spec ~from ~faults with
+    | { steps = Some s; rounds = Some r; _ } ->
+      times := s :: !times;
+      rounds := r :: !rounds
+    | _ -> incr timeouts
+  done;
+  Montecarlo.of_samples
+    ~times:(Array.of_list (List.rev !times))
+    ~rounds:(Array.of_list (List.rev !rounds))
+    ~timeouts:!timeouts

@@ -1,0 +1,47 @@
+(** Transient-fault injection.
+
+    Self-stabilization is exactly resilience to transient memory
+    corruption: a fault flips some process memories to arbitrary
+    values, and the protocol must recover. These helpers corrupt
+    configurations (the fault model behind k-stabilization, where the
+    fault count is the number of memories changed) and measure
+    recovery, driving the fault-recovery experiments (E10). *)
+
+val corrupt :
+  Stabrng.Rng.t -> 'a Protocol.t -> 'a array -> faults:int -> 'a array
+(** [corrupt rng p cfg ~faults] returns a fresh configuration with
+    exactly [min faults n] distinct processes reassigned a {e
+    different} uniformly random state from their domain (a process
+    whose domain is a singleton cannot be corrupted and is skipped).
+    The input is not modified. *)
+
+type recovery = {
+  faults : int;
+  steps : int option;  (** steps to re-reach [L]; [None] on timeout *)
+  rounds : int option;
+}
+
+val recovery_time :
+  max_steps:int ->
+  Stabrng.Rng.t ->
+  'a Protocol.t ->
+  'a Scheduler.t ->
+  'a Spec.t ->
+  from:'a array ->
+  faults:int ->
+  recovery
+(** Corrupt [from] (assumed legitimate) with [faults] faults, then run
+    until the legitimate set is re-reached. *)
+
+val recovery_profile :
+  runs:int ->
+  max_steps:int ->
+  Stabrng.Rng.t ->
+  'a Protocol.t ->
+  'a Scheduler.t ->
+  'a Spec.t ->
+  from:'a array ->
+  faults:int ->
+  Montecarlo.result
+(** Repeat {!recovery_time} with independent corruption draws and
+    scheduler randomness. *)

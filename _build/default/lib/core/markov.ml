@@ -1,0 +1,296 @@
+type randomization = Central_uniform | Distributed_uniform | Sync
+
+type t = { rows : (int * float) list array }
+
+let merge_row entries =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (c, w) ->
+      let prev = Option.value (Hashtbl.find_opt tbl c) ~default:0.0 in
+      Hashtbl.replace tbl c (prev +. w))
+    entries;
+  Hashtbl.fold (fun c w acc -> (c, w) :: acc) tbl [] |> List.sort compare
+
+let of_space space randomization =
+  let cls =
+    match randomization with
+    | Central_uniform -> Statespace.Central
+    | Distributed_uniform -> Statespace.Distributed
+    | Sync -> Statespace.Synchronous
+  in
+  let n = Statespace.count space in
+  let rows = Array.make n [] in
+  for c = 0 to n - 1 do
+    match Statespace.transitions space cls c with
+    | [] -> rows.(c) <- [ (c, 1.0) ] (* terminal: absorbing *)
+    | transitions ->
+      let subset_weight = 1.0 /. float_of_int (List.length transitions) in
+      let entries =
+        List.concat_map
+          (fun (_, outcomes) ->
+            List.map (fun (c', w) -> (c', w *. subset_weight)) outcomes)
+          transitions
+      in
+      rows.(c) <- merge_row entries
+  done;
+  { rows }
+
+let of_rows rows =
+  let n = Array.length rows in
+  let check_row i entries =
+    match entries with
+    | [] -> [ (i, 1.0) ]
+    | _ ->
+      let total = List.fold_left (fun acc (_, w) -> acc +. w) 0.0 entries in
+      List.iter
+        (fun (c, w) ->
+          if c < 0 || c >= n then invalid_arg "Markov.of_rows: target out of range";
+          if w <= 0.0 then invalid_arg "Markov.of_rows: non-positive weight")
+        entries;
+      if Float.abs (total -. 1.0) > 1e-9 then
+        invalid_arg "Markov.of_rows: row does not sum to 1";
+      merge_row entries
+  in
+  { rows = Array.mapi check_row rows }
+
+let states chain = Array.length chain.rows
+let row chain c = chain.rows.(c)
+
+(* Tarjan over the positive-probability graph; a BSCC has no edge
+   leaving it. *)
+let sccs chain =
+  let n = states chain in
+  let index = Array.make n (-1) in
+  let low = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let scc_stack = Stack.create () in
+  let next_index = ref 0 in
+  let out = ref [] in
+  let successors c = List.map fst chain.rows.(c) in
+  let visit root =
+    let work = Stack.create () in
+    Stack.push (root, ref (successors root)) work;
+    index.(root) <- !next_index;
+    low.(root) <- !next_index;
+    incr next_index;
+    Stack.push root scc_stack;
+    on_stack.(root) <- true;
+    while not (Stack.is_empty work) do
+      let node, remaining = Stack.top work in
+      match !remaining with
+      | next :: rest ->
+        remaining := rest;
+        if index.(next) < 0 then begin
+          index.(next) <- !next_index;
+          low.(next) <- !next_index;
+          incr next_index;
+          Stack.push next scc_stack;
+          on_stack.(next) <- true;
+          Stack.push (next, ref (successors next)) work
+        end
+        else if on_stack.(next) then low.(node) <- min low.(node) index.(next)
+      | [] ->
+        ignore (Stack.pop work);
+        if low.(node) = index.(node) then begin
+          let rec pop acc =
+            let v = Stack.pop scc_stack in
+            on_stack.(v) <- false;
+            if v = node then v :: acc else pop (v :: acc)
+          in
+          out := pop [] :: !out
+        end;
+        (match Stack.top work with
+        | parent, _ -> low.(parent) <- min low.(parent) low.(node)
+        | exception Stack.Empty -> ())
+    done
+  in
+  for c = 0 to n - 1 do
+    if index.(c) < 0 then visit c
+  done;
+  !out
+
+let bsccs chain =
+  let n = states chain in
+  let component = Array.make n (-1) in
+  let all = sccs chain in
+  List.iteri (fun i members -> List.iter (fun c -> component.(c) <- i) members) all;
+  List.filteri
+    (fun i members ->
+      List.for_all
+        (fun c -> List.for_all (fun (c', _) -> component.(c') = i) chain.rows.(c))
+        members)
+    (List.mapi (fun i m -> (i, m)) all |> List.map snd)
+  |> List.map (List.sort compare)
+
+let reaches chain ~target =
+  let n = states chain in
+  let rev = Array.make n [] in
+  Array.iteri
+    (fun c row -> List.iter (fun (c', _) -> rev.(c') <- c :: rev.(c')) row)
+    chain.rows;
+  let ok = Array.copy target in
+  let queue = Queue.create () in
+  Array.iteri (fun c t -> if t then Queue.add c queue) target;
+  while not (Queue.is_empty queue) do
+    let c = Queue.pop queue in
+    List.iter
+      (fun pred ->
+        if not ok.(pred) then begin
+          ok.(pred) <- true;
+          Queue.add pred queue
+        end)
+      rev.(c)
+  done;
+  ok
+
+let converges_with_prob_one chain ~legitimate =
+  let ok = reaches chain ~target:legitimate in
+  let n = states chain in
+  let rec find c = if c >= n then None else if ok.(c) then find (c + 1) else Some c in
+  match find 0 with None -> Ok () | Some c -> Error c
+
+type hitting_method =
+  | Exact
+  | Iterative of { tolerance : float; max_sweeps : int }
+
+let exact_hitting chain ~legitimate ~transient =
+  let t_count = Array.length transient in
+  let pos = Array.make (states chain) (-1) in
+  Array.iteri (fun i c -> pos.(c) <- i) transient;
+  let a = Stablinalg.Matrix.identity t_count in
+  Array.iteri
+    (fun i c ->
+      List.iter
+        (fun (c', w) ->
+          if not legitimate.(c') then begin
+            let j = pos.(c') in
+            Stablinalg.Matrix.set a i j (Stablinalg.Matrix.get a i j -. w)
+          end)
+        chain.rows.(c))
+    transient;
+  Stablinalg.Matrix.solve a (Array.make t_count 1.0)
+
+let iterative_hitting chain ~legitimate ~transient ~tolerance ~max_sweeps =
+  let n = states chain in
+  let h = Array.make n 0.0 in
+  let sweep () =
+    let delta = ref 0.0 in
+    Array.iter
+      (fun c ->
+        let acc = ref 1.0 in
+        List.iter
+          (fun (c', w) -> if not legitimate.(c') then acc := !acc +. (w *. h.(c')))
+          chain.rows.(c);
+        delta := Float.max !delta (Float.abs (!acc -. h.(c)));
+        h.(c) <- !acc)
+      transient;
+    !delta
+  in
+  let rec go sweeps =
+    if sweeps >= max_sweeps then
+      failwith "Markov.expected_hitting_times: iteration did not converge"
+    else if sweep () > tolerance then go (sweeps + 1)
+  in
+  go 0;
+  Array.init n (fun c -> if legitimate.(c) then 0.0 else h.(c))
+
+let expected_hitting_times ?method_ chain ~legitimate =
+  (match converges_with_prob_one chain ~legitimate with
+  | Ok () -> ()
+  | Error c ->
+    invalid_arg
+      (Printf.sprintf
+         "Markov.expected_hitting_times: state %d cannot reach the legitimate set" c));
+  let n = states chain in
+  let transient =
+    Array.of_list
+      (List.filter (fun c -> not legitimate.(c)) (List.init n Fun.id))
+  in
+  if Array.length transient = 0 then Array.make n 0.0
+  else begin
+    let method_ =
+      match method_ with
+      | Some m -> m
+      | None ->
+        if Array.length transient <= 1200 then Exact
+        else Iterative { tolerance = 1e-10; max_sweeps = 1_000_000 }
+    in
+    match method_ with
+    | Exact ->
+      let solved = exact_hitting chain ~legitimate ~transient in
+      let out = Array.make n 0.0 in
+      Array.iteri (fun i c -> out.(c) <- solved.(i)) transient;
+      out
+    | Iterative { tolerance; max_sweeps } ->
+      iterative_hitting chain ~legitimate ~transient ~tolerance ~max_sweeps
+  end
+
+let absorption_probabilities chain ~legitimate =
+  let n = states chain in
+  let can_reach = reaches chain ~target:legitimate in
+  let p = Array.init n (fun c -> if legitimate.(c) then 1.0 else 0.0) in
+  (* Gauss-Seidel on p(c) = sum_{c'} P(c,c') p(c') for transient states
+     that can reach L; states that cannot stay at 0. Convergence is
+     geometric because every such state leaks mass toward absorbing
+     sets. *)
+  let transient =
+    List.filter (fun c -> can_reach.(c) && not legitimate.(c)) (List.init n Fun.id)
+  in
+  let sweep () =
+    let delta = ref 0.0 in
+    List.iter
+      (fun c ->
+        let acc = ref 0.0 in
+        List.iter (fun (c', w) -> acc := !acc +. (w *. p.(c'))) chain.rows.(c);
+        delta := Float.max !delta (Float.abs (!acc -. p.(c)));
+        p.(c) <- !acc)
+      transient;
+    !delta
+  in
+  let rec go sweeps =
+    if sweeps > 1_000_000 then
+      failwith "Markov.absorption_probabilities: iteration did not converge"
+    else if sweep () > 1e-12 then go (sweeps + 1)
+  in
+  (* Seed the iteration away from the all-zero fixed point: initialize
+     transient states with their one-step mass into L, then iterate. *)
+  List.iter
+    (fun c ->
+      let acc = ref 0.0 in
+      List.iter (fun (c', w) -> if legitimate.(c') then acc := !acc +. w) chain.rows.(c);
+      p.(c) <- !acc)
+    transient;
+  go 0;
+  p
+
+let transient_distribution chain ~init ~steps =
+  let n = states chain in
+  if Array.length init <> n then
+    invalid_arg "Markov.transient_distribution: distribution length mismatch";
+  let total = Array.fold_left ( +. ) 0.0 init in
+  if Array.exists (fun w -> w < 0.0) init || Float.abs (total -. 1.0) > 1e-9 then
+    invalid_arg "Markov.transient_distribution: not a distribution";
+  let current = ref (Array.copy init) in
+  for _ = 1 to steps do
+    let next = Array.make n 0.0 in
+    Array.iteri
+      (fun c mass ->
+        if mass > 0.0 then
+          List.iter (fun (c', w) -> next.(c') <- next.(c') +. (mass *. w)) chain.rows.(c))
+      !current;
+    current := next
+  done;
+  !current
+
+let mass_in dist set =
+  let acc = ref 0.0 in
+  Array.iteri (fun c mass -> if set.(c) then acc := !acc +. mass) dist;
+  !acc
+
+let mean_hitting_time chain ~legitimate =
+  let times = expected_hitting_times chain ~legitimate in
+  Array.fold_left ( +. ) 0.0 times /. float_of_int (Array.length times)
+
+let max_hitting_time chain ~legitimate =
+  let times = expected_hitting_times chain ~legitimate in
+  Array.fold_left Float.max 0.0 times

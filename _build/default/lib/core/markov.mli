@@ -1,0 +1,91 @@
+(** Markov chains induced by randomized schedulers (Definition 6).
+
+    A randomized scheduler turns the non-determinism of the daemon into
+    uniform probabilistic choice; combined with the protocol's own
+    P-variables this makes the whole system a finite Markov chain over
+    configuration codes. Theorem 7 of the paper is then a statement
+    about this chain: a finite deterministic protocol is weak-stabilizing
+    iff the chain reaches [L] with probability 1 from every state —
+    which, for finite chains, is equivalent to [L] being reachable from
+    every state, and to every bottom SCC intersecting [L]. This module
+    implements all three views plus exact and iterative expected
+    hitting times (the quantitative study the paper leaves as future
+    work). *)
+
+type randomization =
+  | Central_uniform
+      (** pick one enabled process uniformly (Definition 6, central) *)
+  | Distributed_uniform
+      (** pick a uniformly random non-empty subset of the enabled
+          processes (Definition 6, distributed) *)
+  | Sync  (** activate all enabled processes (probabilistic branching
+              comes only from P-variables; Theorem 8's setting) *)
+
+type t
+(** A finite Markov chain over configuration codes; terminal
+    configurations are absorbing (probability-1 self-loop). *)
+
+val of_space : 'a Statespace.t -> randomization -> t
+(** Expand the full chain. Row probabilities sum to 1. *)
+
+val of_rows : (int * float) list array -> t
+(** Build a chain from explicit rows (state [i]'s successor
+    distribution). Rows are merged and validated: every target in
+    range, weights positive and summing to 1 within [1e-9]; empty rows
+    become absorbing. Used for comparator systems modelled directly at
+    a coarser abstraction (e.g. Israeli-Jalfon token positions). *)
+
+val states : t -> int
+val row : t -> int -> (int * float) list
+(** Successor distribution of a state, merged and sorted by code. *)
+
+val bsccs : t -> int list list
+(** Bottom strongly connected components (no edge leaving). *)
+
+val reaches : t -> target:bool array -> bool array
+(** [reaches chain ~target] marks states from which [target] is
+    reachable through positive-probability paths. *)
+
+val converges_with_prob_one : t -> legitimate:bool array -> (unit, int) result
+(** Probability-1 convergence to [L] from {e every} state —
+    Definition 2's probabilistic convergence with [I = C]. On failure,
+    returns a state from which [L] is unreachable. *)
+
+type hitting_method =
+  | Exact  (** dense Gaussian elimination; O(t^3) in transient count *)
+  | Iterative of { tolerance : float; max_sweeps : int }
+      (** Gauss-Seidel sweeps of [h = 1 + Q h] *)
+
+val expected_hitting_times :
+  ?method_:hitting_method -> t -> legitimate:bool array -> float array
+(** Expected number of steps to reach [L], per starting state (0 inside
+    [L]). Requires probability-1 convergence; raises [Invalid_argument]
+    otherwise. Default method: [Exact] below 1200 transient states,
+    iterative with tolerance 1e-10 above. *)
+
+val absorption_probabilities : t -> legitimate:bool array -> float array
+(** [absorption_probabilities chain ~legitimate] is, per state, the
+    probability of eventually reaching [L] (1 inside [L]). Unlike
+    {!expected_hitting_times} this is defined for chains that do NOT
+    converge with probability 1 — e.g. the raw Algorithm 3 under a
+    central randomized daemon, where the answer quantifies how much of
+    the configuration space is doomed. Computed by solving
+    [p = P_restricted p + (one-step mass into L)] with Gauss-Seidel on
+    states from which [L] is reachable; unreachable states get 0. *)
+
+val transient_distribution : t -> init:float array -> steps:int -> float array
+(** [transient_distribution chain ~init ~steps] pushes the initial
+    distribution through [steps] chain steps. [init] must be a
+    distribution over states (non-negative, summing to 1 within
+    [1e-9]). *)
+
+val mass_in : float array -> bool array -> float
+(** [mass_in dist set] sums the probability mass inside [set] — e.g.
+    how much of the space has stabilized after [k] steps. *)
+
+val mean_hitting_time : t -> legitimate:bool array -> float
+(** Average of {!expected_hitting_times} over all states — the expected
+    stabilization time from a uniformly random initial configuration. *)
+
+val max_hitting_time : t -> legitimate:bool array -> float
+(** Worst-case starting state. *)

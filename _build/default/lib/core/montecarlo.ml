@@ -1,0 +1,83 @@
+type result = {
+  times : int array;
+  rounds : int array;
+  timeouts : int;
+  summary : Stabstats.Stats.summary option;
+  rounds_summary : Stabstats.Stats.summary option;
+}
+
+let of_samples ~times ~rounds ~timeouts =
+  let summarize arr =
+    if Array.length arr = 0 then None else Some (Stabstats.Stats.summarize_ints arr)
+  in
+  {
+    times;
+    rounds;
+    timeouts;
+    summary = summarize times;
+    rounds_summary = summarize rounds;
+  }
+
+let collect ~runs ~sample =
+  let times = ref [] in
+  let rounds = ref [] in
+  let timeouts = ref 0 in
+  for _ = 1 to runs do
+    match sample () with
+    | Some (steps, rnds) ->
+      times := steps :: !times;
+      rounds := rnds :: !rounds
+    | None -> incr timeouts
+  done;
+  of_samples
+    ~times:(Array.of_list (List.rev !times))
+    ~rounds:(Array.of_list (List.rev !rounds))
+    ~timeouts:!timeouts
+
+let estimate ~runs ~max_steps rng protocol scheduler spec =
+  collect ~runs ~sample:(fun () ->
+      let stream = Stabrng.Rng.split rng in
+      let init = Protocol.random_config stream protocol in
+      Engine.convergence_cost ~max_steps stream protocol scheduler spec ~init)
+
+let estimate_from ~runs ~max_steps rng protocol scheduler spec ~init =
+  collect ~runs ~sample:(fun () ->
+      let stream = Stabrng.Rng.split rng in
+      Engine.convergence_cost ~max_steps stream protocol scheduler spec ~init)
+
+let merge results =
+  let times = Array.concat (List.map (fun r -> r.times) results) in
+  let rounds = Array.concat (List.map (fun r -> r.rounds) results) in
+  let timeouts = List.fold_left (fun acc r -> acc + r.timeouts) 0 results in
+  of_samples ~times ~rounds ~timeouts
+
+let estimate_parallel ?domains ~runs ~max_steps rng protocol scheduler spec =
+  let domains =
+    match domains with Some d -> max 1 d | None -> Domain.recommended_domain_count ()
+  in
+  let shard_sizes =
+    List.init domains (fun i -> (runs / domains) + if i < runs mod domains then 1 else 0)
+  in
+  (* Split the streams BEFORE spawning so the derivation order is
+     deterministic regardless of scheduling. *)
+  let shards =
+    List.filter_map
+      (fun size -> if size = 0 then None else Some (size, Stabrng.Rng.split rng))
+      shard_sizes
+  in
+  let workers =
+    List.map
+      (fun (size, stream) ->
+        Domain.spawn (fun () ->
+            estimate ~runs:size ~max_steps stream protocol scheduler spec))
+      shards
+  in
+  merge (List.map Domain.join workers)
+
+let pp_result fmt r =
+  match (r.summary, r.rounds_summary) with
+  | None, _ | _, None ->
+    Format.fprintf fmt "no converged runs (%d timeouts)" r.timeouts
+  | Some s, Some rs ->
+    Format.fprintf fmt "steps: %a; rounds: %a; timeouts: %d" Stabstats.Stats.pp_summary s
+      Stabstats.Stats.pp_summary rs r.timeouts

@@ -1,0 +1,65 @@
+(** Monte-Carlo estimation of stabilization times.
+
+    For system sizes beyond exhaustive Markov analysis, stabilization
+    times are estimated by repeated simulation from uniformly random
+    initial configurations (the arbitrary initial configuration of
+    Definitions 1-3). Runs that exhaust their step budget are counted
+    separately — under the theorems' hypotheses their frequency
+    vanishes as the budget grows. *)
+
+type result = {
+  times : int array;  (** converged runs only, in steps *)
+  rounds : int array;  (** same runs, in asynchronous rounds *)
+  timeouts : int;  (** runs that hit the budget *)
+  summary : Stabstats.Stats.summary option;  (** steps; [None] if nothing converged *)
+  rounds_summary : Stabstats.Stats.summary option;
+}
+
+val estimate :
+  runs:int ->
+  max_steps:int ->
+  Stabrng.Rng.t ->
+  'a Protocol.t ->
+  'a Scheduler.t ->
+  'a Spec.t ->
+  result
+(** [estimate ~runs ~max_steps rng protocol scheduler spec] samples
+    [runs] independent executions, each from a fresh uniform initial
+    configuration and an independent RNG stream split off [rng]. *)
+
+val estimate_from :
+  runs:int ->
+  max_steps:int ->
+  Stabrng.Rng.t ->
+  'a Protocol.t ->
+  'a Scheduler.t ->
+  'a Spec.t ->
+  init:'a array ->
+  result
+(** Same, but always starting from [init] (randomness comes from the
+    scheduler and the P-variables only). *)
+
+val estimate_parallel :
+  ?domains:int ->
+  runs:int ->
+  max_steps:int ->
+  Stabrng.Rng.t ->
+  'a Protocol.t ->
+  'a Scheduler.t ->
+  'a Spec.t ->
+  result
+(** Like {!estimate}, but sharded across [domains] OCaml 5 domains
+    (default: [Domain.recommended_domain_count ()]). Each shard derives
+    an independent RNG stream by splitting [rng] before spawning, so
+    results are deterministic for a given (seed, domains) pair —
+    though not equal to the sequential {!estimate} sample for the same
+    seed. *)
+
+val merge : result list -> result
+(** Pool samples from independent estimations. *)
+
+val of_samples : times:int array -> rounds:int array -> timeouts:int -> result
+(** Assemble a result from raw samples — for samplers living outside
+    the {!Engine} (e.g. the Israeli-Jalfon token-level simulator). *)
+
+val pp_result : Format.formatter -> result -> unit

@@ -1,0 +1,141 @@
+type stats = { explored : int; edges : int; complete : bool }
+
+type verdict = Converges | Counterexample of int | Unknown
+
+(* The explored sub-system: codes indexed densely in discovery order,
+   forward edges as index lists. *)
+type subsystem = {
+  codes : int array;  (** index -> code *)
+  fwd : int list array;  (** index -> successor indexes *)
+  stats : stats;
+}
+
+let explore ?(max_states = 1_000_000) space cls ~inits =
+  let index_of = Hashtbl.create 1024 in
+  let codes = ref [] in
+  let count = ref 0 in
+  let queue = Queue.create () in
+  let register code =
+    match Hashtbl.find_opt index_of code with
+    | Some idx -> idx
+    | None ->
+      let idx = !count in
+      Hashtbl.add index_of code idx;
+      codes := code :: !codes;
+      incr count;
+      Queue.add (idx, code) queue;
+      idx
+  in
+  List.iter (fun cfg -> ignore (register (Statespace.code space cfg))) inits;
+  let adjacency = ref [] in
+  let edges = ref 0 in
+  let complete = ref true in
+  (try
+     while not (Queue.is_empty queue) do
+       let _, code = Queue.pop queue in
+       let successors = Statespace.successors space cls code in
+       let succ_idx =
+         List.map
+           (fun code' ->
+             if !count >= max_states && not (Hashtbl.mem index_of code') then raise Exit;
+             register code')
+           successors
+       in
+       edges := !edges + List.length succ_idx;
+       adjacency := succ_idx :: !adjacency
+     done
+   with Exit -> complete := false);
+  let n = !count in
+  let fwd = Array.make n [] in
+  (* adjacency was pushed in processing order, which is discovery
+     order 0, 1, 2, ... for fully processed nodes. *)
+  let processed = List.rev !adjacency in
+  List.iteri (fun idx succs -> fwd.(idx) <- succs) processed;
+  {
+    codes = Array.of_list (List.rev !codes);
+    fwd;
+    stats = { explored = n; edges = !edges; complete = !complete };
+  }
+
+let explore_size ?max_states space cls ~inits =
+  (explore ?max_states space cls ~inits).stats
+
+let legitimate_flags space spec sub =
+  Array.map (fun code -> spec.Spec.legitimate (Statespace.config space code)) sub.codes
+
+let possible_convergence_from ?max_states space cls spec ~inits =
+  let sub = explore ?max_states space cls ~inits in
+  if not sub.stats.complete then (Unknown, sub.stats)
+  else begin
+    let legitimate = legitimate_flags space spec sub in
+    let n = Array.length sub.codes in
+    let rev = Array.make n [] in
+    Array.iteri (fun idx succs -> List.iter (fun j -> rev.(j) <- idx :: rev.(j)) succs) sub.fwd;
+    let reaches = Array.copy legitimate in
+    let queue = Queue.create () in
+    Array.iteri (fun idx ok -> if ok then Queue.add idx queue) legitimate;
+    while not (Queue.is_empty queue) do
+      let idx = Queue.pop queue in
+      List.iter
+        (fun pred ->
+          if not reaches.(pred) then begin
+            reaches.(pred) <- true;
+            Queue.add pred queue
+          end)
+        rev.(idx)
+    done;
+    let rec find idx =
+      if idx >= n then None else if reaches.(idx) then find (idx + 1) else Some idx
+    in
+    match find 0 with
+    | None -> (Converges, sub.stats)
+    | Some idx -> (Counterexample sub.codes.(idx), sub.stats)
+  end
+
+let certain_convergence_from ?max_states space cls spec ~inits =
+  let sub = explore ?max_states space cls ~inits in
+  if not sub.stats.complete then (Unknown, sub.stats)
+  else begin
+    let legitimate = legitimate_flags space spec sub in
+    let n = Array.length sub.codes in
+    (* Dead ends: no successors and illegitimate. *)
+    let dead_end = ref None in
+    Array.iteri
+      (fun idx succs ->
+        if !dead_end = None && succs = [] && not legitimate.(idx) then dead_end := Some idx)
+      sub.fwd;
+    match !dead_end with
+    | Some idx -> (Counterexample sub.codes.(idx), sub.stats)
+    | None ->
+      (* Cycle detection on the sub-graph outside L. *)
+      let color = Array.make n 0 in
+      let witness = ref None in
+      let exception Found of int in
+      (try
+         for start = 0 to n - 1 do
+           if (not legitimate.(start)) && color.(start) = 0 then begin
+             let stack = Stack.create () in
+             let outside idx = List.filter (fun j -> not legitimate.(j)) sub.fwd.(idx) in
+             color.(start) <- 1;
+             Stack.push (start, ref (outside start)) stack;
+             while not (Stack.is_empty stack) do
+               let node, remaining = Stack.top stack in
+               match !remaining with
+               | [] ->
+                 color.(node) <- 2;
+                 ignore (Stack.pop stack)
+               | next :: rest ->
+                 remaining := rest;
+                 if color.(next) = 1 then raise (Found next)
+                 else if color.(next) = 0 then begin
+                   color.(next) <- 1;
+                   Stack.push (next, ref (outside next)) stack
+                 end
+             done
+           end
+         done
+       with Found idx -> witness := Some idx);
+      (match !witness with
+      | Some idx -> (Counterexample sub.codes.(idx), sub.stats)
+      | None -> (Converges, sub.stats))
+  end

@@ -1,0 +1,56 @@
+(** On-the-fly reachability analysis for large state spaces.
+
+    The explicit checker ({!Checker}) enumerates the whole
+    configuration space, which caps it at a few million configurations.
+    When the question is about specific initial configurations — "can
+    the system recover from THIS corrupted state?", the k-stabilization
+    style of question — only the forward-reachable sub-system matters,
+    and it is often orders of magnitude smaller. This module explores
+    it with a hash table, never materializing the full space.
+
+    Soundness: when exploration completes within the state budget, the
+    reachable sub-system is forward-closed, so possible- and
+    certain-convergence verdicts relative to the given initial
+    configurations are exact. When the budget is hit the answer is
+    [Unknown]. *)
+
+type stats = {
+  explored : int;  (** configurations reached *)
+  edges : int;  (** transitions expanded *)
+  complete : bool;  (** false iff the state budget stopped exploration *)
+}
+
+type verdict =
+  | Converges  (** the property holds on the reachable sub-system *)
+  | Counterexample of int  (** a configuration code witnessing failure *)
+  | Unknown  (** exploration hit the budget *)
+
+val explore_size :
+  ?max_states:int ->
+  'a Statespace.t ->
+  Statespace.sched_class ->
+  inits:'a array list ->
+  stats
+(** Just measure the reachable sub-system. [max_states] defaults to
+    [1_000_000]. *)
+
+val possible_convergence_from :
+  ?max_states:int ->
+  'a Statespace.t ->
+  Statespace.sched_class ->
+  'a Spec.t ->
+  inits:'a array list ->
+  verdict * stats
+(** Weak-stabilization relative to [inits]: from every reachable
+    configuration some execution reaches the legitimate set. *)
+
+val certain_convergence_from :
+  ?max_states:int ->
+  'a Statespace.t ->
+  Statespace.sched_class ->
+  'a Spec.t ->
+  inits:'a array list ->
+  verdict * stats
+(** Self-stabilization-style convergence relative to [inits]: no
+    reachable cycle outside [L] and no reachable illegitimate terminal
+    configuration. *)

@@ -1,0 +1,75 @@
+type 'a t = {
+  name : string;
+  choose : Stabrng.Rng.t -> step:int -> cfg:'a array -> enabled:int list -> int list;
+}
+
+let central_random () =
+  {
+    name = "central-random";
+    choose = (fun rng ~step:_ ~cfg:_ ~enabled -> [ Stabrng.Rng.choice_list rng enabled ]);
+  }
+
+let distributed_random () =
+  {
+    name = "distributed-random";
+    choose = (fun rng ~step:_ ~cfg:_ ~enabled -> Stabrng.Rng.nonempty_subset rng enabled);
+  }
+
+let synchronous () =
+  { name = "synchronous"; choose = (fun _ ~step:_ ~cfg:_ ~enabled -> enabled) }
+
+let central_first () =
+  {
+    name = "central-first";
+    choose =
+      (fun _ ~step:_ ~cfg:_ ~enabled ->
+        match enabled with
+        | [] -> invalid_arg "Scheduler.central_first: no enabled process"
+        | p :: _ -> [ p ]);
+  }
+
+let round_robin () =
+  let cursor = ref 0 in
+  {
+    name = "round-robin";
+    choose =
+      (fun _ ~step:_ ~cfg:_ ~enabled ->
+        match enabled with
+        | [] -> invalid_arg "Scheduler.round_robin: no enabled process"
+        | _ ->
+          (* First enabled process at or after the cursor, wrapping. *)
+          let after = List.filter (fun p -> p >= !cursor) enabled in
+          let chosen = match after with p :: _ -> p | [] -> List.hd enabled in
+          cursor := chosen + 1;
+          [ chosen ]);
+  }
+
+let adversary ~name strategy =
+  {
+    name;
+    choose =
+      (fun _ ~step:_ ~cfg ~enabled ->
+        let chosen = strategy cfg enabled in
+        if chosen = [] then invalid_arg (name ^ ": adversary chose the empty set");
+        List.iter
+          (fun p ->
+            if not (List.mem p enabled) then
+              invalid_arg (name ^ ": adversary chose a disabled process"))
+          chosen;
+        chosen);
+  }
+
+let probabilistic_gate p sched =
+  if p <= 0.0 || p > 1.0 then invalid_arg "Scheduler.probabilistic_gate: p outside (0, 1]";
+  {
+    name = Printf.sprintf "%s+gate(%g)" sched.name p;
+    choose =
+      (fun rng ~step ~cfg ~enabled ->
+        let base = sched.choose rng ~step ~cfg ~enabled in
+        let rec keep () =
+          match List.filter (fun _ -> Stabrng.Rng.bernoulli rng p) base with
+          | [] -> keep ()
+          | kept -> kept
+        in
+        keep ());
+  }

@@ -1,0 +1,20 @@
+type 'a t = {
+  name : string;
+  legitimate : 'a array -> bool;
+  step_ok : ('a array -> 'a array -> bool) option;
+}
+
+let make ?step_ok ~name legitimate = { name; legitimate; step_ok }
+
+let terminal_spec ~name protocol =
+  { name; legitimate = Protocol.is_terminal protocol; step_ok = None }
+
+let project f spec =
+  {
+    name = spec.name;
+    legitimate = (fun cfg -> spec.legitimate (Array.map f cfg));
+    step_ok =
+      Option.map
+        (fun ok before after -> ok (Array.map f before) (Array.map f after))
+        spec.step_ok;
+  }

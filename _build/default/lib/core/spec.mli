@@ -1,0 +1,30 @@
+(** Problem specifications as legitimate-configuration predicates.
+
+    Definitions 1-3 of the paper all factor a specification [SP] into a
+    set [L] of legitimate configurations (closure) plus correct behavior
+    along steps starting in [L]. We mirror that: a spec is a predicate
+    on configurations plus an optional predicate on steps, used by the
+    checker to verify the strong closure property in full (not only
+    that [L] is closed, but that steps within [L] behave correctly —
+    e.g. that the token moves to the successor in Algorithm 1). *)
+
+type 'a t = {
+  name : string;
+  legitimate : 'a array -> bool;
+  step_ok : ('a array -> 'a array -> bool) option;
+      (** [step_ok before after] for steps whose source is in [L];
+          [None] means any step between legitimate configurations is
+          acceptable. *)
+}
+
+val make : ?step_ok:('a array -> 'a array -> bool) -> name:string -> ('a array -> bool) -> 'a t
+
+val terminal_spec : name:string -> 'a Protocol.t -> 'a t
+(** The "silent" specification whose legitimate configurations are
+    exactly the terminal ones — what Algorithm 2 and Algorithm 3
+    stabilize to. *)
+
+val project : ('b -> 'a) -> 'a t -> 'b t
+(** [project f spec] pre-composes every local state with [f]; used to
+    lift a spec through the Section 4 transformer (whose states carry an
+    extra coin field). *)

@@ -1,0 +1,74 @@
+type sched_class = Central | Distributed | Synchronous
+
+let pp_sched_class fmt = function
+  | Central -> Format.pp_print_string fmt "central"
+  | Distributed -> Format.pp_print_string fmt "distributed"
+  | Synchronous -> Format.pp_print_string fmt "synchronous"
+
+type 'a t = { protocol : 'a Protocol.t; encoding : 'a Encoding.t }
+
+let default_max_configs = 2_000_000
+
+let build ?(max_configs = default_max_configs) protocol =
+  let encoding = Encoding.of_protocol protocol in
+  if Encoding.count encoding > max_configs then
+    invalid_arg
+      (Printf.sprintf "Statespace.build: %d configurations exceed the %d limit"
+         (Encoding.count encoding) max_configs);
+  { protocol; encoding }
+
+let protocol t = t.protocol
+let encoding t = t.encoding
+let count t = Encoding.count t.encoding
+let config t c = Encoding.decode t.encoding c
+let code t cfg = Encoding.encode t.encoding cfg
+
+let enabled t c = Protocol.enabled_processes t.protocol (config t c)
+
+let legitimate_set t spec =
+  let out = Array.make (count t) false in
+  Encoding.iter t.encoding (fun c cfg -> out.(c) <- spec.Spec.legitimate cfg);
+  out
+
+(* Non-empty subsets of [items] enumerated via bitmasks. Item count is
+   bounded by the process count, itself small in exhaustive analyses. *)
+let nonempty_subsets items =
+  let arr = Array.of_list items in
+  let k = Array.length arr in
+  if k > 20 then invalid_arg "Statespace: too many enabled processes to enumerate subsets";
+  let out = ref [] in
+  for mask = (1 lsl k) - 1 downto 1 do
+    let subset = ref [] in
+    for i = k - 1 downto 0 do
+      if mask land (1 lsl i) <> 0 then subset := arr.(i) :: !subset
+    done;
+    out := !subset :: !out
+  done;
+  !out
+
+let subset_count k = (1 lsl k) - 1
+
+let active_sets t cls c =
+  match enabled t c with
+  | [] -> []
+  | enabled -> (
+    match cls with
+    | Central -> List.map (fun p -> [ p ]) enabled
+    | Synchronous -> [ enabled ]
+    | Distributed -> nonempty_subsets enabled)
+
+let transitions t cls c =
+  let cfg = config t c in
+  List.map
+    (fun active ->
+      let outcomes = Protocol.step_outcomes t.protocol cfg active in
+      (active, List.map (fun (next, w) -> (Encoding.encode t.encoding next, w)) outcomes))
+    (active_sets t cls c)
+
+let successors t cls c =
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun (_, outcomes) ->
+      List.iter (fun (c', _) -> Hashtbl.replace seen c' ()) outcomes)
+    (transitions t cls c);
+  Hashtbl.fold (fun c' () acc -> c' :: acc) seen [] |> List.sort compare

@@ -1,0 +1,50 @@
+(** Explicit-state view of a protocol's full transition system.
+
+    The paper analyses systems [S = (C, ->)] whose initial set is all
+    of [C]. This module materializes [C] through {!Encoding} and
+    exposes, per configuration, every step each scheduler class
+    allows. Scheduler classes replace concrete schedulers for
+    exhaustive checking: a central daemon can activate any single
+    enabled process, a distributed daemon any non-empty subset, and the
+    synchronous daemon exactly the full enabled set. *)
+
+type sched_class = Central | Distributed | Synchronous
+
+val pp_sched_class : Format.formatter -> sched_class -> unit
+
+type 'a t
+
+val build : ?max_configs:int -> 'a Protocol.t -> 'a t
+(** Prepares the space. [max_configs] (default [2_000_000]) guards
+    against accidental exponential blow-ups; exceeding it raises
+    [Invalid_argument]. Nothing is expanded eagerly beyond the
+    encoding. *)
+
+val protocol : 'a t -> 'a Protocol.t
+val encoding : 'a t -> 'a Encoding.t
+val count : 'a t -> int
+
+val config : 'a t -> int -> 'a array
+(** Decode a configuration code. *)
+
+val code : 'a t -> 'a array -> int
+
+val enabled : 'a t -> int -> int list
+(** Enabled processes of a configuration, by code. *)
+
+val legitimate_set : 'a t -> 'a Spec.t -> bool array
+(** Bitmap over codes of the spec's legitimate configurations. *)
+
+val transitions : 'a t -> sched_class -> int -> (int list * (int * float) list) list
+(** [transitions space cls c] lists the steps the class allows from
+    configuration [c]: each element is the activated subset together
+    with the distribution over successor codes (singleton distributions
+    for deterministic protocols). Terminal configurations have no
+    transitions. *)
+
+val successors : 'a t -> sched_class -> int -> int list
+(** De-duplicated successor codes over all subsets and outcomes. *)
+
+val subset_count : int -> int
+(** [subset_count k] = number of non-empty subsets of a [k]-set; guards
+    in callers that want to bound distributed-class fan-out. *)

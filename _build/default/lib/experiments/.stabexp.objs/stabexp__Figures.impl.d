@@ -1,0 +1,1 @@
+lib/experiments/figures.ml: Checker Engine Format List Printf Protocol Stabalgo Stabcore Stabgraph Statespace Trace

@@ -1,0 +1,1 @@
+lib/experiments/portfolio.ml: Checker Format List Markov Registry Report Result Stabalgo Stabcore Statespace

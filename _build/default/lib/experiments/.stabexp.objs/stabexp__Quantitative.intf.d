@@ -1,0 +1,1 @@
+lib/experiments/quantitative.mli: Report

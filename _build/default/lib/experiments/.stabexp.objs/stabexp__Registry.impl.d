@@ -1,0 +1,1 @@
+lib/experiments/registry.ml: Printf Protocol Spec Stabalgo Stabcore Stabgraph Stabrng String Transformer

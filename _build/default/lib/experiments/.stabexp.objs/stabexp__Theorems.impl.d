@@ -1,0 +1,1 @@
+lib/experiments/theorems.ml: Array Checker Encoding Engine Fairness Hashtbl List Markov Printf Protocol Report Result Spec Stabalgo Stabcore Stabgraph Stabrng Statespace Transformer

@@ -1,0 +1,100 @@
+open Stabcore
+
+type fig1 = {
+  ring_size : int;
+  modulus : int;
+  holders : int list;
+  rendering : string;
+}
+
+let fig1 ?(steps = 12) () =
+  let n = 6 in
+  let p = Stabalgo.Token_ring.make ~n in
+  let init = Stabalgo.Token_ring.legitimate_config ~n in
+  let script = List.init steps (fun i -> [ i mod n ]) in
+  let trace = Engine.replay p ~init script in
+  let holders =
+    List.map
+      (fun cfg ->
+        match Stabalgo.Token_ring.token_holders ~n cfg with
+        | [ h ] -> h
+        | hs -> invalid_arg (Printf.sprintf "fig1: %d tokens" (List.length hs)))
+      (Engine.configs trace)
+  in
+  {
+    ring_size = n;
+    modulus = Stabalgo.Token_ring.smallest_non_divisor n;
+    holders;
+    rendering =
+      Format.asprintf
+        "Figure 1 - Algorithm 1 on the %d-ring (m = %d), one token circulating:@.%a@."
+        n
+        (Stabalgo.Token_ring.smallest_non_divisor n)
+        (Trace.pp p) trace;
+  }
+
+type fig2 = {
+  steps : int;
+  final_leader : int;
+  final_is_lc : bool;
+  rendering : string;
+}
+
+let fig2 () =
+  let g = Stabalgo.Leader_tree.fig2_tree in
+  let p = Stabalgo.Leader_tree.make g in
+  let trace =
+    Engine.replay p ~init:Stabalgo.Leader_tree.fig2_initial Stabalgo.Leader_tree.fig2_script
+  in
+  let final = Engine.final_config trace in
+  let leader =
+    match Stabalgo.Leader_tree.leaders final with
+    | [ l ] -> l
+    | ls -> invalid_arg (Printf.sprintf "fig2: %d leaders" (List.length ls))
+  in
+  {
+    steps = List.length trace.Engine.events;
+    final_leader = leader;
+    final_is_lc = Stabalgo.Leader_tree.is_lc g final;
+    rendering =
+      Format.asprintf
+        "Figure 2 - Algorithm 2 converging on the 8-process tree (states are parent@.\
+         pointers, '_' marks a leader); process ids are the paper's P(i+1):@.%a@."
+        (Trace.pp p) trace;
+  }
+
+type fig3 = {
+  prefix_length : int;
+  cycle_length : int;
+  ever_legitimate : bool;
+  rendering : string;
+}
+
+let fig3 () =
+  let g = Stabgraph.Graph.chain 4 in
+  let p = Stabalgo.Leader_tree.make g in
+  let space = Statespace.build p in
+  let init = [| Stabalgo.Leader_tree.Parent 0; Parent 0; Parent 1; Parent 0 |] in
+  let prefix, cycle = Checker.synchronous_lasso space ~init:(Statespace.code space init) in
+  let ever_legitimate =
+    List.exists
+      (fun code -> Stabalgo.Leader_tree.is_lc g (Statespace.config space code))
+      (prefix @ cycle)
+  in
+  let pp_codes fmt codes =
+    List.iter
+      (fun code ->
+        Format.fprintf fmt "  %a@." (Protocol.pp_config p) (Statespace.config space code))
+      codes
+  in
+  {
+    prefix_length = List.length prefix;
+    cycle_length = List.length cycle;
+    ever_legitimate;
+    rendering =
+      Format.asprintf
+        "Figure 3 - Algorithm 2 on the 4-chain under the synchronous daemon:@.\
+         the execution is a pure cycle of period %d that never elects a leader.@.\
+         Cycle configurations (parent pointers by local index, '_' = leader):@.%a"
+        (List.length cycle) pp_codes cycle;
+  }

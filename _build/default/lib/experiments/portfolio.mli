@@ -1,0 +1,43 @@
+(** The stabilization landscape at a glance: every bundled algorithm
+    classified by the checker under each scheduler class.
+
+    This is the repository's headline artifact — the paper's hierarchy
+    (weak < probabilistic < self, with the ordering flipping as the
+    daemon changes) materialized as one table of machine-checked
+    verdicts on concrete instances. *)
+
+type verdict_row = {
+  algorithm : string;
+  sched_class : string;
+  weak : bool;
+  self : bool;
+  self_strongly_fair : bool;
+  prob1_randomized : bool;
+      (** probability-1 convergence under the uniform randomized daemon
+          of the same class (Definition 6) *)
+}
+
+val classify : unit -> verdict_row list * Report.t
+(** Small instances of every algorithm (token ring, leader tree,
+    two-bool, centers, center-leader, Dijkstra, coloring, matching —
+    Herman is synchronous-only and appears under that class) under the
+    central, distributed and synchronous classes. *)
+
+type taxonomy_row = {
+  algorithm_t : string;
+  class_t : string;
+  weak_t : bool;
+  pseudo : bool;
+  one_stabilizing : bool;
+  self_t : bool;
+}
+
+val taxonomy : unit -> taxonomy_row list * Report.t
+(** Table P2: the full Section 1 taxonomy (weak, pseudo, 1-stabilizing,
+    self) for representative instances — exhibiting the strictness of
+    each inclusion on concrete protocols. *)
+
+val dijkstra_k_threshold : ?max_n:int -> unit -> Report.t
+(** Table E8: sweep of Dijkstra's K-state ring over K for each ring
+    size, reporting the exact self-stabilization threshold the checker
+    finds (K >= N - 1, one below Dijkstra's own K >= N bound). *)

@@ -1,0 +1,447 @@
+open Stabcore
+
+type datum = {
+  algorithm : string;
+  scheduler : string;
+  n : int;
+  mean_steps : float;
+  worst_steps : float option;
+  method_ : string;
+}
+
+let datum_row d =
+  [
+    d.algorithm;
+    d.scheduler;
+    Report.cell_int d.n;
+    Report.cell_float d.mean_steps;
+    (match d.worst_steps with Some w -> Report.cell_float w | None -> "-");
+    d.method_;
+  ]
+
+let table ~title data =
+  let t =
+    Report.create ~title
+      ~columns:[ "algorithm"; "scheduler"; "n"; "mean steps"; "worst"; "method" ]
+  in
+  List.iter (fun d -> Report.add_row t (datum_row d)) data;
+  t
+
+(* Exact mean/worst expected hitting time of a protocol under a
+   randomized daemon, averaging over all initial configurations. *)
+let exact_datum ~algorithm ~scheduler ~n p spec randomization =
+  let space = Statespace.build p in
+  let legitimate = Statespace.legitimate_set space spec in
+  let chain = Markov.of_space space randomization in
+  let times = Markov.expected_hitting_times chain ~legitimate in
+  let mean = Array.fold_left ( +. ) 0.0 times /. float_of_int (Array.length times) in
+  let worst = Array.fold_left Float.max 0.0 times in
+  {
+    algorithm;
+    scheduler;
+    n;
+    mean_steps = mean;
+    worst_steps = Some worst;
+    method_ = "exact";
+  }
+
+let mc_datum ~algorithm ~scheduler ~n ~runs ~max_steps rng p spec sched =
+  let result = Montecarlo.estimate ~runs ~max_steps rng p sched spec in
+  match result.Montecarlo.summary with
+  | Some s ->
+    {
+      algorithm;
+      scheduler;
+      n;
+      mean_steps = s.Stabstats.Stats.mean;
+      worst_steps = None;
+      method_ = Printf.sprintf "mc(%d)" runs;
+    }
+  | None ->
+    {
+      algorithm;
+      scheduler;
+      n;
+      mean_steps = Float.nan;
+      worst_steps = None;
+      method_ = Printf.sprintf "mc(%d): no convergence" runs;
+    }
+
+let e1_token_sweep ?(seed = 42) ?(quick = true) () =
+  let rng = Stabrng.Rng.create seed in
+  let exact_sizes = if quick then [ 3; 4; 5 ] else [ 3; 4; 5; 6; 7 ] in
+  let mc_sizes = if quick then [ 8; 12 ] else [ 8; 12; 16; 24; 32 ] in
+  let runs = if quick then 300 else 2000 in
+  let raw =
+    List.concat_map
+      (fun n ->
+        let p = Stabalgo.Token_ring.make ~n in
+        let spec = Stabalgo.Token_ring.spec ~n in
+        [
+          exact_datum ~algorithm:"algorithm-1" ~scheduler:"central-random" ~n p spec
+            Markov.Central_uniform;
+          exact_datum ~algorithm:"algorithm-1" ~scheduler:"distributed-random" ~n p spec
+            Markov.Distributed_uniform;
+        ])
+      exact_sizes
+  in
+  let raw_mc =
+    List.map
+      (fun n ->
+        let p = Stabalgo.Token_ring.make ~n in
+        let spec = Stabalgo.Token_ring.spec ~n in
+        mc_datum ~algorithm:"algorithm-1" ~scheduler:"central-random" ~n ~runs
+          ~max_steps:2_000_000 (Stabrng.Rng.split rng) p spec
+          (Scheduler.central_random ()))
+      mc_sizes
+  in
+  let transformed =
+    List.map
+      (fun n ->
+        let p = Transformer.randomize (Stabalgo.Token_ring.make ~n) in
+        let spec = Transformer.lift_spec (Stabalgo.Token_ring.spec ~n) in
+        exact_datum ~algorithm:"trans(algorithm-1)" ~scheduler:"central-random" ~n p spec
+          Markov.Central_uniform)
+      (if quick then [ 3; 4 ] else [ 3; 4; 5 ])
+  in
+  let herman =
+    List.map
+      (fun n ->
+        let p = Stabalgo.Herman.make ~n in
+        let spec = Stabalgo.Herman.spec ~n in
+        exact_datum ~algorithm:"herman" ~scheduler:"synchronous" ~n p spec Markov.Sync)
+      (if quick then [ 3; 5; 7 ] else [ 3; 5; 7; 9; 11 ])
+  in
+  let ij =
+    List.map
+      (fun n ->
+        let chain = Stabalgo.Israeli_jalfon.chain ~n ~central:true in
+        let legitimate = Stabalgo.Israeli_jalfon.legitimate ~n in
+        legitimate.(0) <- true (* unreachable empty mask *);
+        let times = Markov.expected_hitting_times chain ~legitimate in
+        (* Average over non-empty masks only. *)
+        let total = ref 0.0 and count = ref 0 in
+        Array.iteri
+          (fun mask t ->
+            if mask <> 0 then begin
+              total := !total +. t;
+              incr count
+            end)
+          times;
+        {
+          algorithm = "israeli-jalfon";
+          scheduler = "central-random";
+          n;
+          mean_steps = !total /. float_of_int !count;
+          worst_steps = Some (Array.fold_left Float.max 0.0 times);
+          method_ = "exact";
+        })
+      (if quick then [ 4; 6; 8 ] else [ 4; 6; 8; 10; 12 ])
+  in
+  let data = raw @ raw_mc @ transformed @ herman @ ij in
+  (data, table ~title:"E1: expected stabilization time, token-circulation family" data)
+
+let e2_leader_sweep ?(seed = 43) ?(quick = true) () =
+  let rng = Stabrng.Rng.create seed in
+  let exact_trees =
+    List.concat_map
+      (fun n -> List.map (fun g -> (n, g)) (Stabgraph.Graph.all_trees n))
+      (if quick then [ 3; 4 ] else [ 3; 4; 5 ])
+  in
+  let exact =
+    List.map
+      (fun (n, g) ->
+        let p = Stabalgo.Leader_tree.make g in
+        let spec = Stabalgo.Leader_tree.spec g in
+        exact_datum ~algorithm:"algorithm-2" ~scheduler:"central-random" ~n p spec
+          Markov.Central_uniform)
+      exact_trees
+  in
+  let mc_sizes = if quick then [ 8; 12 ] else [ 8; 12; 16; 24; 32 ] in
+  let runs = if quick then 200 else 1000 in
+  let mc =
+    List.map
+      (fun n ->
+        let g = Stabgraph.Graph.random_tree rng n in
+        let p = Stabalgo.Leader_tree.make g in
+        let spec = Stabalgo.Leader_tree.spec g in
+        mc_datum ~algorithm:"algorithm-2" ~scheduler:"central-random" ~n ~runs
+          ~max_steps:1_000_000 (Stabrng.Rng.split rng) p spec
+          (Scheduler.central_random ()))
+      mc_sizes
+  in
+  let data = exact @ mc in
+  (data, table ~title:"E2: expected stabilization time, Algorithm 2 on trees" data)
+
+let e3_transformer_overhead ?(quick = true) () =
+  let sizes = if quick then [ 3; 4 ] else [ 3; 4; 5 ] in
+  let biases = [ 0.25; 0.5; 0.75 ] in
+  let data =
+    List.concat_map
+      (fun n ->
+        let p = Stabalgo.Token_ring.make ~n in
+        let spec = Stabalgo.Token_ring.spec ~n in
+        let base =
+          exact_datum ~algorithm:"algorithm-1" ~scheduler:"central-random" ~n p spec
+            Markov.Central_uniform
+        in
+        base
+        :: List.map
+             (fun bias ->
+               let tp = Transformer.randomize ~coin_bias:bias p in
+               let tspec = Transformer.lift_spec spec in
+               let d =
+                 exact_datum
+                   ~algorithm:(Printf.sprintf "trans(algorithm-1,bias=%.2f)" bias)
+                   ~scheduler:"central-random" ~n tp tspec Markov.Central_uniform
+               in
+               d)
+             biases)
+      sizes
+  in
+  (data, table ~title:"E3: transformer overhead (coin-bias ablation)" data)
+
+let e4_scheduler_comparison ?(quick = true) () =
+  let n = if quick then 4 else 5 in
+  let p = Stabalgo.Token_ring.make ~n in
+  let spec = Stabalgo.Token_ring.spec ~n in
+  let tp = Transformer.randomize p in
+  let tspec = Transformer.lift_spec spec in
+  let g = Stabgraph.Graph.chain 4 in
+  let lp = Stabalgo.Leader_tree.make g in
+  let lspec = Stabalgo.Leader_tree.spec g in
+  let tlp = Transformer.randomize lp in
+  let tlspec = Transformer.lift_spec lspec in
+  let data =
+    [
+      exact_datum ~algorithm:"algorithm-1" ~scheduler:"central-random" ~n p spec
+        Markov.Central_uniform;
+      exact_datum ~algorithm:"algorithm-1" ~scheduler:"distributed-random" ~n p spec
+        Markov.Distributed_uniform;
+      exact_datum ~algorithm:"trans(algorithm-1)" ~scheduler:"central-random" ~n tp tspec
+        Markov.Central_uniform;
+      exact_datum ~algorithm:"trans(algorithm-1)" ~scheduler:"distributed-random" ~n tp
+        tspec Markov.Distributed_uniform;
+      exact_datum ~algorithm:"trans(algorithm-1)" ~scheduler:"synchronous" ~n tp tspec
+        Markov.Sync;
+      exact_datum ~algorithm:"algorithm-2 (chain-4)" ~scheduler:"central-random" ~n:4 lp
+        lspec Markov.Central_uniform;
+      exact_datum ~algorithm:"algorithm-2 (chain-4)" ~scheduler:"distributed-random" ~n:4
+        lp lspec Markov.Distributed_uniform;
+      exact_datum ~algorithm:"trans(algorithm-2)" ~scheduler:"synchronous" ~n:4 tlp tlspec
+        Markov.Sync;
+    ]
+  in
+  (data, table ~title:"E4: scheduler comparison (raw protocols diverge synchronously)" data)
+
+let e5_convergence_radius ?(quick = true) () =
+  let t =
+    Report.create ~title:"E5: convergence radius (best-case distance to L; worst daemon)"
+      ~columns:
+        [ "algorithm"; "class"; "configs"; "radius histogram (dist:count)"; "worst-daemon steps" ]
+  in
+  let add (Registry.Entry e) cls =
+    let space = Statespace.build e.protocol in
+    let g = Checker.expand space cls in
+    let legitimate = Statespace.legitimate_set space e.spec in
+    let histogram = Checker.convergence_radius_histogram space g ~legitimate in
+    let rendered =
+      String.concat " "
+        (List.map (fun (d, c) -> Printf.sprintf "%d:%d" d c) histogram)
+    in
+    let worst =
+      match Checker.worst_case_steps space g ~legitimate with
+      | Some values -> Report.cell_int (Array.fold_left max 0 values)
+      | None -> "unbounded"
+    in
+    Report.add_row t
+      [
+        e.label;
+        Format.asprintf "%a" Statespace.pp_sched_class cls;
+        Report.cell_int (Statespace.count space);
+        rendered;
+        worst;
+      ]
+  in
+  let n = if quick then "5" else "6" in
+  add (Registry.find ~name:"token-ring" ~topology:("ring:" ^ n) ()) Statespace.Distributed;
+  add (Registry.find ~name:"leader-tree" ~topology:"chain:4" ()) Statespace.Distributed;
+  add (Registry.find ~name:"centers" ~topology:"chain:5" ()) Statespace.Distributed;
+  add (Registry.find ~name:"dijkstra" ~topology:"ring:4" ()) Statespace.Central;
+  add (Registry.find ~name:"coloring" ~topology:"ring:4" ()) Statespace.Central;
+  add (Registry.find ~name:"coloring" ~topology:"ring:4" ()) Statespace.Distributed;
+  add (Registry.find ~name:"matching" ~topology:"chain:4" ()) Statespace.Distributed;
+  t
+
+let e6_steps_vs_rounds ?(seed = 44) ?(quick = true) () =
+  let rng = Stabrng.Rng.create seed in
+  let t =
+    Report.create ~title:"E6: steps vs asynchronous rounds (Monte-Carlo)"
+      ~columns:[ "algorithm"; "scheduler"; "n"; "mean steps"; "mean rounds"; "steps/round" ]
+  in
+  let runs = if quick then 300 else 2000 in
+  let add label n p spec sched sched_name =
+    let result =
+      Montecarlo.estimate ~runs ~max_steps:1_000_000 (Stabrng.Rng.split rng) p sched spec
+    in
+    match (result.Montecarlo.summary, result.Montecarlo.rounds_summary) with
+    | Some s, Some r ->
+      let ratio =
+        if r.Stabstats.Stats.mean > 0.0 then s.Stabstats.Stats.mean /. r.Stabstats.Stats.mean
+        else Float.nan
+      in
+      Report.add_row t
+        [
+          label;
+          sched_name;
+          Report.cell_int n;
+          Report.cell_float s.Stabstats.Stats.mean;
+          Report.cell_float r.Stabstats.Stats.mean;
+          Report.cell_float ratio;
+        ]
+    | _ -> Report.add_row t [ label; sched_name; Report.cell_int n; "-"; "-"; "-" ]
+  in
+  let sizes = if quick then [ 6; 9 ] else [ 6; 9; 12; 18 ] in
+  List.iter
+    (fun n ->
+      let p = Stabalgo.Token_ring.make ~n in
+      let spec = Stabalgo.Token_ring.spec ~n in
+      add "algorithm-1" n p spec (Scheduler.central_random ()) "central-random";
+      add "algorithm-1" n p spec (Scheduler.distributed_random ()) "distributed-random")
+    sizes;
+  List.iter
+    (fun n ->
+      let g = Stabgraph.Graph.random_tree (Stabrng.Rng.split rng) n in
+      let p = Stabalgo.Leader_tree.make g in
+      let spec = Stabalgo.Leader_tree.spec g in
+      add "algorithm-2" n p spec (Scheduler.central_random ()) "central-random";
+      add "algorithm-2" n p spec (Scheduler.distributed_random ()) "distributed-random")
+    sizes;
+  t
+
+let e7_convergence_curves ?(quick = true) () =
+  let t =
+    Report.create
+      ~title:"E7: convergence curves and absorption probabilities"
+      ~columns:[ "system"; "quantity"; "values" ]
+  in
+  (* (a) cumulative stabilized mass after k synchronous steps, uniform
+     initial distribution. *)
+  let curve label p spec checkpoints =
+    let space = Statespace.build p in
+    let legitimate = Statespace.legitimate_set space spec in
+    let chain = Markov.of_space space Markov.Sync in
+    let n = Markov.states chain in
+    let uniform = Array.make n (1.0 /. float_of_int n) in
+    let cells =
+      List.map
+        (fun k ->
+          let dist = Markov.transient_distribution chain ~init:uniform ~steps:k in
+          Printf.sprintf "k=%d:%.3f" k (Markov.mass_in dist legitimate))
+        checkpoints
+    in
+    Report.add_row t [ label; "P(stabilized within k sync steps)"; String.concat " " cells ]
+  in
+  let n = if quick then 4 else 5 in
+  curve
+    (Printf.sprintf "trans(token-ring n=%d)" n)
+    (Transformer.randomize (Stabalgo.Token_ring.make ~n))
+    (Transformer.lift_spec (Stabalgo.Token_ring.spec ~n))
+    [ 1; 2; 4; 8; 16; 32 ];
+  curve "trans(two-bool)"
+    (Transformer.randomize (Stabalgo.Two_bool.make ()))
+    (Transformer.lift_spec Stabalgo.Two_bool.spec)
+    [ 1; 2; 4; 8; 16; 32 ];
+  (* (b) absorption probabilities of the raw two-bool under a central
+     randomized daemon: which configurations are doomed. *)
+  let p = Stabalgo.Two_bool.make () in
+  let space = Statespace.build p in
+  let legitimate = Statespace.legitimate_set space Stabalgo.Two_bool.spec in
+  let chain = Markov.of_space space Markov.Central_uniform in
+  let probs = Markov.absorption_probabilities chain ~legitimate in
+  let cells =
+    List.init (Statespace.count space) (fun c ->
+        Format.asprintf "%a:%.2f"
+          (Protocol.pp_config p)
+          (Statespace.config space c) probs.(c))
+  in
+  Report.add_row t
+    [ "two-bool (central-random)"; "P(reach L) per configuration"; String.concat " " cells ];
+  t
+
+let e9_sync_orbit_census ?(quick = true) () =
+  let t =
+    Report.create
+      ~title:"E9: synchronous orbit census (limit-cycle length : #configs; 0 = terminal)"
+      ~columns:[ "algorithm"; "configs"; "census" ]
+  in
+  let add (Registry.Entry e) =
+    let space = Statespace.build e.protocol in
+    let census = Checker.sync_orbit_census space in
+    Report.add_row t
+      [
+        e.label;
+        Report.cell_int (Statespace.count space);
+        String.concat " "
+          (List.map (fun (l, c) -> Printf.sprintf "%d:%d" l c) census);
+      ]
+  in
+  let n = if quick then "5" else "6" in
+  add (Registry.find ~name:"token-ring" ~topology:("ring:" ^ n) ());
+  add (Registry.find ~name:"leader-tree" ~topology:"chain:4" ());
+  add (Registry.find ~name:"leader-tree" ~topology:"star:5" ());
+  add (Registry.find ~name:"two-bool" ~topology:"ring:3" ());
+  add (Registry.find ~name:"coloring" ~topology:"ring:4" ());
+  add (Registry.find ~name:"matching" ~topology:"chain:5" ());
+  add (Registry.find ~name:"centers" ~topology:"chain:5" ());
+  add (Registry.find ~name:"dijkstra" ~topology:"ring:4" ());
+  t
+
+let e10_fault_recovery ?(seed = 46) ?(quick = true) () =
+  let rng = Stabrng.Rng.create seed in
+  let t =
+    Report.create
+      ~title:"E10: recovery time after k injected faults (central randomized daemon)"
+      ~columns:[ "algorithm"; "n"; "faults"; "mean steps"; "mean rounds"; "timeouts" ]
+  in
+  let runs = if quick then 300 else 2000 in
+  let add label n p spec from faults =
+    let result =
+      Faults.recovery_profile ~runs ~max_steps:500_000 (Stabrng.Rng.split rng) p
+        (Scheduler.central_random ()) spec ~from ~faults
+    in
+    let cell f = function
+      | Some (s : Stabstats.Stats.summary) -> Report.cell_float (f s)
+      | None -> "-"
+    in
+    Report.add_row t
+      [
+        label;
+        Report.cell_int n;
+        Report.cell_int faults;
+        cell (fun s -> s.Stabstats.Stats.mean) result.Montecarlo.summary;
+        cell (fun s -> s.Stabstats.Stats.mean) result.Montecarlo.rounds_summary;
+        Report.cell_int result.Montecarlo.timeouts;
+      ]
+  in
+  let n = if quick then 9 else 15 in
+  let p = Stabalgo.Token_ring.make ~n in
+  let spec = Stabalgo.Token_ring.spec ~n in
+  let from = Stabalgo.Token_ring.legitimate_config ~n in
+  List.iter (fun k -> add "algorithm-1" n p spec from k) [ 1; 2; 3; n ];
+  let g = Stabgraph.Graph.chain (if quick then 7 else 11) in
+  let lp = Stabalgo.Leader_tree.make g in
+  let lspec = Stabalgo.Leader_tree.spec g in
+  (* A legitimate orientation of the chain: everyone points toward the
+     last node. *)
+  let open Stabalgo.Leader_tree in
+  let size = Stabgraph.Graph.size g in
+  let oriented =
+    Array.init size (fun i ->
+        if i = size - 1 then Root
+        else if i = 0 then Parent 0
+        else Parent 1 (* neighbors of an interior chain node are [i-1; i+1] *))
+  in
+  assert (is_lc g oriented);
+  List.iter (fun k -> add "algorithm-2" size lp lspec oriented k) [ 1; 2; 3; size ];
+  t

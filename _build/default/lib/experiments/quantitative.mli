@@ -1,0 +1,75 @@
+(** The quantitative study the paper lists as future work (Section 5):
+    expected stabilization times of weak-stabilizing protocols under
+    randomized schedulers, and of their transformed versions.
+
+    Two measurement back-ends cross-validate each other: exact expected
+    hitting times on the full Markov chain (small instances) and
+    Monte-Carlo simulation (larger instances). Rows report the mean
+    over a uniformly random initial configuration — the arbitrary
+    initial configuration of Definitions 1-3. *)
+
+type datum = {
+  algorithm : string;
+  scheduler : string;
+  n : int;
+  mean_steps : float;
+  worst_steps : float option;  (** worst initial configuration; exact runs only *)
+  method_ : string;  (** "exact" or "mc(<runs>)" *)
+}
+
+val e1_token_sweep : ?seed:int -> ?quick:bool -> unit -> datum list * Report.t
+(** Token-circulation family: Algorithm 1 (central and distributed
+    randomized daemons), transformed Algorithm 1, Herman, and
+    Israeli-Jalfon, swept over ring sizes. [quick] (default true) keeps
+    instances small for CI; [quick:false] extends the sweep. *)
+
+val e2_leader_sweep : ?seed:int -> ?quick:bool -> unit -> datum list * Report.t
+(** Algorithm 2 on chains and random trees, exact for small trees and
+    Monte-Carlo beyond. *)
+
+val e3_transformer_overhead : ?quick:bool -> unit -> datum list * Report.t
+(** Slowdown factor of the Section 4 transformation, including a
+    coin-bias ablation: mean stabilization time of Trans(Algorithm 1)
+    relative to the raw protocol under the central randomized daemon. *)
+
+val e4_scheduler_comparison : ?quick:bool -> unit -> datum list * Report.t
+(** The same protocol under different daemons: how much scheduling
+    randomness helps or hurts, including the synchronous daemon for
+    transformed systems (raw deterministic protocols may oscillate
+    forever synchronously — reported as unavailable rows). *)
+
+val e5_convergence_radius : ?quick:bool -> unit -> Report.t
+(** Structure of the configuration space: for each protocol, the
+    histogram of best-case convergence distances (how many steps a
+    friendly daemon needs from each configuration — the
+    possible-convergence distance behind Definition 3), and, for
+    protocols that certainly converge, the exact worst-daemon
+    stabilization time. *)
+
+val e6_steps_vs_rounds : ?seed:int -> ?quick:bool -> unit -> Report.t
+(** Monte-Carlo stabilization cost measured both in daemon steps and in
+    asynchronous rounds, for Algorithm 1 and Algorithm 2 under central
+    and distributed randomized daemons. Rounds are the standard
+    complexity measure of the literature; the ratio steps/rounds shows
+    how much work each round packs per daemon. *)
+
+val e9_sync_orbit_census : ?quick:bool -> unit -> Report.t
+(** How prevalent Figure-3-style synchronous oscillations are: for each
+    deterministic protocol, the distribution of limit-cycle lengths of
+    the synchronous step function over the whole configuration space
+    (length 0 = reaches a terminal configuration). *)
+
+val e10_fault_recovery : ?seed:int -> ?quick:bool -> unit -> Report.t
+(** Recovery from injected memory corruption: starting from a
+    legitimate configuration, corrupt k process memories and measure
+    the steps/rounds to re-stabilization under a central randomized
+    daemon, sweeping k — the quantitative face of k-stabilization. *)
+
+val e7_convergence_curves : ?quick:bool -> unit -> Report.t
+(** Probabilistic convergence profiles: (a) the fraction of probability
+    mass stabilized after k synchronous steps for transformed
+    Algorithm 1/3 (the cumulative-convergence curve behind Theorem 8),
+    starting from the uniform distribution; (b) absorption
+    probabilities for the raw Algorithm 3 under a central randomized
+    daemon — the paper's example of a system that randomization alone
+    cannot save. *)

@@ -1,0 +1,45 @@
+(** Machine-checked reproductions of the paper's theorems (T1-T9 in
+    DESIGN.md). Each function returns both structured verdicts — used
+    by the test-suite and the bench assertions — and a printable
+    report. *)
+
+type row = { label : string; holds : bool; detail : string }
+
+type result = { id : string; claim : string; rows : row list }
+
+val all_hold : result -> bool
+
+val report : result -> Report.t
+(** Rendered as a table: instance / verdict / detail. *)
+
+val theorem1 : unit -> result
+(** Weak = self under the synchronous scheduler, for every bundled
+    deterministic protocol on small instances. *)
+
+val theorem2 : ?max_n:int -> unit -> result
+(** Algorithm 1 is weak- but not self-stabilizing (nor under strong
+    fairness) on rings of 3..max_n (default 7). *)
+
+val theorem3 : unit -> result
+(** Symmetric-set closure on the adversarially labelled 4-chain, plus
+    no symmetric configuration being legitimate or terminal. *)
+
+val theorem4 : ?max_n:int -> unit -> result
+(** Algorithm 2 is weak- but not self-stabilizing on every tree with up
+    to [max_n] (default 6) nodes. *)
+
+val theorem6 : unit -> result
+(** The alternating two-token execution on the 6-ring is strongly fair,
+    never converges, and is not Gouda-fair. *)
+
+val theorem7 : unit -> result
+(** weak-stabilization = probability-1 convergence under randomized
+    schedulers, across bundled protocols (positive and negative
+    instances). *)
+
+val theorems8_9 : unit -> result
+(** Transformed Algorithms 1/2/3 converge with probability 1 under the
+    synchronous and distributed randomized schedulers, with closure. *)
+
+val all : unit -> result list
+(** T1, T2, T3, T4, T6, T7, T8/9 in order. *)

@@ -1,0 +1,1 @@
+lib/gcp/gcp.ml: Array Ast Bool Format In_channel Lexer List Parser Printf Stabcore Stabgraph Typecheck

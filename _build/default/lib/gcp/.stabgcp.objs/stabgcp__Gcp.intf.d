@@ -1,0 +1,1 @@
+lib/gcp/gcp.mli: Format Stabcore Stabgraph

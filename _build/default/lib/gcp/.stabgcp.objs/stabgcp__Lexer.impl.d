@@ -1,0 +1,1 @@
+lib/gcp/lexer.ml: Ast List Printf String

@@ -1,0 +1,1 @@
+lib/gcp/lexer.mli: Ast

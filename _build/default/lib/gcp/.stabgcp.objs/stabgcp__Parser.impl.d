@@ -1,0 +1,1 @@
+lib/gcp/parser.ml: Ast Lexer List Printf

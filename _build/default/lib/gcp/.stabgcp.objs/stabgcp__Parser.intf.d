@@ -1,0 +1,1 @@
+lib/gcp/parser.mli: Ast

@@ -1,0 +1,1 @@
+lib/gcp/typecheck.ml: Ast List Printf

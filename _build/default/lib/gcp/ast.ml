@@ -1,0 +1,54 @@
+type position = { line : int; column : int }
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Eq
+  | Neq
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | And
+  | Or
+
+type expr = { desc : desc; pos : position }
+
+and desc =
+  | Int of int
+  | Bool of bool
+  | Degree
+  | Var of string
+  | Neighbor_var of string * string
+  | Indexed_var of expr * string
+  | Is_me of string * string
+  | Binop of binop * expr * expr
+  | Not of expr
+  | If of expr * expr * expr
+  | Forall of string * expr
+  | Exists of string * expr
+  | Count of string * expr
+  | Minval of string * expr  (** smallest value of an int expression over neighbors *)
+  | Maxval of string * expr
+  | First of string * expr * expr * expr
+
+type domain = Bool_domain | Range of expr * expr
+
+type action = {
+  label : string;
+  guard : expr;
+  assignments : (string * expr) list;
+  action_pos : position;
+}
+
+type legitimate = Terminal | All of expr
+
+type program = {
+  name : string;
+  vars : (string * domain * position) list;
+  actions : action list;
+  legitimate : legitimate;
+}

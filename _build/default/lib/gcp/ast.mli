@@ -1,0 +1,75 @@
+(** Abstract syntax of the GCP (guarded-command protocol) language.
+
+    A [.gcp] file defines one protocol in the paper's model: per-process
+    variables over finite domains, guarded actions whose guards read the
+    process and its neighbors and whose statements assign the process's
+    own variables, and a legitimacy clause. See [docs/gcp.md] for the
+    surface syntax and [Gcp] for loading and instantiating programs. *)
+
+type position = { line : int; column : int }
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Eq
+  | Neq
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | And
+  | Or
+
+type expr = { desc : desc; pos : position }
+
+and desc =
+  | Int of int
+  | Bool of bool
+  | Degree  (** the executing process's degree *)
+  | Var of string  (** own variable, or a bound integer variable *)
+  | Neighbor_var of string * string
+      (** [q.x]: variable [x] of the bound neighbor [q] *)
+  | Indexed_var of expr * string
+      (** [neigh(e).x]: variable [x] of the neighbor with local index [e] *)
+  | Is_me of string * string
+      (** [q.x is me]: neighbor [q]'s variable [x], read as a local index
+          in [q]'s frame, designates the executing process *)
+  | Binop of binop * expr * expr
+  | Not of expr
+  | If of expr * expr * expr
+  | Forall of string * expr  (** over the executing process's neighbors *)
+  | Exists of string * expr
+  | Count of string * expr
+  | Minval of string * expr
+      (** [min q (e)]: smallest value of [e] over the neighbors;
+          evaluation error on a degree-0 process *)
+  | Maxval of string * expr
+  | First of string * expr * expr * expr
+      (** [first v in e1 .. e2 with b]: smallest integer in the range
+          satisfying [b]; evaluation error if none *)
+
+type domain =
+  | Bool_domain
+  | Range of expr * expr
+      (** inclusive bounds; may mention [degree] and constants only *)
+
+type action = {
+  label : string;
+  guard : expr;
+  assignments : (string * expr) list;  (** simultaneous; own variables only *)
+  action_pos : position;
+}
+
+type legitimate =
+  | Terminal  (** the silent specification: terminal configurations *)
+  | All of expr  (** every process satisfies this local predicate *)
+
+type program = {
+  name : string;
+  vars : (string * domain * position) list;
+  actions : action list;
+  legitimate : legitimate;
+}

@@ -1,0 +1,110 @@
+type token =
+  | INT of int
+  | IDENT of string
+  | KW of string
+  | SYM of string
+  | EOF
+
+type lexeme = { token : token; pos : Ast.position }
+
+exception Error of string * Ast.position
+
+let keywords =
+  [
+    "protocol";
+    "var";
+    "bool";
+    "action";
+    "legitimate";
+    "terminal";
+    "all";
+    "true";
+    "false";
+    "degree";
+    "forall";
+    "exists";
+    "count";
+    "first";
+    "in";
+    "with";
+    "if";
+    "then";
+    "else";
+    "is";
+    "me";
+    "neigh";
+    "min";
+    "max";
+  ]
+
+(* Multi-character symbols, longest first so the scanner is greedy. *)
+let symbols =
+  [ "::"; ":="; "->"; ".."; "=="; "!="; "<="; ">="; "&&"; "||";
+    "("; ")"; ":"; ";"; "."; ","; "+"; "-"; "*"; "/"; "%"; "<"; ">"; "!" ]
+
+let is_digit c = c >= '0' && c <= '9'
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || is_digit c
+
+let tokenize source =
+  let length = String.length source in
+  let line = ref 1 in
+  let column = ref 1 in
+  let index = ref 0 in
+  let position () = { Ast.line = !line; column = !column } in
+  let advance n =
+    for k = !index to !index + n - 1 do
+      if k < length && source.[k] = '\n' then begin
+        incr line;
+        column := 1
+      end
+      else incr column
+    done;
+    index := !index + n
+  in
+  let peek k = if !index + k < length then Some source.[!index + k] else None in
+  let starts_with prefix =
+    let pl = String.length prefix in
+    !index + pl <= length && String.sub source !index pl = prefix
+  in
+  let out = ref [] in
+  let emit token pos = out := { token; pos } :: !out in
+  let rec skip_line () =
+    match peek 0 with
+    | Some '\n' | None -> ()
+    | Some _ ->
+      advance 1;
+      skip_line ()
+  in
+  while !index < length do
+    let c = source.[!index] in
+    if c = ' ' || c = '\t' || c = '\r' || c = '\n' then advance 1
+    else if c = '#' || starts_with "//" then skip_line ()
+    else if is_digit c then begin
+      let pos = position () in
+      let start = !index in
+      while (match peek 0 with Some d when is_digit d -> true | _ -> false) do
+        advance 1
+      done;
+      emit (INT (int_of_string (String.sub source start (!index - start)))) pos
+    end
+    else if is_ident_start c then begin
+      let pos = position () in
+      let start = !index in
+      while (match peek 0 with Some d when is_ident_char d -> true | _ -> false) do
+        advance 1
+      done;
+      let word = String.sub source start (!index - start) in
+      if List.mem word keywords then emit (KW word) pos else emit (IDENT word) pos
+    end
+    else begin
+      let pos = position () in
+      match List.find_opt starts_with symbols with
+      | Some sym ->
+        advance (String.length sym);
+        emit (SYM sym) pos
+      | None -> raise (Error (Printf.sprintf "unexpected character %C" c, pos))
+    end
+  done;
+  emit EOF (position ());
+  List.rev !out

@@ -1,0 +1,249 @@
+exception Error of string * Ast.position
+
+type state = { mutable rest : Lexer.lexeme list }
+
+let peek st = match st.rest with [] -> assert false | l :: _ -> l
+
+let advance st = match st.rest with [] -> assert false | _ :: rest -> st.rest <- rest
+
+let fail st message = raise (Error (message, (peek st).Lexer.pos))
+
+let expect_sym st sym =
+  match (peek st).Lexer.token with
+  | Lexer.SYM s when s = sym -> advance st
+  | _ -> fail st (Printf.sprintf "expected '%s'" sym)
+
+let expect_kw st kw =
+  match (peek st).Lexer.token with
+  | Lexer.KW k when k = kw -> advance st
+  | _ -> fail st (Printf.sprintf "expected '%s'" kw)
+
+let expect_ident st what =
+  match (peek st).Lexer.token with
+  | Lexer.IDENT id ->
+    advance st;
+    id
+  | _ -> fail st (Printf.sprintf "expected %s" what)
+
+let accept_sym st sym =
+  match (peek st).Lexer.token with
+  | Lexer.SYM s when s = sym ->
+    advance st;
+    true
+  | _ -> false
+
+let accept_kw st kw =
+  match (peek st).Lexer.token with
+  | Lexer.KW k when k = kw ->
+    advance st;
+    true
+  | _ -> false
+
+let mk pos desc = { Ast.desc; pos }
+
+(* --- expressions --- *)
+
+let rec parse_expr st = parse_or st
+
+and parse_or st =
+  let left = parse_and st in
+  if accept_sym st "||" then
+    let right = parse_or st in
+    mk left.Ast.pos (Ast.Binop (Ast.Or, left, right))
+  else left
+
+and parse_and st =
+  let left = parse_cmp st in
+  if accept_sym st "&&" then
+    let right = parse_and st in
+    mk left.Ast.pos (Ast.Binop (Ast.And, left, right))
+  else left
+
+and parse_cmp st =
+  let left = parse_add st in
+  let op =
+    match (peek st).Lexer.token with
+    | Lexer.SYM "==" -> Some Ast.Eq
+    | Lexer.SYM "!=" -> Some Ast.Neq
+    | Lexer.SYM "<" -> Some Ast.Lt
+    | Lexer.SYM "<=" -> Some Ast.Le
+    | Lexer.SYM ">" -> Some Ast.Gt
+    | Lexer.SYM ">=" -> Some Ast.Ge
+    | _ -> None
+  in
+  match op with
+  | None -> left
+  | Some op ->
+    advance st;
+    let right = parse_add st in
+    mk left.Ast.pos (Ast.Binop (op, left, right))
+
+and parse_add st =
+  let rec go left =
+    if accept_sym st "+" then go (mk left.Ast.pos (Ast.Binop (Ast.Add, left, parse_mul st)))
+    else if accept_sym st "-" then
+      go (mk left.Ast.pos (Ast.Binop (Ast.Sub, left, parse_mul st)))
+    else left
+  in
+  go (parse_mul st)
+
+and parse_mul st =
+  let rec go left =
+    if accept_sym st "*" then go (mk left.Ast.pos (Ast.Binop (Ast.Mul, left, parse_unary st)))
+    else if accept_sym st "/" then
+      go (mk left.Ast.pos (Ast.Binop (Ast.Div, left, parse_unary st)))
+    else if accept_sym st "%" then
+      go (mk left.Ast.pos (Ast.Binop (Ast.Mod, left, parse_unary st)))
+    else left
+  in
+  go (parse_unary st)
+
+and parse_unary st =
+  let pos = (peek st).Lexer.pos in
+  if accept_sym st "!" then mk pos (Ast.Not (parse_unary st)) else parse_primary st
+
+and parse_quantifier st pos build =
+  let binder = expect_ident st "a neighbor binder" in
+  expect_sym st "(";
+  let body = parse_expr st in
+  expect_sym st ")";
+  mk pos (build binder body)
+
+and parse_primary st =
+  let { Lexer.token; pos } = peek st in
+  match token with
+  | Lexer.INT n ->
+    advance st;
+    mk pos (Ast.Int n)
+  | Lexer.KW "true" ->
+    advance st;
+    mk pos (Ast.Bool true)
+  | Lexer.KW "false" ->
+    advance st;
+    mk pos (Ast.Bool false)
+  | Lexer.KW "degree" ->
+    advance st;
+    mk pos Ast.Degree
+  | Lexer.SYM "(" ->
+    advance st;
+    let e = parse_expr st in
+    expect_sym st ")";
+    e
+  | Lexer.KW "if" ->
+    advance st;
+    let cond = parse_expr st in
+    expect_kw st "then";
+    let then_ = parse_expr st in
+    expect_kw st "else";
+    let else_ = parse_expr st in
+    mk pos (Ast.If (cond, then_, else_))
+  | Lexer.KW "forall" ->
+    advance st;
+    parse_quantifier st pos (fun binder body -> Ast.Forall (binder, body))
+  | Lexer.KW "exists" ->
+    advance st;
+    parse_quantifier st pos (fun binder body -> Ast.Exists (binder, body))
+  | Lexer.KW "count" ->
+    advance st;
+    parse_quantifier st pos (fun binder body -> Ast.Count (binder, body))
+  | Lexer.KW "min" ->
+    advance st;
+    parse_quantifier st pos (fun binder body -> Ast.Minval (binder, body))
+  | Lexer.KW "max" ->
+    advance st;
+    parse_quantifier st pos (fun binder body -> Ast.Maxval (binder, body))
+  | Lexer.KW "first" ->
+    advance st;
+    let binder = expect_ident st "an integer binder" in
+    expect_kw st "in";
+    let low = parse_add st in
+    expect_sym st "..";
+    let high = parse_add st in
+    expect_kw st "with";
+    let body = parse_expr st in
+    mk pos (Ast.First (binder, low, high, body))
+  | Lexer.KW "neigh" ->
+    advance st;
+    expect_sym st "(";
+    let index = parse_expr st in
+    expect_sym st ")";
+    expect_sym st ".";
+    let var = expect_ident st "a variable name" in
+    mk pos (Ast.Indexed_var (index, var))
+  | Lexer.IDENT id ->
+    advance st;
+    if accept_sym st "." then begin
+      let var = expect_ident st "a variable name" in
+      if accept_kw st "is" then begin
+        expect_kw st "me";
+        mk pos (Ast.Is_me (id, var))
+      end
+      else mk pos (Ast.Neighbor_var (id, var))
+    end
+    else mk pos (Ast.Var id)
+  | _ -> fail st "expected an expression"
+
+(* --- declarations --- *)
+
+let parse_domain st =
+  if accept_kw st "bool" then Ast.Bool_domain
+  else begin
+    let low = parse_add st in
+    expect_sym st "..";
+    let high = parse_add st in
+    Ast.Range (low, high)
+  end
+
+let parse_var st =
+  let pos = (peek st).Lexer.pos in
+  expect_kw st "var";
+  let name = expect_ident st "a variable name" in
+  expect_sym st ":";
+  let domain = parse_domain st in
+  (name, domain, pos)
+
+let parse_assign st =
+  let target = expect_ident st "an assignment target" in
+  expect_sym st ":=";
+  let value = parse_expr st in
+  (target, value)
+
+let parse_action st =
+  let pos = (peek st).Lexer.pos in
+  expect_kw st "action";
+  let label = expect_ident st "an action label" in
+  expect_sym st "::";
+  let guard = parse_expr st in
+  expect_sym st "->";
+  let rec assignments acc =
+    let a = parse_assign st in
+    if accept_sym st ";" then assignments (a :: acc) else List.rev (a :: acc)
+  in
+  { Ast.label; guard; assignments = assignments []; action_pos = pos }
+
+let parse source =
+  let st = { rest = Lexer.tokenize source } in
+  expect_kw st "protocol";
+  let name = expect_ident st "a protocol name" in
+  let rec vars acc =
+    match (peek st).Lexer.token with
+    | Lexer.KW "var" -> vars (parse_var st :: acc)
+    | _ -> List.rev acc
+  in
+  let vars = vars [] in
+  if vars = [] then fail st "a protocol needs at least one 'var' declaration";
+  let rec actions acc =
+    match (peek st).Lexer.token with
+    | Lexer.KW "action" -> actions (parse_action st :: acc)
+    | _ -> List.rev acc
+  in
+  let actions = actions [] in
+  if actions = [] then fail st "a protocol needs at least one 'action'";
+  expect_kw st "legitimate";
+  let legitimate =
+    if accept_kw st "terminal" then Ast.Terminal else (expect_kw st "all"; Ast.All (parse_expr st))
+  in
+  (match (peek st).Lexer.token with
+  | Lexer.EOF -> ()
+  | _ -> fail st "trailing input after the 'legitimate' clause");
+  { Ast.name; vars; actions; legitimate }

@@ -1,0 +1,25 @@
+(** Recursive-descent parser for the GCP language.
+
+    Surface grammar (comments with [#] or [//]):
+
+    {v
+program    := 'protocol' IDENT vardecl+ action+ legit
+vardecl    := 'var' IDENT ':' ('bool' | expr '..' expr)
+action     := 'action' IDENT '::' expr '->' assign (';' assign)*
+assign     := IDENT ':=' expr
+legit      := 'legitimate' ('terminal' | 'all' expr)
+
+expr       := or-expr with the usual precedences:
+              ! > * / % > + - > comparisons > && > ||
+primary    := INT | 'true' | 'false' | 'degree' | '(' expr ')'
+            | 'if' expr 'then' expr 'else' expr
+            | ('forall'|'exists'|'count') IDENT '(' expr ')'
+            | 'first' IDENT 'in' expr '..' expr 'with' expr
+            | 'neigh' '(' expr ')' '.' IDENT
+            | IDENT | IDENT '.' IDENT [ 'is' 'me' ]
+    v} *)
+
+exception Error of string * Ast.position
+
+val parse : string -> Ast.program
+(** Raises [Error] (or [Lexer.Error]) on malformed input. *)

@@ -1,0 +1,151 @@
+type ty = Tint | Tbool
+
+exception Error of string * Ast.position
+
+let ty_name = function Tint -> "int" | Tbool -> "bool"
+
+let var_type (program : Ast.program) name =
+  match List.find_opt (fun (n, _, _) -> n = name) program.Ast.vars with
+  | Some (_, Ast.Bool_domain, _) -> Tbool
+  | Some (_, Ast.Range _, _) -> Tint
+  | None -> raise Not_found
+
+type env = {
+  program : Ast.program;
+  neighbor_binders : string list;
+  int_binders : string list;
+}
+
+let fail pos fmt = Printf.ksprintf (fun m -> raise (Error (m, pos))) fmt
+
+let lookup_var env pos name =
+  match var_type env.program name with
+  | ty -> ty
+  | exception Not_found -> fail pos "unknown variable '%s'" name
+
+let rec infer env (e : Ast.expr) =
+  let pos = e.Ast.pos in
+  match e.Ast.desc with
+  | Ast.Int _ -> Tint
+  | Ast.Bool _ -> Tbool
+  | Ast.Degree -> Tint
+  | Ast.Var name ->
+    if List.mem name env.int_binders then Tint
+    else if List.mem name env.neighbor_binders then
+      fail pos "'%s' is a neighbor binder; use '%s.<variable>'" name name
+    else lookup_var env pos name
+  | Ast.Neighbor_var (binder, var) ->
+    if not (List.mem binder env.neighbor_binders) then
+      fail pos "'%s' is not a neighbor binder in scope" binder;
+    lookup_var env pos var
+  | Ast.Indexed_var (index, var) ->
+    expect env index Tint;
+    lookup_var env pos var
+  | Ast.Is_me (binder, var) ->
+    if not (List.mem binder env.neighbor_binders) then
+      fail pos "'%s' is not a neighbor binder in scope" binder;
+    (match lookup_var env pos var with
+    | Tint -> Tbool
+    | Tbool -> fail pos "'%s' must be an integer (local-index) variable for 'is me'" var)
+  | Ast.Binop (op, l, r) -> (
+    match op with
+    | Ast.Add | Ast.Sub | Ast.Mul | Ast.Div | Ast.Mod ->
+      expect env l Tint;
+      expect env r Tint;
+      Tint
+    | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge ->
+      expect env l Tint;
+      expect env r Tint;
+      Tbool
+    | Ast.Eq | Ast.Neq ->
+      let tl = infer env l in
+      expect env r tl;
+      Tbool
+    | Ast.And | Ast.Or ->
+      expect env l Tbool;
+      expect env r Tbool;
+      Tbool)
+  | Ast.Not body ->
+    expect env body Tbool;
+    Tbool
+  | Ast.If (cond, then_, else_) ->
+    expect env cond Tbool;
+    let ty = infer env then_ in
+    expect env else_ ty;
+    ty
+  | Ast.Forall (binder, body) | Ast.Exists (binder, body) ->
+    expect { env with neighbor_binders = binder :: env.neighbor_binders } body Tbool;
+    Tbool
+  | Ast.Count (binder, body) ->
+    expect { env with neighbor_binders = binder :: env.neighbor_binders } body Tbool;
+    Tint
+  | Ast.Minval (binder, body) | Ast.Maxval (binder, body) ->
+    expect { env with neighbor_binders = binder :: env.neighbor_binders } body Tint;
+    Tint
+  | Ast.First (binder, low, high, body) ->
+    expect env low Tint;
+    expect env high Tint;
+    expect { env with int_binders = binder :: env.int_binders } body Tbool;
+    Tint
+
+and expect env e ty =
+  let actual = infer env e in
+  if actual <> ty then
+    fail e.Ast.pos "this expression has type %s but %s was expected" (ty_name actual)
+      (ty_name ty)
+
+(* Domain bounds may mention constants, arithmetic and [degree] only:
+   they are evaluated once per process at instantiation. *)
+let rec check_domain_bound (e : Ast.expr) =
+  match e.Ast.desc with
+  | Ast.Int _ | Ast.Degree -> ()
+  | Ast.Binop ((Ast.Add | Ast.Sub | Ast.Mul | Ast.Div | Ast.Mod), l, r) ->
+    check_domain_bound l;
+    check_domain_bound r
+  | _ -> fail e.Ast.pos "domain bounds may only use constants, arithmetic and 'degree'"
+
+let check (program : Ast.program) =
+  (* No duplicate variable declarations. *)
+  List.iteri
+    (fun i (name, domain, pos) ->
+      List.iteri
+        (fun j (name', _, _) ->
+          if j < i && name = name' then fail pos "variable '%s' declared twice" name)
+        program.Ast.vars;
+      match domain with
+      | Ast.Bool_domain -> ()
+      | Ast.Range (low, high) ->
+        check_domain_bound low;
+        check_domain_bound high)
+    program.Ast.vars;
+  let env = { program; neighbor_binders = []; int_binders = [] } in
+  (* No duplicate action labels; guards boolean; assignments typed and
+     unique per action. *)
+  List.iteri
+    (fun i (action : Ast.action) ->
+      List.iteri
+        (fun j (other : Ast.action) ->
+          if j < i && action.Ast.label = other.Ast.label then
+            fail action.Ast.action_pos "action '%s' declared twice" action.Ast.label)
+        program.Ast.actions;
+      expect env action.Ast.guard Tbool;
+      List.iteri
+        (fun i (target, value) ->
+          List.iteri
+            (fun j (target', _) ->
+              if j < i && target = target' then
+                fail action.Ast.action_pos "action '%s' assigns '%s' twice" action.Ast.label
+                  target)
+            action.Ast.assignments;
+          let ty =
+            match var_type program target with
+            | ty -> ty
+            | exception Not_found ->
+              fail value.Ast.pos "assignment to unknown variable '%s'" target
+          in
+          expect env value ty)
+        action.Ast.assignments)
+    program.Ast.actions;
+  match program.Ast.legitimate with
+  | Ast.Terminal -> ()
+  | Ast.All predicate -> expect env predicate Tbool

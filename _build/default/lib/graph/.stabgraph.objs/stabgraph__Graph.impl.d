@@ -1,0 +1,1 @@
+lib/graph/graph.ml: Array Format Fun Hashtbl List Queue Stabrng String

@@ -1,0 +1,253 @@
+type t = {
+  n : int;
+  adj : int array array; (* adj.(p).(k) = global id of p's neighbor of local index k *)
+}
+
+let size g = g.n
+let degree g p = Array.length g.adj.(p)
+
+let max_degree g =
+  Array.fold_left (fun acc row -> max acc (Array.length row)) 0 g.adj
+
+let neighbors g p = Array.copy g.adj.(p)
+let neighbor g p k = g.adj.(p).(k)
+
+let local_index g p q =
+  let row = g.adj.(p) in
+  let rec go k =
+    if k >= Array.length row then raise Not_found
+    else if row.(k) = q then k
+    else go (k + 1)
+  in
+  go 0
+
+let are_neighbors g p q = match local_index g p q with _ -> true | exception Not_found -> false
+
+let of_edges ~n edges =
+  if n <= 0 then invalid_arg "Graph.of_edges: n must be positive";
+  let seen = Hashtbl.create (List.length edges) in
+  let lists = Array.make n [] in
+  let add_edge (p, q) =
+    if p < 0 || p >= n || q < 0 || q >= n then invalid_arg "Graph.of_edges: node out of range";
+    if p = q then invalid_arg "Graph.of_edges: self-loop";
+    let key = (min p q, max p q) in
+    if Hashtbl.mem seen key then invalid_arg "Graph.of_edges: duplicate edge";
+    Hashtbl.add seen key ();
+    lists.(p) <- q :: lists.(p);
+    lists.(q) <- p :: lists.(q)
+  in
+  List.iter add_edge edges;
+  let adj = Array.map (fun l -> Array.of_list (List.sort compare l)) lists in
+  { n; adj }
+
+let ring n =
+  if n < 2 then invalid_arg "Graph.ring: need n >= 2";
+  if n = 2 then of_edges ~n [ (0, 1) ]
+  else of_edges ~n (List.init n (fun i -> (i, (i + 1) mod n)))
+
+let chain n =
+  if n < 1 then invalid_arg "Graph.chain: need n >= 1";
+  of_edges ~n (List.init (n - 1) (fun i -> (i, i + 1)))
+
+let star n =
+  if n < 2 then invalid_arg "Graph.star: need n >= 2";
+  of_edges ~n (List.init (n - 1) (fun i -> (0, i + 1)))
+
+let complete n =
+  if n < 1 then invalid_arg "Graph.complete: need n >= 1";
+  let edges = ref [] in
+  for p = 0 to n - 1 do
+    for q = p + 1 to n - 1 do
+      edges := (p, q) :: !edges
+    done
+  done;
+  of_edges ~n !edges
+
+let grid rows cols =
+  if rows < 1 || cols < 1 then invalid_arg "Graph.grid: need positive dimensions";
+  let id r c = (r * cols) + c in
+  let edges = ref [] in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      if c + 1 < cols then edges := (id r c, id r (c + 1)) :: !edges;
+      if r + 1 < rows then edges := (id r c, id (r + 1) c) :: !edges
+    done
+  done;
+  of_edges ~n:(rows * cols) !edges
+
+let tree_of_parents parents =
+  let n = Array.length parents in
+  if n < 1 then invalid_arg "Graph.tree_of_parents: empty";
+  let edges = ref [] in
+  for i = 1 to n - 1 do
+    if parents.(i) < 0 || parents.(i) >= i then
+      invalid_arg "Graph.tree_of_parents: parents.(i) must satisfy 0 <= parents.(i) < i";
+    edges := (parents.(i), i) :: !edges
+  done;
+  of_edges ~n !edges
+
+let tree_of_pruefer seq n =
+  (* Standard Pruefer decoding: n >= 2, seq has length n - 2. The node
+     n-1 never becomes the working leaf, so the last edge joins the
+     final leaf to n-1. *)
+  let deg = Array.make n 1 in
+  Array.iter (fun v -> deg.(v) <- deg.(v) + 1) seq;
+  let edges = ref [] in
+  let next_leaf from =
+    let rec go i = if deg.(i) = 1 then i else go (i + 1) in
+    go from
+  in
+  let pointer = ref (next_leaf 0) in
+  let leaf = ref !pointer in
+  Array.iter
+    (fun v ->
+      edges := (!leaf, v) :: !edges;
+      deg.(v) <- deg.(v) - 1;
+      if deg.(v) = 1 && v < !pointer then leaf := v
+      else begin
+        pointer := next_leaf (!pointer + 1);
+        leaf := !pointer
+      end)
+    seq;
+  edges := (!leaf, n - 1) :: !edges;
+  of_edges ~n !edges
+
+let reorder_neighbors g p order =
+  if p < 0 || p >= g.n then invalid_arg "Graph.reorder_neighbors: node out of range";
+  let current = Array.to_list g.adj.(p) |> List.sort compare in
+  let proposed = Array.to_list order |> List.sort compare in
+  if current <> proposed then
+    invalid_arg "Graph.reorder_neighbors: order is not a permutation of the neighbors";
+  let adj = Array.copy g.adj in
+  adj.(p) <- Array.copy order;
+  { g with adj }
+
+let random_tree rng n =
+  if n < 1 then invalid_arg "Graph.random_tree: need n >= 1";
+  if n = 1 then of_edges ~n []
+  else if n = 2 then of_edges ~n [ (0, 1) ]
+  else tree_of_pruefer (Array.init (n - 2) (fun _ -> Stabrng.Rng.int rng n)) n
+
+(* Breadth-first distances from a source; -1 marks unreachable nodes. *)
+let bfs g source =
+  let dist = Array.make g.n (-1) in
+  let queue = Queue.create () in
+  dist.(source) <- 0;
+  Queue.add source queue;
+  while not (Queue.is_empty queue) do
+    let p = Queue.pop queue in
+    Array.iter
+      (fun q ->
+        if dist.(q) < 0 then begin
+          dist.(q) <- dist.(p) + 1;
+          Queue.add q queue
+        end)
+      g.adj.(p)
+  done;
+  dist
+
+let is_connected g = Array.for_all (fun d -> d >= 0) (bfs g 0)
+
+let edge_count g = Array.fold_left (fun acc row -> acc + Array.length row) 0 g.adj / 2
+
+let is_tree g = is_connected g && edge_count g = g.n - 1
+
+let is_ring g =
+  g.n >= 3 && is_connected g && Array.for_all (fun row -> Array.length row = 2) g.adj
+
+let dist g p q =
+  let d = (bfs g p).(q) in
+  if d < 0 then invalid_arg "Graph.dist: disconnected pair" else d
+
+let eccentricity g p =
+  Array.fold_left
+    (fun acc d ->
+      if d < 0 then invalid_arg "Graph.eccentricity: disconnected graph" else max acc d)
+    0 (bfs g p)
+
+let diameter g =
+  let best = ref 0 in
+  for p = 0 to g.n - 1 do
+    best := max !best (eccentricity g p)
+  done;
+  !best
+
+let centers g =
+  let ecc = Array.init g.n (eccentricity g) in
+  let radius = Array.fold_left min ecc.(0) ecc in
+  List.filter (fun p -> ecc.(p) = radius) (List.init g.n Fun.id)
+
+let leaves g =
+  List.filter (fun p -> degree g p = 1) (List.init g.n Fun.id)
+
+let fold_nodes f g acc =
+  let rec go p acc = if p >= g.n then acc else go (p + 1) (f p acc) in
+  go 0 acc
+
+let iter_nodes f g =
+  for p = 0 to g.n - 1 do
+    f p
+  done
+
+let edges g =
+  let all =
+    fold_nodes
+      (fun p acc ->
+        Array.fold_left (fun acc q -> if p < q then (p, q) :: acc else acc) acc g.adj.(p))
+      g []
+  in
+  List.sort compare all
+
+let pp fmt g =
+  Format.fprintf fmt "@[<hov 2>graph(n=%d;" g.n;
+  List.iter (fun (p, q) -> Format.fprintf fmt "@ %d-%d" p q) (edges g);
+  Format.fprintf fmt ")@]"
+
+let equal_structure g1 g2 = g1.n = g2.n && edges g1 = edges g2
+
+(* AHU canonical encoding of a rooted tree: children encodings sorted
+   and concatenated inside parentheses. *)
+let rec ahu g parent root =
+  let children =
+    Array.to_list g.adj.(root) |> List.filter (fun q -> q <> parent)
+  in
+  let encodings = List.sort compare (List.map (ahu g root) children) in
+  "(" ^ String.concat "" encodings ^ ")"
+
+let tree_canonical g =
+  if not (is_tree g) then invalid_arg "Graph.tree_canonical: not a tree";
+  (* Root at the center(s); with two centers take the lexicographic
+     minimum of both encodings so the form is isomorphism-invariant. *)
+  let forms = List.map (fun c -> ahu g (-1) c) (centers g) in
+  List.fold_left min (List.hd forms) forms
+
+let isomorphic_trees g1 g2 =
+  size g1 = size g2 && String.equal (tree_canonical g1) (tree_canonical g2)
+
+let all_trees n =
+  if n < 1 || n > 8 then invalid_arg "Graph.all_trees: supported for 1 <= n <= 8";
+  if n = 1 then [ of_edges ~n [] ]
+  else if n = 2 then [ of_edges ~n [ (0, 1) ] ]
+  else begin
+    (* Enumerate all Pruefer sequences and deduplicate by canonical form. *)
+    let seen = Hashtbl.create 64 in
+    let out = ref [] in
+    let seq = Array.make (n - 2) 0 in
+    let rec enumerate pos =
+      if pos = n - 2 then begin
+        let g = tree_of_pruefer (Array.copy seq) n in
+        let key = tree_canonical g in
+        if not (Hashtbl.mem seen key) then begin
+          Hashtbl.add seen key ();
+          out := g :: !out
+        end
+      end
+      else
+        for v = 0 to n - 1 do
+          seq.(pos) <- v;
+          enumerate (pos + 1)
+        done
+    in
+    enumerate 0;
+    List.rev !out
+  end

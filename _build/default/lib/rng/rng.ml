@@ -1,0 +1,130 @@
+(* SplitMix64 is used to expand seeds and to split streams; xoshiro256++
+   generates the bulk output. Reference: Blackman & Vigna, public domain. *)
+
+type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix64 z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+(* One SplitMix64 step: advance the counter, mix it out. *)
+let splitmix_next counter =
+  let counter = Int64.add counter golden_gamma in
+  (counter, mix64 counter)
+
+let seed_state seed =
+  let c = Int64.of_int seed in
+  let c, s0 = splitmix_next c in
+  let c, s1 = splitmix_next c in
+  let c, s2 = splitmix_next c in
+  let _, s3 = splitmix_next c in
+  (* xoshiro must not start from the all-zero state. *)
+  if s0 = 0L && s1 = 0L && s2 = 0L && s3 = 0L then
+    { s0 = golden_gamma; s1 = mix64 golden_gamma; s2 = 1L; s3 = 2L }
+  else { s0; s1; s2; s3 }
+
+let create seed = seed_state seed
+
+let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
+
+let rotl x k = Int64.(logor (shift_left x k) (shift_right_logical x (64 - k)))
+
+let bits64 t =
+  let result = Int64.add (rotl (Int64.add t.s0 t.s3) 23) t.s0 in
+  let tmp = Int64.shift_left t.s1 17 in
+  t.s2 <- Int64.logxor t.s2 t.s0;
+  t.s3 <- Int64.logxor t.s3 t.s1;
+  t.s1 <- Int64.logxor t.s1 t.s2;
+  t.s0 <- Int64.logxor t.s0 t.s3;
+  t.s2 <- Int64.logxor t.s2 tmp;
+  t.s3 <- rotl t.s3 45;
+  result
+
+let split t =
+  (* Draw 64 bits, remix them through SplitMix64 to seed the child. *)
+  let raw = bits64 t in
+  let c = raw in
+  let c, s0 = splitmix_next c in
+  let c, s1 = splitmix_next c in
+  let c, s2 = splitmix_next c in
+  let _, s3 = splitmix_next c in
+  if s0 = 0L && s1 = 0L && s2 = 0L && s3 = 0L then seed_state 1
+  else { s0; s1; s2; s3 }
+
+let bits30 t = Int64.to_int (Int64.shift_right_logical (bits64 t) 34)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  if bound <= 1 lsl 30 then begin
+    (* Rejection sampling over 30-bit draws for exact uniformity. *)
+    let mask_draws () =
+      let rec go () =
+        let r = bits30 t in
+        let v = r mod bound in
+        if r - v > (1 lsl 30) - bound then go () else v
+      in
+      go ()
+    in
+    mask_draws ()
+  end
+  else begin
+    let rec go () =
+      let r = Int64.to_int (Int64.shift_right_logical (bits64 t) 2) in
+      let v = r mod bound in
+      if r - v > (1 lsl 62) - bound then go () else v
+    in
+    go ()
+  end
+
+let float t =
+  let mant = Int64.to_float (Int64.shift_right_logical (bits64 t) 11) in
+  mant *. 0x1p-53
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let bernoulli t p = float t < p
+
+let choice t arr =
+  if Array.length arr = 0 then invalid_arg "Rng.choice: empty array";
+  arr.(int t (Array.length arr))
+
+let choice_list t items =
+  match items with
+  | [] -> invalid_arg "Rng.choice_list: empty list"
+  | _ -> List.nth items (int t (List.length items))
+
+let pick_weighted t dist =
+  let total = List.fold_left (fun acc (_, w) -> acc +. w) 0.0 dist in
+  if total <= 0.0 then invalid_arg "Rng.pick_weighted: non-positive total weight";
+  let target = float t *. total in
+  let rec go acc = function
+    | [] -> invalid_arg "Rng.pick_weighted: empty distribution"
+    | [ (v, _) ] -> v
+    | (v, w) :: rest -> if acc +. w > target then v else go (acc +. w) rest
+  in
+  go 0.0 dist
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let subset t items = List.filter (fun _ -> bool t) items
+
+let nonempty_subset t items =
+  match items with
+  | [] -> invalid_arg "Rng.nonempty_subset: empty list"
+  | [ x ] -> [ x ]
+  | _ ->
+    (* Resample until non-empty: uniform over the 2^n - 1 non-empty
+       subsets because each subset is equally likely each round. *)
+    let rec go () =
+      match subset t items with [] -> go () | chosen -> chosen
+    in
+    go ()

@@ -1,0 +1,84 @@
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  stderr : float;
+  min : float;
+  max : float;
+  ci95_low : float;
+  ci95_high : float;
+}
+
+let mean xs =
+  if Array.length xs = 0 then invalid_arg "Stats.mean: empty";
+  Array.fold_left ( +. ) 0.0 xs /. float_of_int (Array.length xs)
+
+let variance xs =
+  let n = Array.length xs in
+  if n < 2 then 0.0
+  else begin
+    let m = mean xs in
+    let acc = Array.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs in
+    acc /. float_of_int (n - 1)
+  end
+
+let summarize xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.summarize: empty";
+  let m = mean xs in
+  let sd = sqrt (variance xs) in
+  let se = if n < 2 then 0.0 else sd /. sqrt (float_of_int n) in
+  let mn = Array.fold_left Float.min xs.(0) xs in
+  let mx = Array.fold_left Float.max xs.(0) xs in
+  {
+    count = n;
+    mean = m;
+    stddev = sd;
+    stderr = se;
+    min = mn;
+    max = mx;
+    ci95_low = m -. (1.959964 *. se);
+    ci95_high = m +. (1.959964 *. se);
+  }
+
+let summarize_ints xs = summarize (Array.map float_of_int xs)
+
+let quantile xs q =
+  if Array.length xs = 0 then invalid_arg "Stats.quantile: empty";
+  if q < 0.0 || q > 1.0 then invalid_arg "Stats.quantile: q out of [0, 1]";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
+  let pos = q *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.floor pos) in
+  let hi = int_of_float (Float.ceil pos) in
+  if lo = hi then sorted.(lo)
+  else begin
+    let frac = pos -. float_of_int lo in
+    (sorted.(lo) *. (1.0 -. frac)) +. (sorted.(hi) *. frac)
+  end
+
+let median xs = quantile xs 0.5
+
+type histogram = { bounds : float array; counts : int array }
+
+let histogram ~bins xs =
+  if bins < 1 then invalid_arg "Stats.histogram: bins must be >= 1";
+  if Array.length xs = 0 then invalid_arg "Stats.histogram: empty";
+  let lo = Array.fold_left Float.min xs.(0) xs in
+  let hi = Array.fold_left Float.max xs.(0) xs in
+  let hi = if hi = lo then lo +. 1.0 else hi in
+  let width = (hi -. lo) /. float_of_int bins in
+  let bounds = Array.init (bins + 1) (fun i -> lo +. (float_of_int i *. width)) in
+  let counts = Array.make bins 0 in
+  Array.iter
+    (fun x ->
+      let idx = int_of_float ((x -. lo) /. width) in
+      let idx = if idx >= bins then bins - 1 else if idx < 0 then 0 else idx in
+      counts.(idx) <- counts.(idx) + 1)
+    xs;
+  { bounds; counts }
+
+let pp_summary fmt s =
+  Format.fprintf fmt "%.3f +/- %.3f [%.3f, %.3f] (n=%d)" s.mean s.stderr s.min s.max
+    s.count

@@ -1,0 +1,40 @@
+(** Summary statistics for the Monte-Carlo stabilization-time
+    experiments (E1-E4 in DESIGN.md). *)
+
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;  (** sample standard deviation (n-1 denominator) *)
+  stderr : float;  (** standard error of the mean *)
+  min : float;
+  max : float;
+  ci95_low : float;  (** normal-approximation 95% confidence bounds *)
+  ci95_high : float;
+}
+
+val summarize : float array -> summary
+(** Requires a non-empty array. For a single sample the spread fields
+    are 0. *)
+
+val summarize_ints : int array -> summary
+
+val mean : float array -> float
+val variance : float array -> float
+(** Sample variance; 0 for fewer than two samples. *)
+
+val quantile : float array -> float -> float
+(** [quantile xs q] with [0 <= q <= 1]; linear interpolation between
+    order statistics. Does not modify the input. *)
+
+val median : float array -> float
+
+type histogram = { bounds : float array; counts : int array }
+(** [counts.(i)] falls in [[bounds.(i), bounds.(i+1))]; the last bin is
+    closed on the right. *)
+
+val histogram : bins:int -> float array -> histogram
+(** Equal-width bins over the data range. Requires [bins >= 1] and a
+    non-empty array. *)
+
+val pp_summary : Format.formatter -> summary -> unit
+(** One-line [mean +/- stderr [min, max] (n)] rendering. *)

@@ -1,0 +1,1 @@
+test/fixtures.ml: Array Bool Format Fun Int List Protocol Spec Stabcore Stabgraph

@@ -1,0 +1,1 @@
+test/test_algorithms.ml: Alcotest Array Checker Encoding Engine Float Fun Hashtbl List Markov Montecarlo Protocol Result Scheduler Stabalgo Stabcore Stabgraph Stabrng Stabstats Statespace

@@ -1,0 +1,1 @@
+test/test_checker.ml: Alcotest Array Checker Fixtures Format Int List Protocol Result Spec Stabalgo Stabcore Stabgraph Statespace String

@@ -1,0 +1,1 @@
+test/test_compose.ml: Alcotest Array Bool Checker Compose Encoding Engine Fixtures Format List Protocol Scheduler Spec Stabalgo Stabcore Stabgraph Stabrng Statespace

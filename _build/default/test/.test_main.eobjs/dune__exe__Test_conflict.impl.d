@@ -1,0 +1,1 @@
+test/test_conflict.ml: Alcotest Array Checker Encoding Engine List Markov Protocol QCheck QCheck_alcotest Result Scheduler Stabalgo Stabcore Stabgraph Stabrng Statespace Transformer

@@ -1,0 +1,1 @@
+test/test_encoding.ml: Alcotest Array Encoding Fixtures Fun Gen Hashtbl Int List QCheck QCheck_alcotest Stabcore

@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Array Engine Fixtures Format List Protocol Scheduler Stabalgo Stabcore Stabrng String Trace

@@ -1,0 +1,1 @@
+test/test_fairness.ml: Alcotest Array Engine Fairness Fixtures Hashtbl List Protocol Spec Stabalgo Stabcore Stabrng

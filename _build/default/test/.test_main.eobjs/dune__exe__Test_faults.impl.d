@@ -1,0 +1,1 @@
+test/test_faults.ml: Alcotest Array Checker Faults Format Int List Montecarlo Printf Protocol Scheduler Stabalgo Stabcore Stabgraph Stabrng Stabstats Statespace String Transformer

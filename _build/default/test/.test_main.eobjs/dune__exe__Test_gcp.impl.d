@@ -1,0 +1,1 @@
+test/test_gcp.ml: Alcotest Array Bool Checker Encoding List Markov Protocol Result Spec Stabalgo Stabcore Stabgcp Stabgraph Statespace String Transformer

@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Graph List Printf QCheck QCheck_alcotest Stabgraph Stabrng

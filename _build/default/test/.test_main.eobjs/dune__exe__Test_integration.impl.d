@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Checker Float List Markov Montecarlo Printf Protocol Result Scheduler Spec Stabalgo Stabcore Stabgraph Stabrng Stabstats Statespace Transformer

@@ -1,0 +1,1 @@
+test/test_leader_tree.ml: Alcotest Array Checker Encoding Engine Format List Protocol QCheck QCheck_alcotest Result Scheduler Stabalgo Stabcore Stabgraph Stabrng Statespace

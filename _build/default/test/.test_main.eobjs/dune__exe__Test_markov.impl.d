@@ -1,0 +1,1 @@
+test/test_markov.ml: Alcotest Array Fixtures Float List Markov Montecarlo Result Scheduler Stabalgo Stabcore Stabrng Stabstats Statespace

@@ -1,0 +1,1 @@
+test/test_matrix.ml: Alcotest Array Float Gen List Matrix QCheck QCheck_alcotest Stablinalg Stabrng

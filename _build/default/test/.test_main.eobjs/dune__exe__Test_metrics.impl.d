@@ -1,0 +1,1 @@
+test/test_metrics.ml: Alcotest Array Checker Engine Fixtures Float Format Int List Markov Montecarlo Protocol Scheduler Spec Stabalgo Stabcore Stabgraph Stabrng Stabstats Statespace Transformer

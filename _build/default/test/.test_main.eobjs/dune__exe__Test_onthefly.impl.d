@@ -1,0 +1,1 @@
+test/test_onthefly.ml: Alcotest Array Checker Encoding Format Fun Int List Onthefly Protocol QCheck QCheck_alcotest Result Spec Stabalgo Stabcore Stabgraph Stabrng Statespace

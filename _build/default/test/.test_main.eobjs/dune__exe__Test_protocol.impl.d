@@ -1,0 +1,1 @@
+test/test_protocol.ml: Alcotest Array Bool Encoding Fixtures Format List Protocol Stabalgo Stabcore Stabgraph Stabrng

@@ -1,0 +1,1 @@
+test/test_random_systems.ml: Array Checker Engine Float Format Fun Hashtbl Int List Markov Printf Protocol QCheck QCheck_alcotest Result Scheduler Stabcore Stabgraph Stabrng Statespace

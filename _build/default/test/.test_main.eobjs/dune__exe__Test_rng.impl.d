@@ -1,0 +1,1 @@
+test/test_rng.ml: Alcotest Array Float Fun Hashtbl List Option QCheck QCheck_alcotest Rng Stabrng

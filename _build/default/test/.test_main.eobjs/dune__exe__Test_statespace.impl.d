@@ -1,0 +1,1 @@
+test/test_statespace.ml: Alcotest Array Fixtures Float Format List Montecarlo Protocol Scheduler Spec Stabalgo Stabcore Stabrng Stabstats Statespace

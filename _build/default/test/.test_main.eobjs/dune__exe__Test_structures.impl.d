@@ -1,0 +1,1 @@
+test/test_structures.ml: Alcotest Array Checker Encoding Engine List Markov Printf Protocol QCheck QCheck_alcotest Result Scheduler Stabalgo Stabcore Stabgraph Stabrng Statespace Transformer

@@ -1,0 +1,1 @@
+test/test_taxonomy.ml: Alcotest Array Checker Encoding Format Int List Printf Protocol Result Spec Stabalgo Stabcore Stabexp Stabgraph Statespace

@@ -1,0 +1,1 @@
+test/test_token_ring.ml: Alcotest Checker Encoding Engine List Printf Protocol QCheck QCheck_alcotest Result Scheduler Spec Stabalgo Stabcore Stabrng Statespace

@@ -1,0 +1,1 @@
+test/test_transformer.ml: Alcotest Array Checker Engine Fixtures List Markov Protocol QCheck QCheck_alcotest Result Scheduler Spec Stabalgo Stabcore Stabgraph Stabrng Statespace Transformer

@@ -1,0 +1,89 @@
+(* Shared miniature protocols for the core-library tests. *)
+
+open Stabcore
+
+(* Two processes on an edge; each holds 0/1/2 and copies its neighbor's
+   value + 1 mod 3 whenever the values are equal. Deterministic, with
+   heterogeneous behaviour useful for step tests. *)
+let mod3_protocol () : int Protocol.t =
+  let bump : int Protocol.action =
+    {
+      label = "bump";
+      guard = (fun cfg p -> cfg.(p) = cfg.(1 - p));
+      result = (fun cfg p -> [ ((cfg.(1 - p) + 1) mod 3, 1.0) ]);
+    }
+  in
+  {
+    Protocol.name = "mod3";
+    graph = Stabgraph.Graph.chain 2;
+    domain = (fun _ -> [ 0; 1; 2 ]);
+    actions = [ bump ];
+    equal = Int.equal;
+    pp = Format.pp_print_int;
+    randomized = false;
+  }
+
+(* A 1-process protocol with a P-variable: flips a biased coin until it
+   lands on 2 (absorbing). *)
+let coin_protocol ?(p_stop = 0.25) () : int Protocol.t =
+  let toss : int Protocol.action =
+    {
+      label = "toss";
+      guard = (fun cfg p -> cfg.(p) <> 2);
+      result = (fun _ _ -> [ (0, (1.0 -. p_stop) /. 2.0); (1, (1.0 -. p_stop) /. 2.0); (2, p_stop) ]);
+    }
+  in
+  {
+    Protocol.name = "coin";
+    graph = Stabgraph.Graph.chain 1;
+    domain = (fun _ -> [ 0; 1; 2 ]);
+    actions = [ toss ];
+    equal = Int.equal;
+    pp = Format.pp_print_int;
+    randomized = true;
+  }
+
+(* Three processes on a chain with distinct domain sizes, for encoding
+   tests: domain of p has p + 2 values. *)
+let ragged_domains () : int Protocol.t =
+  let nudge : int Protocol.action =
+    {
+      label = "nudge";
+      guard = (fun cfg p -> cfg.(p) = 0 && p = 0);
+      result = (fun _ _ -> [ (1, 1.0) ]);
+    }
+  in
+  {
+    Protocol.name = "ragged";
+    graph = Stabgraph.Graph.chain 3;
+    domain = (fun p -> List.init (p + 2) Fun.id);
+    actions = [ nudge ];
+    equal = Int.equal;
+    pp = Format.pp_print_int;
+    randomized = false;
+  }
+
+(* Two always-enabled processes, each flipping its own bit — a pure
+   oscillator used to exercise fairness analyses. *)
+let flip2 () : bool Protocol.t =
+  let flip : bool Protocol.action =
+    {
+      label = "flip";
+      guard = (fun _ _ -> true);
+      result = (fun cfg p -> [ (not cfg.(p), 1.0) ]);
+    }
+  in
+  {
+    Protocol.name = "flip2";
+    graph = Stabgraph.Graph.chain 2;
+    domain = (fun _ -> [ false; true ]);
+    actions = [ flip ];
+    equal = Bool.equal;
+    pp = Format.pp_print_bool;
+    randomized = false;
+  }
+
+let coin_spec = Spec.make ~name:"reached-2" (fun cfg -> cfg.(0) = 2)
+
+let mod3_spec : int Spec.t =
+  Spec.make ~name:"distinct" (fun cfg -> cfg.(0) <> cfg.(1))

@@ -1,0 +1,185 @@
+(* Tests for collateral composition, culminating in rebuilding the
+   paper's Section 3.2 center-based leader election as
+   Centers (base) + coin tie-break (overlay) and proving it
+   step-equivalent to the hand-written Center_leader. *)
+
+open Stabcore
+
+(* The tie-break overlay over the Centers base: flip my boolean when I
+   am a stable center tied with a neighbor carrying the same bit. *)
+let tie_break_overlay g : (int, bool) Compose.layered Protocol.action list =
+  let levels cfg = Array.map (fun s -> s.Compose.base) cfg in
+  let tying cfg p =
+    Array.to_list (Stabgraph.Graph.neighbors g p)
+    |> List.find_opt (fun q -> cfg.(q).Compose.base = cfg.(p).Compose.base)
+  in
+  [
+    {
+      Protocol.label = "L2";
+      guard =
+        (fun cfg p ->
+          Stabalgo.Centers.is_center g (levels cfg) p
+          &&
+          match tying cfg p with
+          | Some q -> cfg.(q).Compose.overlay = cfg.(p).Compose.overlay
+          | None -> false);
+      result =
+        (fun cfg p ->
+          [ ({ cfg.(p) with Compose.overlay = not cfg.(p).Compose.overlay }, 1.0) ]);
+    };
+  ]
+
+let composed_center_leader g =
+  Compose.collateral ~name:"centers+tie-break" ~base:(Stabalgo.Centers.make g)
+    ~overlay_domain:(fun _ -> [ false; true ])
+    ~overlay_actions:(tie_break_overlay g) ~overlay_equal:Bool.equal
+    ~overlay_pp:Format.pp_print_bool ()
+
+(* Map a composed state to the hand-written protocol's state. *)
+let to_handwritten (s : (int, bool) Compose.layered) =
+  { Stabalgo.Center_leader.level = s.Compose.base; flag = s.Compose.overlay }
+
+let test_composition_is_step_equivalent () =
+  List.iter
+    (fun g ->
+      let composed = composed_center_leader g in
+      let handwritten = Stabalgo.Center_leader.make g in
+      let enc = Encoding.of_protocol composed in
+      Encoding.iter enc (fun _ cfg ->
+          let mapped = Array.map to_handwritten cfg in
+          (* Same enabled processes... *)
+          let e1 = Protocol.enabled_processes composed cfg in
+          let e2 = Protocol.enabled_processes handwritten mapped in
+          if e1 <> e2 then Alcotest.failf "enabled sets differ";
+          (* ... and the same successor for every singleton activation. *)
+          List.iter
+            (fun p ->
+              match
+                ( Protocol.step_outcomes composed cfg [ p ],
+                  Protocol.step_outcomes handwritten mapped [ p ] )
+              with
+              | [ (next1, _) ], [ (next2, _) ] ->
+                let mapped_next = Array.map to_handwritten next1 in
+                if not (Protocol.equal_config handwritten mapped_next next2) then
+                  Alcotest.failf "successors differ at process %d" p
+              | _ -> Alcotest.fail "deterministic protocols expected")
+            e1))
+    [ Stabgraph.Graph.chain 4; Stabgraph.Graph.star 4; Stabgraph.Graph.chain 3 ]
+
+let test_composition_weak_stabilizing () =
+  let g = Stabgraph.Graph.chain 4 in
+  let composed = composed_center_leader g in
+  let spec = Spec.terminal_spec ~name:"composed-terminal" composed in
+  let v = Checker.analyze (Statespace.build composed) Statespace.Distributed spec in
+  Alcotest.(check bool) "weak" true (Checker.weak_stabilizing v);
+  Alcotest.(check bool) "not self (synchronous flip-flop)" false (Checker.self_stabilizing v)
+
+let test_base_priority () =
+  (* Where a base action is enabled, the overlay is silenced. *)
+  let g = Stabgraph.Graph.chain 3 in
+  let composed = composed_center_leader g in
+  (* Levels far from fixed point at process 0 -> base enabled there. *)
+  let cfg =
+    [|
+      { Compose.base = 3; overlay = false };
+      { Compose.base = 3; overlay = false };
+      { Compose.base = 3; overlay = false };
+    |]
+  in
+  (match Protocol.enabled_action composed cfg 0 with
+  | Some a -> Alcotest.(check string) "base action wins" "A" a.Protocol.label
+  | None -> Alcotest.fail "expected the base action");
+  (* is_center holds (all levels equal) and the bits tie, yet the L2
+     guard itself must be false: base priority silences the overlay. *)
+  let l2 =
+    List.find (fun a -> a.Protocol.label = "L2") composed.Protocol.actions
+  in
+  Alcotest.(check bool) "overlay guard blocked" false (l2.Protocol.guard cfg 0)
+
+let test_overlay_write_protection () =
+  (* An overlay action that tries to smash the base component is
+     neutralized by the composition. *)
+  let base = Fixtures.mod3_protocol () in
+  let rogue : (int, bool) Compose.layered Protocol.action =
+    {
+      Protocol.label = "rogue";
+      guard = (fun _ _ -> true);
+      result = (fun _ _ -> [ ({ Compose.base = 999; overlay = true }, 1.0) ]);
+    }
+  in
+  let composed =
+    Compose.collateral ~name:"rogue-test" ~base
+      ~overlay_domain:(fun _ -> [ false; true ])
+      ~overlay_actions:[ rogue ] ~overlay_equal:Bool.equal
+      ~overlay_pp:Format.pp_print_bool ()
+  in
+  (* Choose a configuration where the base is terminal so the rogue
+     action fires. *)
+  let cfg =
+    [| { Compose.base = 0; overlay = false }; { Compose.base = 1; overlay = false } |]
+  in
+  match Protocol.step_outcomes composed cfg [ 0 ] with
+  | [ (next, _) ] ->
+    Alcotest.(check int) "base preserved" 0 next.(0).Compose.base;
+    Alcotest.(check bool) "overlay updated" true next.(0).Compose.overlay
+  | _ -> Alcotest.fail "expected one outcome"
+
+let test_domain_product () =
+  let g = Stabgraph.Graph.chain 3 in
+  let composed = composed_center_leader g in
+  let base = Stabalgo.Centers.make g in
+  Alcotest.(check int) "product size"
+    (2 * List.length (base.Protocol.domain 0))
+    (List.length (composed.Protocol.domain 0))
+
+let test_lift_base_spec () =
+  let base = Fixtures.mod3_protocol () in
+  let spec =
+    Spec.make
+      ~step_ok:(fun before after -> before <> after)
+      ~name:"changes" (fun cfg -> cfg.(0) <> cfg.(1))
+  in
+  let lifted : (int, bool) Compose.layered Spec.t = Compose.lift_base_spec spec in
+  ignore base;
+  let mk b o = { Compose.base = b; overlay = o } in
+  Alcotest.(check bool) "legitimate through base projection" true
+    (lifted.Spec.legitimate [| mk 0 true; mk 1 false |]);
+  match lifted.Spec.step_ok with
+  | None -> Alcotest.fail "step_ok must survive lifting"
+  | Some ok ->
+    (* Overlay-only steps stutter on the base and are accepted. *)
+    Alcotest.(check bool) "stutter ok" true
+      (ok [| mk 0 true; mk 1 false |] [| mk 0 false; mk 1 false |])
+
+let test_composed_converges_to_unique_leader () =
+  (* End-to-end: run the composed protocol to a terminal configuration
+     and check the tie is broken. *)
+  let g = Stabgraph.Graph.chain 4 in
+  let composed = composed_center_leader g in
+  let rng = Stabrng.Rng.create 31 in
+  let hit = ref 0 in
+  for _ = 1 to 30 do
+    let init = Protocol.random_config rng composed in
+    let r =
+      Engine.run ~record:false ~max_steps:5_000 rng composed (Scheduler.central_random ())
+        ~init
+    in
+    if r.Engine.stop = Engine.Terminal then begin
+      incr hit;
+      let mapped = Array.map to_handwritten r.Engine.final in
+      Alcotest.(check int) "one leader" 1
+        (List.length (Stabalgo.Center_leader.leaders g mapped))
+    end
+  done;
+  Alcotest.(check bool) "most runs reach terminal" true (!hit > 20)
+
+let suite =
+  [
+    Alcotest.test_case "step equivalence with Center_leader" `Quick test_composition_is_step_equivalent;
+    Alcotest.test_case "composition weak-stabilizing" `Quick test_composition_weak_stabilizing;
+    Alcotest.test_case "base priority" `Quick test_base_priority;
+    Alcotest.test_case "overlay write protection" `Quick test_overlay_write_protection;
+    Alcotest.test_case "domain product" `Quick test_domain_product;
+    Alcotest.test_case "lift base spec" `Quick test_lift_base_spec;
+    Alcotest.test_case "composed convergence" `Quick test_composed_converges_to_unique_leader;
+  ]

@@ -1,0 +1,186 @@
+(* Tests for lasso fairness assessment, including the paper's Theorem 6
+   counter-example. *)
+
+open Stabcore
+
+(* Theorem 6's execution: ring of 6, two tokens at distance 3, tokens
+   alternately passed. We iterate the deterministic alternation until a
+   configuration recurs and return the recurrence cycle as events. *)
+let thm6_cycle () =
+  let n = 6 in
+  let p = Stabalgo.Token_ring.make ~n in
+  let init = Stabalgo.Token_ring.config_with_tokens_at ~n [ 0; 3 ] in
+  let rng = Stabrng.Rng.create 0 in
+  let seen = Hashtbl.create 64 in
+  let rec go cfg count acc =
+    if count > 5000 then Alcotest.fail "no recurrence found"
+    else begin
+      let key = (Array.to_list cfg, count mod 2) in
+      match Hashtbl.find_opt seen key with
+      | Some first ->
+        let events = List.rev acc in
+        (p, List.filteri (fun i _ -> i >= first) events)
+      | None ->
+        Hashtbl.add seen key count;
+        let holders = Stabalgo.Token_ring.token_holders ~n cfg in
+        let mover =
+          match holders with
+          | [ a; b ] -> if count mod 2 = 0 then a else b
+          | hs -> Alcotest.failf "expected 2 tokens, got %d" (List.length hs)
+        in
+        let next = Protocol.step_sample rng p cfg [ mover ] in
+        let event = { Engine.before = Array.copy cfg; fired = [ (mover, "A") ]; after = next } in
+        go next (count + 1) (event :: acc)
+    end
+  in
+  go init 0 []
+
+let test_thm6_cycle_construction () =
+  let _, cycle = thm6_cycle () in
+  Alcotest.(check bool) "found a recurrence cycle" true (List.length cycle >= 2);
+  (* Two tokens throughout. *)
+  List.iter
+    (fun e ->
+      Alcotest.(check int) "two tokens" 2
+        (List.length (Stabalgo.Token_ring.token_holders ~n:6 e.Engine.before)))
+    cycle
+
+let test_thm6_strongly_fair_but_diverging () =
+  let p, cycle = thm6_cycle () in
+  let spec = Stabalgo.Token_ring.spec ~n:6 in
+  List.iter
+    (fun e ->
+      if spec.Spec.legitimate e.Engine.before then Alcotest.fail "cycle hits L")
+    cycle;
+  let a = Fairness.assess_lasso p ~cycle in
+  Alcotest.(check bool) "strongly fair" true a.Fairness.strongly_fair;
+  Alcotest.(check bool) "weakly fair" true a.Fairness.weakly_fair;
+  Alcotest.(check (list int)) "no offenders" [] a.Fairness.offenders
+
+let test_thm6_not_gouda_fair () =
+  (* Gouda's strong fairness would require the OTHER token holder's
+     transition to also occur from each recurring configuration; the
+     alternation never takes it. *)
+  let p, cycle = thm6_cycle () in
+  Alcotest.(check bool) "not Gouda fair" false (Fairness.is_gouda_fair_cycle p ~cycle)
+
+let test_strong_unfair_weak_fair_cycle () =
+  (* Two-bool cycle (t,f) -> (f,f) -> (t,f) firing process 0 only:
+     process 1 is enabled at (f,f) but not at (t,f) — so the lasso is
+     weakly fair yet not strongly fair, offender 1. *)
+  let p = Stabalgo.Two_bool.make () in
+  let e1 =
+    { Engine.before = [| true; false |]; fired = [ (0, "A2") ]; after = [| false; false |] }
+  in
+  let e2 =
+    { Engine.before = [| false; false |]; fired = [ (0, "A1") ]; after = [| true; false |] }
+  in
+  let a = Fairness.assess_lasso p ~cycle:[ e1; e2 ] in
+  Alcotest.(check bool) "not strongly fair" false a.Fairness.strongly_fair;
+  Alcotest.(check bool) "weakly fair" true a.Fairness.weakly_fair;
+  Alcotest.(check (list int)) "offender" [ 1 ] a.Fairness.offenders
+
+let test_weak_unfair_cycle () =
+  (* flip2: both processes enabled in every configuration; a cycle that
+     only ever fires process 0 is not even weakly fair. *)
+  let p = Fixtures.flip2 () in
+  let e1 =
+    { Engine.before = [| false; false |]; fired = [ (0, "flip") ]; after = [| true; false |] }
+  in
+  let e2 =
+    { Engine.before = [| true; false |]; fired = [ (0, "flip") ]; after = [| false; false |] }
+  in
+  let a = Fairness.assess_lasso p ~cycle:[ e1; e2 ] in
+  Alcotest.(check bool) "not strongly fair" false a.Fairness.strongly_fair;
+  Alcotest.(check bool) "not weakly fair" false a.Fairness.weakly_fair;
+  Alcotest.(check (list int)) "offender continuously starved" [ 1 ] a.Fairness.offenders
+
+let test_synchronous_cycle_always_fair () =
+  (* flip2 synchronously: both fire every step — fair at every level. *)
+  let p = Fixtures.flip2 () in
+  let e1 =
+    {
+      Engine.before = [| false; false |];
+      fired = [ (0, "flip"); (1, "flip") ];
+      after = [| true; true |];
+    }
+  in
+  let e2 =
+    {
+      Engine.before = [| true; true |];
+      fired = [ (0, "flip"); (1, "flip") ];
+      after = [| false; false |];
+    }
+  in
+  let a = Fairness.assess_lasso p ~cycle:[ e1; e2 ] in
+  Alcotest.(check bool) "strongly fair" true a.Fairness.strongly_fair;
+  Alcotest.(check bool) "weakly fair" true a.Fairness.weakly_fair
+
+let test_assess_validation () =
+  let p = Fixtures.flip2 () in
+  Alcotest.check_raises "empty cycle" (Invalid_argument "Fairness: empty cycle") (fun () ->
+      ignore (Fairness.assess_lasso p ~cycle:[]));
+  let e_open =
+    { Engine.before = [| false; false |]; fired = [ (0, "flip") ]; after = [| true; false |] }
+  in
+  Alcotest.check_raises "not closing"
+    (Invalid_argument "Fairness: events do not close a cycle") (fun () ->
+      ignore (Fairness.assess_lasso p ~cycle:[ e_open ]));
+  let e_gap =
+    { Engine.before = [| true; true |]; fired = [ (0, "flip") ]; after = [| false; false |] }
+  in
+  Alcotest.check_raises "non-contiguous"
+    (Invalid_argument "Fairness: events are not contiguous") (fun () ->
+      ignore (Fairness.assess_lasso p ~cycle:[ e_open; e_gap ]))
+
+let test_gouda_fairness_requires_all_transitions () =
+  (* From (f,f) both A1 transitions exist; a cycle taking only process
+     0's is not Gouda fair. *)
+  let p = Stabalgo.Two_bool.make () in
+  let e1 =
+    { Engine.before = [| true; false |]; fired = [ (0, "A2") ]; after = [| false; false |] }
+  in
+  let e2 =
+    { Engine.before = [| false; false |]; fired = [ (0, "A1") ]; after = [| true; false |] }
+  in
+  Alcotest.(check bool) "missing transition breaks Gouda fairness" false
+    (Fairness.is_gouda_fair_cycle p ~cycle:[ e1; e2 ])
+
+let test_gouda_fair_complete_cycle () =
+  (* flip2 synchronous cycle: every configuration in the cycle has both
+     central transitions... they are NOT taken (only the synchronous
+     one), so even this is not Gouda fair w.r.t. central transitions.
+     A genuinely Gouda-fair lasso must take every per-process
+     transition from every recurring configuration; build one on flip2
+     by visiting each config's transitions: (0,0) -0-> (1,0) -0-> (0,0)
+     -1-> (0,1) -1-> (0,0) — from (0,0) both processes fire at some
+     occurrence. *)
+  let p = Fixtures.flip2 () in
+  let c00 = [| false; false |]
+  and c10 = [| true; false |]
+  and c01 = [| false; true |] in
+  let cycle =
+    [
+      { Engine.before = c00; fired = [ (0, "flip") ]; after = c10 };
+      { Engine.before = c10; fired = [ (0, "flip") ]; after = c00 };
+      { Engine.before = c00; fired = [ (1, "flip") ]; after = c01 };
+      { Engine.before = c01; fired = [ (1, "flip") ]; after = c00 };
+    ]
+  in
+  (* Still not Gouda fair: at c10, process 1's transition is never
+     taken. The check must spot exactly that. *)
+  Alcotest.(check bool) "c10's process-1 transition missing" false
+    (Fairness.is_gouda_fair_cycle p ~cycle)
+
+let suite =
+  [
+    Alcotest.test_case "thm6 cycle construction" `Quick test_thm6_cycle_construction;
+    Alcotest.test_case "thm6 strongly fair divergence" `Quick test_thm6_strongly_fair_but_diverging;
+    Alcotest.test_case "thm6 not Gouda fair" `Quick test_thm6_not_gouda_fair;
+    Alcotest.test_case "strong-unfair weak-fair cycle" `Quick test_strong_unfair_weak_fair_cycle;
+    Alcotest.test_case "weak-unfair cycle" `Quick test_weak_unfair_cycle;
+    Alcotest.test_case "synchronous cycle fair" `Quick test_synchronous_cycle_always_fair;
+    Alcotest.test_case "assess validation" `Quick test_assess_validation;
+    Alcotest.test_case "Gouda needs all transitions" `Quick test_gouda_fairness_requires_all_transitions;
+    Alcotest.test_case "Gouda on multi-visit cycle" `Quick test_gouda_fair_complete_cycle;
+  ]

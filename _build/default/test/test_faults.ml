@@ -1,0 +1,190 @@
+(* Tests for fault injection and the synchronous orbit census. *)
+
+open Stabcore
+
+let test_corrupt_changes_exactly_k () =
+  let n = 6 in
+  let p = Stabalgo.Token_ring.make ~n in
+  let rng = Stabrng.Rng.create 1 in
+  let base = Stabalgo.Token_ring.legitimate_config ~n in
+  for k = 0 to n do
+    let corrupted = Faults.corrupt rng p base ~faults:k in
+    let space = Statespace.build p in
+    Alcotest.(check int)
+      (Printf.sprintf "exactly %d changes" k)
+      (min k n)
+      (Checker.hamming space base corrupted)
+  done
+
+let test_corrupt_is_pure () =
+  let n = 5 in
+  let p = Stabalgo.Token_ring.make ~n in
+  let rng = Stabrng.Rng.create 2 in
+  let base = Stabalgo.Token_ring.legitimate_config ~n in
+  let snapshot = Array.copy base in
+  ignore (Faults.corrupt rng p base ~faults:3);
+  Alcotest.(check (array int)) "input untouched" snapshot base
+
+let test_corrupt_respects_domain () =
+  let g = Stabgraph.Graph.star 5 in
+  let p = Stabalgo.Leader_tree.make g in
+  let rng = Stabrng.Rng.create 3 in
+  for _ = 1 to 50 do
+    let base = Protocol.random_config rng p in
+    let corrupted = Faults.corrupt rng p base ~faults:2 in
+    Array.iteri
+      (fun i s ->
+        if not (List.exists (p.Protocol.equal s) (p.Protocol.domain i)) then
+          Alcotest.fail "corrupted state outside domain")
+      corrupted
+  done
+
+let test_corrupt_skips_singleton_domains () =
+  (* A protocol whose process 0 has a singleton domain can only be
+     corrupted at other processes. *)
+  let p : int Protocol.t =
+    {
+      Protocol.name = "half-frozen";
+      graph = Stabgraph.Graph.chain 2;
+      domain = (fun i -> if i = 0 then [ 7 ] else [ 0; 1; 2 ]);
+      actions =
+        [
+          {
+            label = "noop";
+            guard = (fun _ _ -> false);
+            result = (fun cfg p -> [ (cfg.(p), 1.0) ]);
+          };
+        ];
+      equal = Int.equal;
+      pp = Format.pp_print_int;
+      randomized = false;
+    }
+  in
+  let rng = Stabrng.Rng.create 4 in
+  for _ = 1 to 20 do
+    let corrupted = Faults.corrupt rng p [| 7; 0 |] ~faults:2 in
+    Alcotest.(check int) "frozen process untouched" 7 corrupted.(0)
+  done
+
+let test_corrupt_validation () =
+  let p = Stabalgo.Token_ring.make ~n:4 in
+  Alcotest.check_raises "negative" (Invalid_argument "Faults.corrupt: negative fault count")
+    (fun () -> ignore (Faults.corrupt (Stabrng.Rng.create 0) p [| 0; 0; 0; 0 |] ~faults:(-1)))
+
+let test_recovery_zero_faults_is_instant () =
+  let n = 5 in
+  let p = Stabalgo.Token_ring.make ~n in
+  let rng = Stabrng.Rng.create 5 in
+  let r =
+    Faults.recovery_time ~max_steps:100 rng p (Scheduler.central_random ())
+      (Stabalgo.Token_ring.spec ~n)
+      ~from:(Stabalgo.Token_ring.legitimate_config ~n)
+      ~faults:0
+  in
+  Alcotest.(check (option int)) "zero steps" (Some 0) r.Faults.steps
+
+let test_recovery_profile_all_converge () =
+  let n = 6 in
+  let p = Stabalgo.Token_ring.make ~n in
+  let rng = Stabrng.Rng.create 6 in
+  let profile =
+    Faults.recovery_profile ~runs:100 ~max_steps:100_000 rng p
+      (Scheduler.central_random ())
+      (Stabalgo.Token_ring.spec ~n)
+      ~from:(Stabalgo.Token_ring.legitimate_config ~n)
+      ~faults:2
+  in
+  Alcotest.(check int) "no timeouts" 0 profile.Montecarlo.timeouts;
+  Alcotest.(check int) "100 samples" 100 (Array.length profile.Montecarlo.times)
+
+let test_recovery_cost_grows_with_faults () =
+  let n = 8 in
+  let p = Stabalgo.Token_ring.make ~n in
+  let rng = Stabrng.Rng.create 7 in
+  let mean faults =
+    let profile =
+      Faults.recovery_profile ~runs:400 ~max_steps:100_000 rng p
+        (Scheduler.central_random ())
+        (Stabalgo.Token_ring.spec ~n)
+        ~from:(Stabalgo.Token_ring.legitimate_config ~n)
+        ~faults
+    in
+    match profile.Montecarlo.summary with
+    | Some s -> s.Stabstats.Stats.mean
+    | None -> Alcotest.fail "no samples"
+  in
+  Alcotest.(check bool) "k=3 costs more than k=1" true (mean 3 > mean 1)
+
+(* --- synchronous orbit census --- *)
+
+let test_census_counts_all_configs () =
+  let g = Stabgraph.Graph.chain 4 in
+  let p = Stabalgo.Leader_tree.make g in
+  let space = Statespace.build p in
+  let census = Checker.sync_orbit_census space in
+  Alcotest.(check int) "total" (Statespace.count space)
+    (List.fold_left (fun acc (_, c) -> acc + c) 0 census)
+
+let test_census_terminal_only_for_silent_selfstab () =
+  (* Matching is synchronously self-stabilizing and silent: everything
+     must reach a terminal configuration. *)
+  let g = Stabgraph.Graph.chain 5 in
+  let p = Stabalgo.Matching.make g in
+  let space = Statespace.build p in
+  match Checker.sync_orbit_census space with
+  | [ (0, total) ] -> Alcotest.(check int) "all terminal" (Statespace.count space) total
+  | census ->
+    Alcotest.failf "unexpected census: %s"
+      (String.concat " " (List.map (fun (l, c) -> Printf.sprintf "%d:%d" l c) census))
+
+let test_census_two_bool () =
+  (* two-bool synchronously: (f,f) -> (t,t) terminal; (t,f) -> (f,f);
+     all four configurations end terminal. *)
+  let p = Stabalgo.Two_bool.make () in
+  let space = Statespace.build p in
+  Alcotest.(check (list (pair int int))) "census" [ (0, 4) ]
+    (Checker.sync_orbit_census space)
+
+let test_census_fig3_oscillation_counted () =
+  (* The 4-chain leader tree: Figure 3's 2-cycles dominate; exactly the
+     4 LC configurations are terminal. *)
+  let g = Stabgraph.Graph.chain 4 in
+  let p = Stabalgo.Leader_tree.make g in
+  let space = Statespace.build p in
+  let census = Checker.sync_orbit_census space in
+  (match List.assoc_opt 0 census with
+  | Some terminal -> Alcotest.(check int) "terminal = LC count" 4 terminal
+  | None -> Alcotest.fail "no terminal configurations found");
+  Alcotest.(check bool) "2-cycles exist" true (List.mem_assoc 2 census)
+
+let test_census_rejects_randomized () =
+  let p = Transformer.randomize (Stabalgo.Two_bool.make ()) in
+  let space = Statespace.build p in
+  Alcotest.check_raises "randomized"
+    (Invalid_argument "Checker.sync_orbit_census: randomized protocol") (fun () ->
+      ignore (Checker.sync_orbit_census space))
+
+let test_census_token_ring_no_terminal () =
+  (* The token ring never halts: no length-0 entries. *)
+  let p = Stabalgo.Token_ring.make ~n:5 in
+  let space = Statespace.build p in
+  let census = Checker.sync_orbit_census space in
+  Alcotest.(check bool) "no terminal configs" true (not (List.mem_assoc 0 census))
+
+let suite =
+  [
+    Alcotest.test_case "corrupt changes exactly k" `Quick test_corrupt_changes_exactly_k;
+    Alcotest.test_case "corrupt is pure" `Quick test_corrupt_is_pure;
+    Alcotest.test_case "corrupt respects domain" `Quick test_corrupt_respects_domain;
+    Alcotest.test_case "corrupt skips singletons" `Quick test_corrupt_skips_singleton_domains;
+    Alcotest.test_case "corrupt validation" `Quick test_corrupt_validation;
+    Alcotest.test_case "recovery zero faults" `Quick test_recovery_zero_faults_is_instant;
+    Alcotest.test_case "recovery profile" `Quick test_recovery_profile_all_converge;
+    Alcotest.test_case "recovery grows with k" `Slow test_recovery_cost_grows_with_faults;
+    Alcotest.test_case "census total" `Quick test_census_counts_all_configs;
+    Alcotest.test_case "census silent protocols" `Quick test_census_terminal_only_for_silent_selfstab;
+    Alcotest.test_case "census two-bool" `Quick test_census_two_bool;
+    Alcotest.test_case "census fig3" `Quick test_census_fig3_oscillation_counted;
+    Alcotest.test_case "census rejects randomized" `Quick test_census_rejects_randomized;
+    Alcotest.test_case "census token ring" `Quick test_census_token_ring_no_terminal;
+  ]

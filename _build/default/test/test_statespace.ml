@@ -1,0 +1,175 @@
+(* Tests for the explicit-state space and spec plumbing, and for the
+   Monte-Carlo estimator. *)
+
+open Stabcore
+
+let test_count_and_roundtrip () =
+  let p = Fixtures.mod3_protocol () in
+  let space = Statespace.build p in
+  Alcotest.(check int) "9 configurations" 9 (Statespace.count space);
+  for c = 0 to 8 do
+    Alcotest.(check int) "code/config roundtrip" c
+      (Statespace.code space (Statespace.config space c))
+  done
+
+let test_build_guard () =
+  let p = Stabalgo.Token_ring.make ~n:6 in
+  Alcotest.check_raises "too large"
+    (Invalid_argument "Statespace.build: 4096 configurations exceed the 100 limit")
+    (fun () -> ignore (Statespace.build ~max_configs:100 p))
+
+let test_enabled_matches_protocol () =
+  let p = Fixtures.mod3_protocol () in
+  let space = Statespace.build p in
+  for c = 0 to Statespace.count space - 1 do
+    Alcotest.(check (list int)) "enabled sets agree"
+      (Protocol.enabled_processes p (Statespace.config space c))
+      (Statespace.enabled space c)
+  done
+
+let test_transitions_central () =
+  let p = Fixtures.mod3_protocol () in
+  let space = Statespace.build p in
+  let code = Statespace.code space [| 1; 1 |] in
+  let ts = Statespace.transitions space Statespace.Central code in
+  Alcotest.(check int) "two singleton subsets" 2 (List.length ts);
+  List.iter
+    (fun (active, outcomes) ->
+      Alcotest.(check int) "singleton" 1 (List.length active);
+      Alcotest.(check int) "deterministic outcome" 1 (List.length outcomes))
+    ts
+
+let test_transitions_distributed_subsets () =
+  let p = Fixtures.mod3_protocol () in
+  let space = Statespace.build p in
+  let code = Statespace.code space [| 2; 2 |] in
+  let ts = Statespace.transitions space Statespace.Distributed code in
+  let subsets = List.map fst ts |> List.sort compare in
+  Alcotest.(check (list (list int))) "all non-empty subsets" [ [ 0 ]; [ 0; 1 ]; [ 1 ] ]
+    subsets
+
+let test_transitions_synchronous () =
+  let p = Fixtures.mod3_protocol () in
+  let space = Statespace.build p in
+  let code = Statespace.code space [| 0; 0 |] in
+  match Statespace.transitions space Statespace.Synchronous code with
+  | [ (active, [ (next, w) ]) ] ->
+    Alcotest.(check (list int)) "all enabled" [ 0; 1 ] active;
+    Alcotest.(check (float 1e-9)) "prob 1" 1.0 w;
+    Alcotest.(check (array int)) "both bump" [| 1; 1 |] (Statespace.config space next)
+  | _ -> Alcotest.fail "expected a single synchronous transition"
+
+let test_terminal_no_transitions () =
+  let p = Fixtures.mod3_protocol () in
+  let space = Statespace.build p in
+  let code = Statespace.code space [| 0; 1 |] in
+  Alcotest.(check int) "no transitions" 0
+    (List.length (Statespace.transitions space Statespace.Distributed code))
+
+let test_successors_dedup () =
+  let p = Fixtures.mod3_protocol () in
+  let space = Statespace.build p in
+  let code = Statespace.code space [| 1; 1 |] in
+  let succ = Statespace.successors space Statespace.Distributed code in
+  (* (2,1), (1,2), (2,2): three distinct successors. *)
+  Alcotest.(check int) "three" 3 (List.length succ);
+  Alcotest.(check (list int)) "sorted" (List.sort compare succ) succ
+
+let test_subset_count () =
+  Alcotest.(check int) "2^3-1" 7 (Statespace.subset_count 3);
+  Alcotest.(check int) "2^0-1" 0 (Statespace.subset_count 0)
+
+let test_legitimate_set () =
+  let p = Fixtures.mod3_protocol () in
+  let space = Statespace.build p in
+  let set = Statespace.legitimate_set space Fixtures.mod3_spec in
+  let count = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 set in
+  Alcotest.(check int) "6 distinct-value configs" 6 count
+
+let test_sched_class_pp () =
+  Alcotest.(check string) "central" "central"
+    (Format.asprintf "%a" Statespace.pp_sched_class Statespace.Central)
+
+(* --- Spec --- *)
+
+let test_terminal_spec () =
+  let p = Fixtures.mod3_protocol () in
+  let spec = Spec.terminal_spec ~name:"silent" p in
+  Alcotest.(check bool) "terminal config legitimate" true (spec.Spec.legitimate [| 0; 1 |]);
+  Alcotest.(check bool) "active config illegitimate" false (spec.Spec.legitimate [| 1; 1 |])
+
+let test_spec_project () =
+  let spec = Spec.make ~name:"sum-even" (fun cfg -> (cfg.(0) + cfg.(1)) mod 2 = 0) in
+  let lifted = Spec.project fst spec in
+  Alcotest.(check bool) "projected" true (lifted.Spec.legitimate [| (2, "x"); (4, "y") |]);
+  Alcotest.(check bool) "projected false" false
+    (lifted.Spec.legitimate [| (1, "x"); (4, "y") |])
+
+(* --- Monte-Carlo --- *)
+
+let test_montecarlo_estimate () =
+  let p = Fixtures.coin_protocol ~p_stop:0.5 () in
+  let rng = Stabrng.Rng.create 1 in
+  let r =
+    Montecarlo.estimate ~runs:500 ~max_steps:10_000 rng p (Scheduler.central_first ())
+      Fixtures.coin_spec
+  in
+  Alcotest.(check int) "no timeouts" 0 r.Montecarlo.timeouts;
+  match r.Montecarlo.summary with
+  | None -> Alcotest.fail "expected samples"
+  | Some s ->
+    (* Initial state is uniform over {0,1,2}; from 0/1 expected 2 steps
+       (geometric, p=1/2), from 2 zero steps: mean = 2/3 * 2 = 4/3. *)
+    Alcotest.(check bool) "mean near 4/3" true
+      (Float.abs (s.Stabstats.Stats.mean -. (4.0 /. 3.0)) < 0.25)
+
+let test_montecarlo_timeouts () =
+  (* two_bool under a central scheduler never converges from (f,f). *)
+  let p = Stabalgo.Two_bool.make () in
+  let rng = Stabrng.Rng.create 2 in
+  let r =
+    Montecarlo.estimate_from ~runs:20 ~max_steps:50 rng p (Scheduler.central_random ())
+      Stabalgo.Two_bool.spec ~init:[| false; false |]
+  in
+  Alcotest.(check int) "all time out" 20 r.Montecarlo.timeouts;
+  Alcotest.(check bool) "no summary" true (r.Montecarlo.summary = None)
+
+let test_montecarlo_estimate_from_fixed_init () =
+  let n = 5 in
+  let p = Stabalgo.Token_ring.make ~n in
+  let rng = Stabrng.Rng.create 3 in
+  let init = Stabalgo.Token_ring.legitimate_config ~n in
+  let r =
+    Montecarlo.estimate_from ~runs:50 ~max_steps:100 rng p (Scheduler.central_random ())
+      (Stabalgo.Token_ring.spec ~n) ~init
+  in
+  (match r.Montecarlo.summary with
+  | Some s -> Alcotest.(check (float 1e-9)) "zero steps from legitimate" 0.0 s.Stabstats.Stats.mean
+  | None -> Alcotest.fail "expected summary");
+  Alcotest.(check int) "50 runs" 50 (Array.length r.Montecarlo.times)
+
+let test_montecarlo_pp () =
+  let r = Montecarlo.of_samples ~times:[||] ~rounds:[||] ~timeouts:3 in
+  Alcotest.(check string) "render" "no converged runs (3 timeouts)"
+    (Format.asprintf "%a" Montecarlo.pp_result r)
+
+let suite =
+  [
+    Alcotest.test_case "count/roundtrip" `Quick test_count_and_roundtrip;
+    Alcotest.test_case "build guard" `Quick test_build_guard;
+    Alcotest.test_case "enabled matches protocol" `Quick test_enabled_matches_protocol;
+    Alcotest.test_case "central transitions" `Quick test_transitions_central;
+    Alcotest.test_case "distributed subsets" `Quick test_transitions_distributed_subsets;
+    Alcotest.test_case "synchronous transition" `Quick test_transitions_synchronous;
+    Alcotest.test_case "terminal has none" `Quick test_terminal_no_transitions;
+    Alcotest.test_case "successors dedup" `Quick test_successors_dedup;
+    Alcotest.test_case "subset count" `Quick test_subset_count;
+    Alcotest.test_case "legitimate set" `Quick test_legitimate_set;
+    Alcotest.test_case "sched class pp" `Quick test_sched_class_pp;
+    Alcotest.test_case "terminal spec" `Quick test_terminal_spec;
+    Alcotest.test_case "spec project" `Quick test_spec_project;
+    Alcotest.test_case "montecarlo estimate" `Slow test_montecarlo_estimate;
+    Alcotest.test_case "montecarlo timeouts" `Quick test_montecarlo_timeouts;
+    Alcotest.test_case "montecarlo fixed init" `Quick test_montecarlo_estimate_from_fixed_init;
+    Alcotest.test_case "montecarlo pp" `Quick test_montecarlo_pp;
+  ]

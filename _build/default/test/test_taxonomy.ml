@@ -1,0 +1,198 @@
+(* Tests for the Section 1 taxonomy checks: pseudo-stabilization and
+   k-stabilization. *)
+
+open Stabcore
+
+(* Single process, 0 -> 1 -> 2, self-loop at 2. With L = {0, 2} the
+   system is pseudo-stabilizing (every execution's suffix sits on the
+   2-loop, inside L) but NOT self-stabilizing (L is not closed:
+   0 -> 1 leaves it) — the definitional gap the alternating-bit
+   protocol exemplifies in the paper's introduction. *)
+let funnel () : int Protocol.t =
+  let advance : int Protocol.action =
+    {
+      label = "adv";
+      guard = (fun _ _ -> true);
+      result = (fun cfg p -> [ (min (cfg.(p) + 1) 2, 1.0) ]);
+    }
+  in
+  {
+    Protocol.name = "funnel";
+    graph = Stabgraph.Graph.chain 1;
+    domain = (fun _ -> [ 0; 1; 2 ]);
+    actions = [ advance ];
+    equal = Int.equal;
+    pp = Format.pp_print_int;
+    randomized = false;
+  }
+
+let test_pseudo_without_self () =
+  let p = funnel () in
+  let spec = Spec.make ~name:"L02" (fun cfg -> cfg.(0) = 0 || cfg.(0) = 2) in
+  let space = Statespace.build p in
+  let g = Checker.expand space Statespace.Central in
+  let legitimate = Statespace.legitimate_set space spec in
+  Alcotest.(check bool) "pseudo-stabilizing" true
+    (Result.is_ok (Checker.pseudo_stabilizing space g ~legitimate));
+  (* Closure fails, so not self-stabilizing in the full sense. *)
+  Alcotest.(check bool) "closure violated" true
+    (Result.is_error (Checker.check_closure space g spec))
+
+let test_pseudo_rejects_outside_cycle () =
+  (* Token ring: the two-token orbits are non-trivial SCCs outside L. *)
+  let n = 4 in
+  let p = Stabalgo.Token_ring.make ~n in
+  let space = Statespace.build p in
+  let g = Checker.expand space Statespace.Distributed in
+  let legitimate = Statespace.legitimate_set space (Stabalgo.Token_ring.spec ~n) in
+  match Checker.pseudo_stabilizing space g ~legitimate with
+  | Error (Checker.Cycle members) ->
+    (* Witness states must carry more than one token. *)
+    List.iter
+      (fun c ->
+        if List.length (Stabalgo.Token_ring.token_holders ~n (Statespace.config space c)) < 2
+        then Alcotest.fail "witness with one token")
+      members
+  | Error (Checker.Dead_end _) -> Alcotest.fail "no dead ends in the token ring"
+  | Ok () -> Alcotest.fail "token ring is not pseudo-stabilizing"
+
+let test_pseudo_accepts_self_stabilizing () =
+  let g5 = Stabgraph.Graph.chain 5 in
+  let p = Stabalgo.Centers.make g5 in
+  let space = Statespace.build p in
+  let g = Checker.expand space Statespace.Distributed in
+  let legitimate = Statespace.legitimate_set space (Stabalgo.Centers.spec g5) in
+  Alcotest.(check bool) "pseudo holds" true
+    (Result.is_ok (Checker.pseudo_stabilizing space g ~legitimate))
+
+let test_pseudo_flags_dead_end () =
+  let stuck : int Protocol.t =
+    {
+      Protocol.name = "stuck";
+      graph = Stabgraph.Graph.chain 1;
+      domain = (fun _ -> [ 0; 1 ]);
+      actions =
+        [
+          {
+            label = "spin";
+            guard = (fun cfg p -> cfg.(p) = 1);
+            result = (fun _ _ -> [ (1, 1.0) ]);
+          };
+        ];
+      equal = Int.equal;
+      pp = Format.pp_print_int;
+      randomized = false;
+    }
+  in
+  let space = Statespace.build stuck in
+  let g = Checker.expand space Statespace.Central in
+  match Checker.pseudo_stabilizing space g ~legitimate:[| false; true |] with
+  | Error (Checker.Dead_end 0) -> ()
+  | _ -> Alcotest.fail "expected Dead_end 0"
+
+(* --- hamming / k_faulty_set / k_stabilizing --- *)
+
+let test_hamming () =
+  let n = 4 in
+  let p = Stabalgo.Token_ring.make ~n in
+  let space = Statespace.build p in
+  Alcotest.(check int) "zero" 0 (Checker.hamming space [| 0; 1; 2; 0 |] [| 0; 1; 2; 0 |]);
+  Alcotest.(check int) "two" 2 (Checker.hamming space [| 0; 1; 2; 0 |] [| 1; 1; 2; 1 |])
+
+let test_k_faulty_grows_with_k () =
+  let n = 4 in
+  let p = Stabalgo.Token_ring.make ~n in
+  let space = Statespace.build p in
+  let legitimate = Statespace.legitimate_set space (Stabalgo.Token_ring.spec ~n) in
+  let count set = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 set in
+  let f0 = count (Checker.k_faulty_set space ~legitimate ~k:0) in
+  let f1 = count (Checker.k_faulty_set space ~legitimate ~k:1) in
+  let f4 = count (Checker.k_faulty_set space ~legitimate ~k:4) in
+  Alcotest.(check int) "k=0 is L itself" (count legitimate) f0;
+  Alcotest.(check bool) "monotone" true (f0 < f1 && f1 <= f4);
+  Alcotest.(check int) "k=n is everything" (Statespace.count space) f4
+
+let test_k_faulty_matches_hamming () =
+  (* Cross-validation against the brute-force definition. *)
+  let n = 4 in
+  let p = Stabalgo.Token_ring.make ~n in
+  let space = Statespace.build p in
+  let legitimate = Statespace.legitimate_set space (Stabalgo.Token_ring.spec ~n) in
+  let faulty = Checker.k_faulty_set space ~legitimate ~k:1 in
+  let enc = Statespace.encoding space in
+  Encoding.iter enc (fun c cfg ->
+      let brute =
+        let found = ref false in
+        Array.iteri
+          (fun c' lg ->
+            if lg && Checker.hamming space cfg (Statespace.config space c') <= 1 then
+              found := true)
+          legitimate;
+        !found
+      in
+      if brute <> faulty.(c) then Alcotest.failf "mismatch at %d" c;
+      ignore cfg)
+
+let test_k_stabilization_hierarchy () =
+  (* Self-stabilizing protocols are k-stabilizing for every k. *)
+  let g4 = Stabgraph.Graph.ring 4 in
+  let p = Stabalgo.Coloring.make g4 in
+  let space = Statespace.build p in
+  let g = Checker.expand space Statespace.Central in
+  let legitimate = Statespace.legitimate_set space (Stabalgo.Coloring.spec g4) in
+  List.iter
+    (fun k ->
+      Alcotest.(check bool)
+        (Printf.sprintf "coloring central %d-stabilizing" k)
+        true
+        (Result.is_ok (Checker.k_stabilizing space g ~legitimate ~k)))
+    [ 0; 1; 2; 4 ];
+  (* The same protocol under the distributed class is not even
+     1-stabilizing: one corrupted color can start the mirror dance. *)
+  let gd = Checker.expand space Statespace.Distributed in
+  Alcotest.(check bool) "0-stabilizing (L is closed and silent)" true
+    (Result.is_ok (Checker.k_stabilizing space gd ~legitimate ~k:0));
+  Alcotest.(check bool) "not 1-stabilizing distributed" false
+    (Result.is_ok (Checker.k_stabilizing space gd ~legitimate ~k:1))
+
+let test_dijkstra_k_threshold () =
+  (* The checker finds the tight threshold K = N - 1 (one below
+     Dijkstra's own sufficient K >= N). *)
+  List.iter
+    (fun (n, k, expected) ->
+      let p = Stabalgo.Dijkstra_kstate.make ~n ~k () in
+      let space = Statespace.build p in
+      let g = Checker.expand space Statespace.Central in
+      let legitimate = Statespace.legitimate_set space (Stabalgo.Dijkstra_kstate.spec ~n) in
+      Alcotest.(check bool)
+        (Printf.sprintf "n=%d k=%d" n k)
+        expected
+        (Result.is_ok (Checker.certain_convergence space g ~legitimate)))
+    [ (4, 2, false); (4, 3, true); (5, 3, false); (5, 4, true) ]
+
+let test_taxonomy_table () =
+  let rows, _ = Stabexp.Portfolio.taxonomy () in
+  (* On closed-L finite systems pseudo coincides with certain
+     convergence — check the implication self => pseudo => (weak
+     columns all true here). *)
+  List.iter
+    (fun r ->
+      if r.Stabexp.Portfolio.self_t && not r.Stabexp.Portfolio.pseudo then
+        Alcotest.failf "%s: self without pseudo" r.Stabexp.Portfolio.algorithm_t;
+      if r.Stabexp.Portfolio.one_stabilizing && not r.Stabexp.Portfolio.weak_t then
+        Alcotest.failf "%s: 1-stab without weak" r.Stabexp.Portfolio.algorithm_t)
+    rows
+
+let suite =
+  [
+    Alcotest.test_case "pseudo without self" `Quick test_pseudo_without_self;
+    Alcotest.test_case "pseudo rejects outside cycles" `Quick test_pseudo_rejects_outside_cycle;
+    Alcotest.test_case "pseudo accepts self-stabilizing" `Quick test_pseudo_accepts_self_stabilizing;
+    Alcotest.test_case "pseudo flags dead ends" `Quick test_pseudo_flags_dead_end;
+    Alcotest.test_case "hamming" `Quick test_hamming;
+    Alcotest.test_case "k-faulty monotone" `Quick test_k_faulty_grows_with_k;
+    Alcotest.test_case "k-faulty matches hamming" `Quick test_k_faulty_matches_hamming;
+    Alcotest.test_case "k-stabilization hierarchy" `Quick test_k_stabilization_hierarchy;
+    Alcotest.test_case "dijkstra threshold" `Quick test_dijkstra_k_threshold;
+    Alcotest.test_case "taxonomy table" `Slow test_taxonomy_table;
+  ]
