@@ -1,4 +1,17 @@
-type graph = { fwd : (int list * int array) list array }
+type graph = {
+  fwd : (int list * int array) list array;
+  mutable rev : int list array option;
+      (* reverse adjacency, built on first demand and shared by every
+         pass that needs it (possible convergence, best-case BFS) *)
+}
+
+(* Instrumentation: number of reverse-adjacency constructions and
+   terminal scans actually performed, so tests can assert [analyze]
+   derives each intermediate structure exactly once per verdict. *)
+let reverse_builds = ref 0
+let terminal_scans = ref 0
+let reverse_build_count () = !reverse_builds
+let terminal_scan_count () = !terminal_scans
 
 let expand space cls =
   let n = Statespace.count space in
@@ -10,7 +23,23 @@ let expand space cls =
           (active, Array.of_list (List.map fst outcomes)))
         (Statespace.transitions space cls c)
   done;
-  { fwd }
+  { fwd; rev = None }
+
+let reverse g =
+  match g.rev with
+  | Some rev -> rev
+  | None ->
+    incr reverse_builds;
+    let n = Array.length g.fwd in
+    let rev = Array.make n [] in
+    Array.iteri
+      (fun c edges ->
+        List.iter
+          (fun (_, succs) -> Array.iter (fun c' -> rev.(c') <- c :: rev.(c')) succs)
+          edges)
+      g.fwd;
+    g.rev <- Some rev;
+    rev
 
 let graph_edge_count g =
   Array.fold_left
@@ -62,11 +91,7 @@ let check_closure space g spec =
 let possible_convergence space g ~legitimate =
   let n = Statespace.count space in
   (* Backward BFS from L over reversed edges. *)
-  let rev = Array.make n [] in
-  Array.iteri
-    (fun c edges ->
-      List.iter (fun (_, succs) -> Array.iter (fun c' -> rev.(c') <- c :: rev.(c')) succs) edges)
-    g.fwd;
+  let rev = reverse g in
   let reaches = Array.copy legitimate in
   let queue = Queue.create () in
   Array.iteri (fun c ok -> if ok then Queue.add c queue) legitimate;
@@ -86,6 +111,7 @@ let possible_convergence space g ~legitimate =
 type divergence = Cycle of int list | Dead_end of int
 
 let illegitimate_terminals space ~legitimate =
+  incr terminal_scans;
   let n = Statespace.count space in
   let out = ref [] in
   for c = n - 1 downto 0 do
@@ -139,13 +165,19 @@ let find_cycle_outside g ~legitimate =
    with Found -> ());
   !cycle
 
-let certain_convergence space g ~legitimate =
-  match illegitimate_terminals space ~legitimate with
+(* Certain convergence given an already-computed terminal list, so
+   [analyze] scans for terminals exactly once per verdict. *)
+let certain_of_terminals g ~legitimate ~terminals =
+  match terminals with
   | c :: _ -> Error (Dead_end c)
   | [] -> (
     match find_cycle_outside g ~legitimate with
     | Some cycle -> Error (Cycle cycle)
     | None -> Ok ())
+
+let certain_convergence space g ~legitimate =
+  certain_of_terminals g ~legitimate
+    ~terminals:(illegitimate_terminals space ~legitimate)
 
 (* Iterative Tarjan SCC over the subgraph of nodes where alive.(c),
    following only internal edges. Returns SCCs as lists. *)
@@ -318,13 +350,16 @@ type verdict = {
 let analyze space cls spec =
   let g = expand space cls in
   let legitimate = Statespace.legitimate_set space spec in
+  (* Shared intermediates: the reverse adjacency (memoized on [g]) and
+     the terminal list are each derived exactly once per verdict. *)
+  let terminals = illegitimate_terminals space ~legitimate in
   {
     closure = check_closure space g spec;
     possible = possible_convergence space g ~legitimate;
-    certain = certain_convergence space g ~legitimate;
+    certain = certain_of_terminals g ~legitimate ~terminals;
     strongly_fair_diverges = strongly_fair_divergence space g ~legitimate;
     weakly_fair_diverges = weakly_fair_divergence space g ~legitimate;
-    dead_ends = illegitimate_terminals space ~legitimate;
+    dead_ends = terminals;
   }
 
 let weak_stabilizing v = Result.is_ok v.closure && Result.is_ok v.possible
@@ -457,11 +492,7 @@ let k_stabilizing space g ~legitimate ~k =
 
 let best_case_steps _space g ~legitimate =
   let n = Array.length g.fwd in
-  let rev = Array.make n [] in
-  Array.iteri
-    (fun c edges ->
-      List.iter (fun (_, succs) -> Array.iter (fun c' -> rev.(c') <- c :: rev.(c')) succs) edges)
-    g.fwd;
+  let rev = reverse g in
   let dist = Array.make n max_int in
   let queue = Queue.create () in
   Array.iteri

@@ -94,6 +94,21 @@ type verdict = {
 
 val analyze : 'a Statespace.t -> Statespace.sched_class -> 'a Spec.t -> verdict
 
+(** {2 Instrumentation}
+
+    Monotone counters over the process lifetime, for tests asserting
+    that {!analyze} derives each shared intermediate structure exactly
+    once per verdict. *)
+
+val reverse_build_count : unit -> int
+(** Number of reverse-adjacency constructions performed so far. The
+    reverse graph is memoized on the {!graph} value, so repeated
+    backward passes over the same expansion count once. *)
+
+val terminal_scan_count : unit -> int
+(** Number of full terminal scans ({!illegitimate_terminals})
+    performed so far. *)
+
 val weak_stabilizing : verdict -> bool
 (** Closure holds and possible convergence holds (Definition 3). *)
 

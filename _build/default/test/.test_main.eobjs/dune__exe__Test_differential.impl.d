@@ -1,0 +1,1 @@
+test/test_differential.ml: Alcotest Array Checker Expected_verdicts Format List Printf Registry Stabalgo Stabcore Stabexp Statespace String Sys

@@ -12,6 +12,7 @@ let () =
       ("engine", Test_engine.suite);
       ("statespace", Test_statespace.suite);
       ("checker", Test_checker.suite);
+      ("differential", Test_differential.suite);
       ("markov", Test_markov.suite);
       ("transformer", Test_transformer.suite);
       ("fairness", Test_fairness.suite);
