@@ -26,6 +26,7 @@ let tests =
     Test.make ~name:"thm3-impossibility" (stage_unit Stabexp.Theorems.theorem3);
     Test.make ~name:"thm4-leader-weak"
       (stage_unit (fun () -> Stabexp.Theorems.theorem4 ~max_n:5 ()));
+    Test.make ~name:"thm5-gouda-prob" (stage_unit Stabexp.Theorems.theorem5);
     Test.make ~name:"thm6-gouda-vs-strong" (stage_unit Stabexp.Theorems.theorem6);
     Test.make ~name:"thm7-markov-equivalence" (stage_unit Stabexp.Theorems.theorem7);
     Test.make ~name:"thm8-transformer" (stage_unit Stabexp.Theorems.theorems8_9);
@@ -59,6 +60,24 @@ let benchmark () =
   let ols = Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |] in
   Analyze.all ols Toolkit.Instance.monotonic_clock raw
 
+(* Machine-readable timing record, one entry per artifact, so timing
+   comparisons across revisions can be scripted instead of scraped
+   from the rendered table. *)
+let bench_json_path = "BENCH_checker.json"
+
+let emit_json timings =
+  let oc = open_out bench_json_path in
+  output_string oc "{\n";
+  List.iteri
+    (fun i (name, time_ns) ->
+      Printf.fprintf oc "  %S: { \"ns_per_run\": %s }%s\n" name
+        (if Float.is_nan time_ns then "null" else Printf.sprintf "%.1f" time_ns)
+        (if i = List.length timings - 1 then "" else ","))
+    timings;
+  output_string oc "}\n";
+  close_out oc;
+  Printf.printf "(wrote per-artifact timings to %s)\n\n%!" bench_json_path
+
 let print_timings results =
   let table =
     Stabexp.Report.create ~title:"benchmark: time to regenerate each artifact"
@@ -81,10 +100,12 @@ let print_timings results =
         | Some r -> Printf.sprintf "%.4f" r
         | None -> "-"
       in
-      rows := (name, [ name; pretty; r2 ]) :: !rows)
+      rows := (name, (time_ns, [ name; pretty; r2 ])) :: !rows)
     results;
-  List.iter (fun (_, row) -> Stabexp.Report.add_row table row) (List.sort compare !rows);
-  Stabexp.Report.print table
+  let sorted = List.sort compare !rows in
+  List.iter (fun (_, (_, row)) -> Stabexp.Report.add_row table row) sorted;
+  Stabexp.Report.print table;
+  emit_json (List.map (fun (name, (time_ns, _)) -> (name, time_ns)) sorted)
 
 let print_figures () =
   let fig1 = Stabexp.Figures.fig1 () in

@@ -1,0 +1,1 @@
+lib/core/bitset.ml: Array Bytes Char List Printf

@@ -1,1 +1,1 @@
-lib/core/checker.ml: Array Encoding Format Fun Hashtbl List Option Printf Protocol Queue Result Spec Stabgraph Stack Statespace
+lib/core/checker.ml: Array Bitset Domain Encoding Format Fun Hashtbl List Mutex Option Printf Protocol Queue Result Spec Stabgraph Stack Statespace

@@ -1,1 +1,1 @@
-lib/core/markov.ml: Array Float Fun Hashtbl List Option Printf Queue Stablinalg Stack Statespace
+lib/core/markov.ml: Array Checker Float Fun Hashtbl List Option Printf Queue Stablinalg Stack Statespace

@@ -1,1 +1,1 @@
-lib/core/statespace.ml: Array Encoding Format Hashtbl List Printf Protocol Spec
+lib/core/statespace.ml: Array Atomic Encoding Format Hashtbl List Printf Protocol Spec

@@ -1,0 +1,73 @@
+type t = { bytes : Bytes.t; length : int }
+
+let create length =
+  if length < 0 then invalid_arg "Bitset.create: negative length";
+  { bytes = Bytes.make ((length + 7) / 8) '\000'; length }
+
+let length t = t.length
+
+let check t i op =
+  if i < 0 || i >= t.length then
+    invalid_arg (Printf.sprintf "Bitset.%s: index %d out of bounds [0,%d)" op i t.length)
+
+let mem t i =
+  check t i "mem";
+  Char.code (Bytes.unsafe_get t.bytes (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let set t i =
+  check t i "set";
+  let byte = i lsr 3 in
+  Bytes.unsafe_set t.bytes byte
+    (Char.unsafe_chr (Char.code (Bytes.unsafe_get t.bytes byte) lor (1 lsl (i land 7))))
+
+let clear t i =
+  check t i "clear";
+  let byte = i lsr 3 in
+  Bytes.unsafe_set t.bytes byte
+    (Char.unsafe_chr
+       (Char.code (Bytes.unsafe_get t.bytes byte) land lnot (1 lsl (i land 7)) land 0xff))
+
+let copy t = { bytes = Bytes.copy t.bytes; length = t.length }
+
+(* Popcount of one byte; 256 entries beat bit tricks at this width. *)
+let popcount8 =
+  Array.init 256 (fun b ->
+      let rec go b acc = if b = 0 then acc else go (b lsr 1) (acc + (b land 1)) in
+      go b 0)
+
+let cardinal t =
+  let acc = ref 0 in
+  Bytes.iter (fun ch -> acc := !acc + popcount8.(Char.code ch)) t.bytes;
+  !acc
+
+let iter f t =
+  for byte = 0 to Bytes.length t.bytes - 1 do
+    let b = Char.code (Bytes.unsafe_get t.bytes byte) in
+    if b <> 0 then
+      for bit = 0 to 7 do
+        if b land (1 lsl bit) <> 0 then f ((byte lsl 3) + bit)
+      done
+  done
+
+let fold f t init =
+  let acc = ref init in
+  iter (fun i -> acc := f !acc i) t;
+  !acc
+
+let is_empty t = Bytes.for_all (fun ch -> ch = '\000') t.bytes
+
+let of_bool_array a =
+  let t = create (Array.length a) in
+  Array.iteri (fun i b -> if b then set t i) a;
+  t
+
+let to_bool_array t = Array.init t.length (mem t)
+
+let complement t =
+  let out = create t.length in
+  for i = 0 to t.length - 1 do
+    if not (mem t i) then set out i
+  done;
+  out
+
+let elements t = List.rev (fold (fun acc i -> i :: acc) t [])

@@ -1,51 +1,300 @@
+(* The transition relation is packed in compressed-sparse-row form:
+   the groups (activated subset -> outcome distribution) of
+   configuration [c] occupy [grp_off.(c) .. grp_off.(c+1) - 1], and
+   the successors of group [grp] occupy
+   [succ_off.(grp) .. succ_off.(grp+1) - 1] of the flat [succ] array.
+   Because groups of a configuration are contiguous and [succ_off] is
+   monotone, ALL successors of [c] occupy the flat range
+   [succ_off.(grp_off.(c)) .. succ_off.(grp_off.(c+1)) - 1], in
+   exactly the order the list-based expansion used to produce them
+   (groups in transition order, successors in outcome order) — the
+   DFS/Tarjan passes below rely on that to keep witnesses stable.
+   Activated subsets are interned: [grp_active.(grp)] indexes
+   [active_sets]. [succ_w] carries the outcome probabilities so the
+   Markov chain of a randomized daemon can be read off the same
+   packing. *)
 type graph = {
-  fwd : (int list * int array) list array;
-  mutable rev : int list array option;
-      (* reverse adjacency, built on first demand and shared by every
-         pass that needs it (possible convergence, best-case BFS) *)
+  n : int;
+  grp_off : int array; (* length n+1 *)
+  grp_active : int array; (* length ngroups *)
+  succ_off : int array; (* length ngroups+1 *)
+  succ : int array; (* length nedges *)
+  succ_w : float array; (* length nedges *)
+  active_sets : int list array;
+  mutable rev_off : int array option;
+  mutable rev : int array option;
+      (* CSR reverse adjacency, built on first demand and shared by
+         every backward pass (possible convergence, best-case BFS) *)
 }
 
-(* Instrumentation: number of reverse-adjacency constructions and
-   terminal scans actually performed, so tests can assert [analyze]
-   derives each intermediate structure exactly once per verdict. *)
+(* Instrumentation: number of reverse-adjacency constructions, terminal
+   scans and SCC decompositions actually performed, so tests can assert
+   [analyze] derives each intermediate structure exactly once per
+   verdict. *)
 let reverse_builds = ref 0
 let terminal_scans = ref 0
+let scc_builds = ref 0
 let reverse_build_count () = !reverse_builds
 let terminal_scan_count () = !terminal_scans
+let scc_build_count () = !scc_builds
+
+(* Successor range of configuration [c] in the flat [succ] array. *)
+let succ_lo g c = g.succ_off.(g.grp_off.(c))
+let succ_hi g c = g.succ_off.(g.grp_off.(c + 1))
+
+(* Growable scratch buffers for the streaming expansion: the group and
+   edge counts are unknown until the whole space has been walked, so
+   the CSR arrays are accumulated with doubling and trimmed once. *)
+module Ibuf = struct
+  type t = { mutable data : int array; mutable len : int }
+
+  let create hint = { data = Array.make (max hint 16) 0; len = 0 }
+
+  let push b x =
+    if b.len = Array.length b.data then begin
+      let d = Array.make (2 * b.len) 0 in
+      Array.blit b.data 0 d 0 b.len;
+      b.data <- d
+    end;
+    b.data.(b.len) <- x;
+    b.len <- b.len + 1
+
+  let contents b = Array.sub b.data 0 b.len
+end
+
+module Fbuf = struct
+  type t = { mutable data : float array; mutable len : int }
+
+  let create hint = { data = Array.make (max hint 16) 0.0; len = 0 }
+
+  let push b x =
+    if b.len = Array.length b.data then begin
+      let d = Array.make (2 * b.len) 0.0 in
+      Array.blit b.data 0 d 0 b.len;
+      b.data <- d
+    end;
+    b.data.(b.len) <- x;
+    b.len <- b.len + 1
+
+  let contents b = Array.sub b.data 0 b.len
+end
+
+(* Activated-subset interning. With few processes (the exhaustive
+   regime) subsets are identified by their process bitmask and a
+   direct-indexed table avoids hashing entirely; wider systems fall
+   back to hashing the subset list. Set ids are assigned in
+   first-occurrence order, which is deterministic because
+   configurations are visited in order. *)
+type interner = {
+  direct : int array; (* mask -> id, or -1; empty when too many processes *)
+  by_list : (int list, int) Hashtbl.t;
+  mutable sets_rev : int list list;
+  mutable nsets : int;
+}
+
+let interner_create nproc =
+  {
+    direct = (if nproc <= 16 then Array.make (1 lsl nproc) (-1) else [||]);
+    by_list = Hashtbl.create 64;
+    sets_rev = [];
+    nsets = 0;
+  }
+
+let intern_set t active =
+  if Array.length t.direct > 0 then begin
+    let mask = List.fold_left (fun m p -> m lor (1 lsl p)) 0 active in
+    let id = t.direct.(mask) in
+    if id >= 0 then id
+    else begin
+      let id = t.nsets in
+      t.nsets <- id + 1;
+      t.sets_rev <- active :: t.sets_rev;
+      t.direct.(mask) <- id;
+      id
+    end
+  end
+  else
+    match Hashtbl.find_opt t.by_list active with
+    | Some id -> id
+    | None ->
+      let id = t.nsets in
+      t.nsets <- id + 1;
+      t.sets_rev <- active :: t.sets_rev;
+      Hashtbl.add t.by_list active id;
+      id
+
+let interner_sets t = Array.of_list (List.rev t.sets_rev)
+
+(* Single-pass streaming expansion: each configuration's transition
+   groups are folded straight into the CSR buffers, in exactly the
+   order {!Statespace.transitions} lists them, without materializing
+   per-configuration rows. *)
+let expand_serial space cls n nproc =
+  let grp_off = Array.make (n + 1) 0 in
+  let grp_active = Ibuf.create (2 * n) in
+  let succ_off = Ibuf.create (2 * n) in
+  let succ = Ibuf.create (4 * n) in
+  let succ_w = Fbuf.create (4 * n) in
+  let intern = interner_create nproc in
+  for c = 0 to n - 1 do
+    grp_off.(c) <- grp_active.Ibuf.len;
+    Statespace.fold_transitions space cls c ~init:() ~f:(fun () active outcomes ->
+        Ibuf.push grp_active (intern_set intern active);
+        Ibuf.push succ_off succ.Ibuf.len;
+        List.iter
+          (fun (c', w) ->
+            Ibuf.push succ c';
+            Fbuf.push succ_w w)
+          outcomes)
+  done;
+  grp_off.(n) <- grp_active.Ibuf.len;
+  Ibuf.push succ_off succ.Ibuf.len;
+  {
+    n;
+    grp_off;
+    grp_active = Ibuf.contents grp_active;
+    succ_off = Ibuf.contents succ_off;
+    succ = Ibuf.contents succ;
+    succ_w = Fbuf.contents succ_w;
+    active_sets = interner_sets intern;
+    rev_off = None;
+    rev = None;
+  }
+
+(* Multi-domain expansion: workers enumerate transition rows for
+   disjoint slices of the configuration range, so the merge is a join
+   and the result is deterministic regardless of scheduling. Spaces
+   are immutable and protocol step functions are pure, which makes the
+   per-configuration calls safe to run concurrently. The packing pass
+   then re-walks the rows in configuration order, so the CSR layout
+   (and the interned-set numbering) is identical to the serial path. *)
+let expand_rows space cls n workers =
+  let rows = Array.make n [] in
+  let fill lo hi =
+    for c = lo to hi - 1 do
+      rows.(c) <- Statespace.transitions space cls c
+    done
+  in
+  let chunk = (n + workers - 1) / workers in
+  let spawned =
+    List.init (workers - 1) (fun i ->
+        let lo = (i + 1) * chunk in
+        let hi = min n (lo + chunk) in
+        Domain.spawn (fun () -> fill lo hi))
+  in
+  fill 0 (min n chunk);
+  List.iter Domain.join spawned;
+  rows
+
+let pack n nproc rows =
+  let grp_off = Array.make (n + 1) 0 in
+  let grp_active = Ibuf.create (2 * n) in
+  let succ_off = Ibuf.create (2 * n) in
+  let succ = Ibuf.create (4 * n) in
+  let succ_w = Fbuf.create (4 * n) in
+  let intern = interner_create nproc in
+  for c = 0 to n - 1 do
+    grp_off.(c) <- grp_active.Ibuf.len;
+    List.iter
+      (fun (active, outcomes) ->
+        Ibuf.push grp_active (intern_set intern active);
+        Ibuf.push succ_off succ.Ibuf.len;
+        List.iter
+          (fun (c', w) ->
+            Ibuf.push succ c';
+            Fbuf.push succ_w w)
+          outcomes)
+      rows.(c)
+  done;
+  grp_off.(n) <- grp_active.Ibuf.len;
+  Ibuf.push succ_off succ.Ibuf.len;
+  {
+    n;
+    grp_off;
+    grp_active = Ibuf.contents grp_active;
+    succ_off = Ibuf.contents succ_off;
+    succ = Ibuf.contents succ;
+    succ_w = Fbuf.contents succ_w;
+    active_sets = interner_sets intern;
+    rev_off = None;
+    rev = None;
+  }
+
+(* Expansions are cached per (space identity, scheduler class): the
+   theorem checks, the taxonomy, the quantitative sweeps and the Markov
+   construction all expand the same spaces, and re-deriving the packed
+   graph was the dominant redundant cost. Bounded FIFO so long sweeps
+   over many sizes do not accumulate every graph ever built. *)
+let cache : (int * Statespace.sched_class, graph) Hashtbl.t = Hashtbl.create 16
+let cache_queue : (int * Statespace.sched_class) Queue.t = Queue.create ()
+let cache_mutex = Mutex.create ()
+let cache_capacity = 8
+
+let build_graph space cls =
+  let n = Statespace.count space in
+  let nproc =
+    Stabgraph.Graph.size (Statespace.protocol space).Protocol.graph
+  in
+  (* Below ~512 configurations per worker the spawn cost dominates. *)
+  let workers = min (Domain.recommended_domain_count ()) (n / 512) in
+  if workers <= 1 then expand_serial space cls n nproc
+  else pack n nproc (expand_rows space cls n workers)
 
 let expand space cls =
-  let n = Statespace.count space in
-  let fwd = Array.make n [] in
-  for c = 0 to n - 1 do
-    fwd.(c) <-
-      List.map
-        (fun (active, outcomes) ->
-          (active, Array.of_list (List.map fst outcomes)))
-        (Statespace.transitions space cls c)
-  done;
-  { fwd; rev = None }
+  let key = (Statespace.uid space, cls) in
+  match Mutex.protect cache_mutex (fun () -> Hashtbl.find_opt cache key) with
+  | Some g -> g
+  | None ->
+    let g = build_graph space cls in
+    Mutex.protect cache_mutex (fun () ->
+        match Hashtbl.find_opt cache key with
+        | Some g -> g (* a concurrent expansion won the race *)
+        | None ->
+          if Queue.length cache_queue >= cache_capacity then
+            Hashtbl.remove cache (Queue.pop cache_queue);
+          Hashtbl.add cache key g;
+          Queue.add key cache_queue;
+          g)
 
 let reverse g =
-  match g.rev with
-  | Some rev -> rev
-  | None ->
+  match (g.rev_off, g.rev) with
+  | Some off, Some rev -> (off, rev)
+  | _ ->
     incr reverse_builds;
-    let n = Array.length g.fwd in
-    let rev = Array.make n [] in
-    Array.iteri
-      (fun c edges ->
-        List.iter
-          (fun (_, succs) -> Array.iter (fun c' -> rev.(c') <- c :: rev.(c')) succs)
-          edges)
-      g.fwd;
+    let n = g.n in
+    let nedges = Array.length g.succ in
+    let off = Array.make (n + 1) 0 in
+    Array.iter (fun c' -> off.(c' + 1) <- off.(c' + 1) + 1) g.succ;
+    for i = 0 to n - 1 do
+      off.(i + 1) <- off.(i + 1) + off.(i)
+    done;
+    let rev = Array.make nedges 0 in
+    let cursor = Array.copy off in
+    for c = 0 to n - 1 do
+      for i = succ_lo g c to succ_hi g c - 1 do
+        let c' = g.succ.(i) in
+        rev.(cursor.(c')) <- c;
+        cursor.(c') <- cursor.(c') + 1
+      done
+    done;
+    g.rev_off <- Some off;
     g.rev <- Some rev;
-    rev
+    (off, rev)
 
-let graph_edge_count g =
-  Array.fold_left
-    (fun acc edges ->
-      List.fold_left (fun acc (_, succs) -> acc + Array.length succs) acc edges)
-    0 g.fwd
+let graph_edge_count g = Array.length g.succ
+
+let weighted_row g c =
+  let glo = g.grp_off.(c) in
+  let ghi = g.grp_off.(c + 1) in
+  if ghi = glo then []
+  else begin
+    let subset_weight = 1.0 /. float_of_int (ghi - glo) in
+    let out = ref [] in
+    for i = succ_hi g c - 1 downto succ_lo g c do
+      out := (g.succ.(i), g.succ_w.(i) *. subset_weight) :: !out
+    done;
+    !out
+  end
 
 type closure_violation =
   | Empty_legitimate_set
@@ -57,58 +306,76 @@ let check_closure space g spec =
   if not (Array.exists Fun.id legitimate) then Error Empty_legitimate_set
   else begin
     let violation = ref None in
-    let n = Statespace.count space in
     (let exception Found in
      try
-       for c = 0 to n - 1 do
+       for c = 0 to g.n - 1 do
          if legitimate.(c) then
-           List.iter
-             (fun (active, succs) ->
-               Array.iter
-                 (fun c' ->
-                   if not legitimate.(c') then begin
-                     violation := Some (Escape { config = c; active; successor = c' });
+           for grp = g.grp_off.(c) to g.grp_off.(c + 1) - 1 do
+             for i = g.succ_off.(grp) to g.succ_off.(grp + 1) - 1 do
+               let c' = g.succ.(i) in
+               if not legitimate.(c') then begin
+                 violation :=
+                   Some
+                     (Escape
+                        {
+                          config = c;
+                          active = g.active_sets.(g.grp_active.(grp));
+                          successor = c';
+                        });
+                 raise Found
+               end
+               else
+                 match spec.Spec.step_ok with
+                 | None -> ()
+                 | Some ok ->
+                   if
+                     not (ok (Statespace.config space c) (Statespace.config space c'))
+                   then begin
+                     violation := Some (Step_spec { config = c; successor = c' });
                      raise Found
                    end
-                   else
-                     match spec.Spec.step_ok with
-                     | None -> ()
-                     | Some ok ->
-                       if
-                         not
-                           (ok (Statespace.config space c) (Statespace.config space c'))
-                       then begin
-                         violation := Some (Step_spec { config = c; successor = c' });
-                         raise Found
-                       end)
-                 succs)
-             g.fwd.(c)
+             done
+           done
        done
      with Found -> ());
     match !violation with None -> Ok () | Some v -> Error v
   end
 
-let possible_convergence space g ~legitimate =
-  let n = Statespace.count space in
+let possible_convergence _space g ~legitimate =
+  let n = g.n in
   (* Backward BFS from L over reversed edges. *)
-  let rev = reverse g in
-  let reaches = Array.copy legitimate in
+  let rev_off, rev = reverse g in
+  let reaches = Bitset.of_bool_array legitimate in
   let queue = Queue.create () in
   Array.iteri (fun c ok -> if ok then Queue.add c queue) legitimate;
   while not (Queue.is_empty queue) do
     let c = Queue.pop queue in
-    List.iter
-      (fun pred ->
-        if not reaches.(pred) then begin
-          reaches.(pred) <- true;
-          Queue.add pred queue
-        end)
-      rev.(c)
+    for i = rev_off.(c) to rev_off.(c + 1) - 1 do
+      let pred = rev.(i) in
+      if not (Bitset.mem reaches pred) then begin
+        Bitset.set reaches pred;
+        Queue.add pred queue
+      end
+    done
   done;
-  let rec find c = if c >= n then None else if reaches.(c) then find (c + 1) else Some c in
+  let rec find c =
+    if c >= n then None else if Bitset.mem reaches c then find (c + 1) else Some c
+  in
   match find 0 with None -> Ok () | Some c -> Error c
 
 type divergence = Cycle of int list | Dead_end of int
+
+(* A configuration is terminal iff it has no transition group: every
+   scheduler class allows at least one activation whenever some
+   process is enabled, so "no groups" coincides with "no enabled
+   process". *)
+let terminals_of g ~legitimate =
+  incr terminal_scans;
+  let out = ref [] in
+  for c = g.n - 1 downto 0 do
+    if (not legitimate.(c)) && g.grp_off.(c) = g.grp_off.(c + 1) then out := c :: !out
+  done;
+  !out
 
 let illegitimate_terminals space ~legitimate =
   incr terminal_scans;
@@ -120,45 +387,48 @@ let illegitimate_terminals space ~legitimate =
   !out
 
 (* Iterative depth-first cycle detection on the subgraph of
-   configurations outside L. color: 0 white, 1 on current path, 2 done. *)
+   configurations outside L. color: 0 white, 1 on current path, 2 done.
+   Each stack frame keeps a cursor into the flat successor range, which
+   visits exactly the sequence the list-based expansion produced. *)
 let find_cycle_outside g ~legitimate =
-  let n = Array.length g.fwd in
+  let n = g.n in
   let color = Array.make n 0 in
   let parent = Array.make n (-1) in
-  let successors c =
-    List.concat_map
-      (fun (_, succs) ->
-        Array.to_list succs |> List.filter (fun c' -> not legitimate.(c')))
-      g.fwd.(c)
-  in
   let cycle = ref None in
   let exception Found in
   (try
      for start = 0 to n - 1 do
        if (not legitimate.(start)) && color.(start) = 0 then begin
-         (* Explicit stack of (node, remaining successors). *)
          let stack = Stack.create () in
          color.(start) <- 1;
-         Stack.push (start, ref (successors start)) stack;
+         Stack.push (start, ref (succ_lo g start)) stack;
          while not (Stack.is_empty stack) do
-           let node, remaining = Stack.top stack in
-           match !remaining with
-           | [] ->
+           let node, cursor = Stack.top stack in
+           let hi = succ_hi g node in
+           while !cursor < hi && legitimate.(g.succ.(!cursor)) do
+             incr cursor
+           done;
+           if !cursor >= hi then begin
              color.(node) <- 2;
              ignore (Stack.pop stack)
-           | next :: rest ->
-             remaining := rest;
+           end
+           else begin
+             let next = g.succ.(!cursor) in
+             incr cursor;
              if color.(next) = 1 then begin
                (* Back edge: walk parents from [node] to [next]. *)
-               let rec collect acc v = if v = next then v :: acc else collect (v :: acc) parent.(v) in
+               let rec collect acc v =
+                 if v = next then v :: acc else collect (v :: acc) parent.(v)
+               in
                cycle := Some (collect [] node);
                raise Found
              end
              else if color.(next) = 0 then begin
                color.(next) <- 1;
                parent.(next) <- node;
-               Stack.push (next, ref (successors next)) stack
+               Stack.push (next, ref (succ_lo g next)) stack
              end
+           end
          done
        end
      done
@@ -175,53 +445,55 @@ let certain_of_terminals g ~legitimate ~terminals =
     | Some cycle -> Error (Cycle cycle)
     | None -> Ok ())
 
-let certain_convergence space g ~legitimate =
-  certain_of_terminals g ~legitimate
-    ~terminals:(illegitimate_terminals space ~legitimate)
+let certain_convergence _space g ~legitimate =
+  certain_of_terminals g ~legitimate ~terminals:(terminals_of g ~legitimate)
 
-(* Iterative Tarjan SCC over the subgraph of nodes where alive.(c),
-   following only internal edges. Returns SCCs as lists. *)
+(* Iterative Tarjan SCC over the subgraph of nodes in [alive],
+   following only internal edges. Returns SCCs as lists, in reverse
+   topological completion order. Cursor-based like the cycle finder, so
+   component order matches the list-based implementation exactly. *)
 let sccs g ~alive =
-  let n = Array.length g.fwd in
+  incr scc_builds;
+  let n = g.n in
   let index = Array.make n (-1) in
   let low = Array.make n 0 in
-  let on_stack = Array.make n false in
+  let on_stack = Bitset.create n in
   let scc_stack = Stack.create () in
   let next_index = ref 0 in
   let out = ref [] in
-  let successors c =
-    List.concat_map
-      (fun (_, succs) -> Array.to_list succs |> List.filter (fun c' -> alive.(c')))
-      g.fwd.(c)
-  in
   let visit root =
     let work = Stack.create () in
-    Stack.push (root, ref (successors root)) work;
+    Stack.push (root, ref (succ_lo g root)) work;
     index.(root) <- !next_index;
     low.(root) <- !next_index;
     incr next_index;
     Stack.push root scc_stack;
-    on_stack.(root) <- true;
+    Bitset.set on_stack root;
     while not (Stack.is_empty work) do
-      let node, remaining = Stack.top work in
-      match !remaining with
-      | next :: rest ->
-        remaining := rest;
+      let node, cursor = Stack.top work in
+      let hi = succ_hi g node in
+      while !cursor < hi && not (Bitset.mem alive g.succ.(!cursor)) do
+        incr cursor
+      done;
+      if !cursor < hi then begin
+        let next = g.succ.(!cursor) in
+        incr cursor;
         if index.(next) < 0 then begin
           index.(next) <- !next_index;
           low.(next) <- !next_index;
           incr next_index;
           Stack.push next scc_stack;
-          on_stack.(next) <- true;
-          Stack.push (next, ref (successors next)) work
+          Bitset.set on_stack next;
+          Stack.push (next, ref (succ_lo g next)) work
         end
-        else if on_stack.(next) then low.(node) <- min low.(node) index.(next)
-      | [] ->
+        else if Bitset.mem on_stack next then low.(node) <- min low.(node) index.(next)
+      end
+      else begin
         ignore (Stack.pop work);
         if low.(node) = index.(node) then begin
           let rec pop acc =
             let v = Stack.pop scc_stack in
-            on_stack.(v) <- false;
+            Bitset.clear on_stack v;
             if v = node then v :: acc else pop (v :: acc)
           in
           out := pop [] :: !out
@@ -229,10 +501,11 @@ let sccs g ~alive =
         (match Stack.top work with
         | parent, _ -> low.(parent) <- min low.(parent) low.(node)
         | exception Stack.Empty -> ())
+      end
     done
   in
   for c = 0 to n - 1 do
-    if alive.(c) && index.(c) < 0 then visit c
+    if Bitset.mem alive c && index.(c) < 0 then visit c
   done;
   !out
 
@@ -241,9 +514,9 @@ let sccs g ~alive =
 let has_internal_edge g in_scc members =
   List.exists
     (fun c ->
-      List.exists
-        (fun (_, succs) -> Array.exists (fun c' -> in_scc c') succs)
-        g.fwd.(c))
+      let hi = succ_hi g c in
+      let rec go i = i < hi && (in_scc g.succ.(i) || go (i + 1)) in
+      go (succ_lo g c))
     members
 
 let enabled_in space members =
@@ -258,72 +531,82 @@ let firing_in g in_scc members =
   let seen = Hashtbl.create 16 in
   List.iter
     (fun c ->
-      List.iter
-        (fun (active, succs) ->
-          if Array.exists (fun c' -> in_scc c') succs then
-            List.iter (fun p -> Hashtbl.replace seen p ()) active)
-        g.fwd.(c))
+      for grp = g.grp_off.(c) to g.grp_off.(c + 1) - 1 do
+        let internal = ref false in
+        for i = g.succ_off.(grp) to g.succ_off.(grp + 1) - 1 do
+          if in_scc g.succ.(i) then internal := true
+        done;
+        if !internal then
+          List.iter
+            (fun p -> Hashtbl.replace seen p ())
+            g.active_sets.(g.grp_active.(grp))
+      done)
     members;
   seen
 
 let membership n members =
-  let mask = Array.make n false in
-  List.iter (fun c -> mask.(c) <- true) members;
+  let mask = Bitset.create n in
+  List.iter (Bitset.set mask) members;
   mask
 
 (* Streett refinement for strong fairness: an SCC is accepting if every
    process enabled somewhere inside also fires inside; otherwise prune
    the states where the never-firing processes are enabled and
-   recurse. *)
-let strongly_fair_divergence space g ~legitimate =
-  let n = Array.length g.fwd in
-  let rec search alive =
-    let components = sccs g ~alive in
-    let try_component members =
-      let mask = membership n members in
-      let in_scc c = mask.(c) in
-      if not (has_internal_edge g in_scc members) then None
-      else begin
-        let enabled = enabled_in space members in
-        let firing = firing_in g in_scc members in
-        let bad =
-          Hashtbl.fold
-            (fun p () acc -> if Hashtbl.mem firing p then acc else p :: acc)
-            enabled []
-        in
-        match bad with
-        | [] -> Some (List.sort compare members)
-        | _ ->
-          (* Remove states where a never-firing process is enabled. *)
-          let alive' = Array.make n false in
-          let kept = ref 0 in
-          List.iter
-            (fun c ->
-              let here = Statespace.enabled space c in
-              if not (List.exists (fun p -> List.mem p here) bad) then begin
-                alive'.(c) <- true;
-                incr kept
-              end)
-            members;
-          if !kept = 0 then None else search alive'
-      end
-    in
-    List.fold_left
-      (fun acc members -> match acc with Some _ -> acc | None -> try_component members)
-      None components
+   recurse. The top-level SCC decomposition is taken as an argument so
+   [analyze] can share it with the weak-fairness check. *)
+let rec strongly_fair_from space g components =
+  let n = g.n in
+  let try_component members =
+    let mask = membership n members in
+    let in_scc c = Bitset.mem mask c in
+    if not (has_internal_edge g in_scc members) then None
+    else begin
+      let enabled = enabled_in space members in
+      let firing = firing_in g in_scc members in
+      let bad =
+        Hashtbl.fold
+          (fun p () acc -> if Hashtbl.mem firing p then acc else p :: acc)
+          enabled []
+      in
+      match bad with
+      | [] -> Some (List.sort compare members)
+      | _ ->
+        (* Remove states where a never-firing process is enabled. *)
+        let alive' = Bitset.create n in
+        let kept = ref 0 in
+        List.iter
+          (fun c ->
+            let here = Statespace.enabled space c in
+            if not (List.exists (fun p -> List.mem p here) bad) then begin
+              Bitset.set alive' c;
+              incr kept
+            end)
+          members;
+        if !kept = 0 then None else strongly_fair_from space g (sccs g ~alive:alive')
+    end
   in
-  let alive = Array.map not legitimate in
-  search alive
+  List.fold_left
+    (fun acc members -> match acc with Some _ -> acc | None -> try_component members)
+    None components
+
+let alive_outside legitimate =
+  let n = Array.length legitimate in
+  let alive = Bitset.create n in
+  for c = 0 to n - 1 do
+    if not legitimate.(c) then Bitset.set alive c
+  done;
+  alive
+
+let strongly_fair_divergence space g ~legitimate =
+  strongly_fair_from space g (sccs g ~alive:(alive_outside legitimate))
 
 (* Weak fairness needs no refinement: acceptance is monotone in the
    component (see the design notes) — check maximal SCCs only. *)
-let weakly_fair_divergence space g ~legitimate =
-  let n = Array.length g.fwd in
-  let alive = Array.map not legitimate in
-  let components = sccs g ~alive in
+let weakly_fair_from space g components =
+  let n = g.n in
   let accepting members =
     let mask = membership n members in
-    let in_scc c = mask.(c) in
+    let in_scc c = Bitset.mem mask c in
     if not (has_internal_edge g in_scc members) then false
     else begin
       let firing = firing_in g in_scc members in
@@ -338,6 +621,9 @@ let weakly_fair_divergence space g ~legitimate =
   in
   List.find_opt accepting components |> Option.map (List.sort compare)
 
+let weakly_fair_divergence space g ~legitimate =
+  weakly_fair_from space g (sccs g ~alive:(alive_outside legitimate))
+
 type verdict = {
   closure : (unit, closure_violation) result;
   possible : (unit, int) result;
@@ -350,15 +636,17 @@ type verdict = {
 let analyze space cls spec =
   let g = expand space cls in
   let legitimate = Statespace.legitimate_set space spec in
-  (* Shared intermediates: the reverse adjacency (memoized on [g]) and
-     the terminal list are each derived exactly once per verdict. *)
-  let terminals = illegitimate_terminals space ~legitimate in
+  (* Shared intermediates: the reverse adjacency (memoized on [g]), the
+     terminal list, and the SCC decomposition of C \ L (used by both
+     fairness checks) are each derived exactly once per verdict. *)
+  let terminals = terminals_of g ~legitimate in
+  let components = sccs g ~alive:(alive_outside legitimate) in
   {
     closure = check_closure space g spec;
     possible = possible_convergence space g ~legitimate;
     certain = certain_of_terminals g ~legitimate ~terminals;
-    strongly_fair_diverges = strongly_fair_divergence space g ~legitimate;
-    weakly_fair_diverges = weakly_fair_divergence space g ~legitimate;
+    strongly_fair_diverges = strongly_fair_from space g components;
+    weakly_fair_diverges = weakly_fair_from space g components;
     dead_ends = terminals;
   }
 
@@ -385,17 +673,20 @@ let pp_verdict fmt v =
     (match v.weakly_fair_diverges with None -> "none" | Some w -> Printf.sprintf "witness of %d states" (List.length w))
     (List.length v.dead_ends)
 
-let pseudo_stabilizing space g ~legitimate =
-  match illegitimate_terminals space ~legitimate with
+let pseudo_stabilizing _space g ~legitimate =
+  match terminals_of g ~legitimate with
   | c :: _ -> Error (Dead_end c)
   | [] ->
-    let n = Array.length g.fwd in
-    let alive = Array.make n true in
+    let n = g.n in
+    let alive = Bitset.create n in
+    for c = 0 to n - 1 do
+      Bitset.set alive c
+    done;
     let offending =
       List.find_opt
         (fun members ->
           let mask = membership n members in
-          has_internal_edge g (fun c -> mask.(c)) members
+          has_internal_edge g (fun c -> Bitset.mem mask c) members
           && List.exists (fun c -> not legitimate.(c)) members)
         (sccs g ~alive)
     in
@@ -453,35 +744,34 @@ let k_faulty_set space ~legitimate ~k =
 let k_stabilizing space g ~legitimate ~k =
   let faulty = k_faulty_set space ~legitimate ~k in
   (* Forward closure of the faulty set. *)
-  let n = Array.length g.fwd in
-  let reachable = Array.make n false in
+  let n = g.n in
+  let reachable = Bitset.create n in
   let queue = Queue.create () in
   Array.iteri
     (fun c f ->
       if f then begin
-        reachable.(c) <- true;
+        Bitset.set reachable c;
         Queue.add c queue
       end)
     faulty;
   while not (Queue.is_empty queue) do
     let c = Queue.pop queue in
-    List.iter
-      (fun (_, succs) ->
-        Array.iter
-          (fun c' ->
-            if not reachable.(c') then begin
-              reachable.(c') <- true;
-              Queue.add c' queue
-            end)
-          succs)
-      g.fwd.(c)
+    for i = succ_lo g c to succ_hi g c - 1 do
+      let c' = g.succ.(i) in
+      if not (Bitset.mem reachable c') then begin
+        Bitset.set reachable c';
+        Queue.add c' queue
+      end
+    done
   done;
   (* Certain convergence restricted to the reachable sub-system:
      configurations outside it are treated as if legitimate (they
      cannot occur). *)
-  let restricted = Array.init n (fun c -> legitimate.(c) || not reachable.(c)) in
+  let restricted =
+    Array.init n (fun c -> legitimate.(c) || not (Bitset.mem reachable c))
+  in
   let dead_end =
-    List.find_opt (fun c -> reachable.(c)) (illegitimate_terminals space ~legitimate)
+    List.find_opt (fun c -> Bitset.mem reachable c) (terminals_of g ~legitimate)
   in
   match dead_end with
   | Some c -> Error (Dead_end c)
@@ -491,8 +781,8 @@ let k_stabilizing space g ~legitimate ~k =
     | None -> Ok ())
 
 let best_case_steps _space g ~legitimate =
-  let n = Array.length g.fwd in
-  let rev = reverse g in
+  let n = g.n in
+  let rev_off, rev = reverse g in
   let dist = Array.make n max_int in
   let queue = Queue.create () in
   Array.iteri
@@ -504,13 +794,13 @@ let best_case_steps _space g ~legitimate =
     legitimate;
   while not (Queue.is_empty queue) do
     let c = Queue.pop queue in
-    List.iter
-      (fun pred ->
-        if dist.(pred) = max_int then begin
-          dist.(pred) <- dist.(c) + 1;
-          Queue.add pred queue
-        end)
-      rev.(c)
+    for i = rev_off.(c) to rev_off.(c + 1) - 1 do
+      let pred = rev.(i) in
+      if dist.(pred) = max_int then begin
+        dist.(pred) <- dist.(c) + 1;
+        Queue.add pred queue
+      end
+    done
   done;
   dist
 
@@ -522,23 +812,20 @@ let worst_case_steps space g ~legitimate =
        topological order (iterative Kahn peeling, so deep spaces cannot
        blow the OCaml stack). A successor inside L ends the escape in
        one step; a successor outside contributes 1 + its own value. *)
-    let n = Array.length g.fwd in
+    let n = g.n in
     let value = Array.make n 0 in
     let pending = Array.make n 0 in
     let preds = Array.make n [] in
     for c = 0 to n - 1 do
       if not legitimate.(c) then
-        List.iter
-          (fun (_, succs) ->
-            Array.iter
-              (fun c' ->
-                if legitimate.(c') then value.(c) <- max value.(c) 1
-                else begin
-                  pending.(c) <- pending.(c) + 1;
-                  preds.(c') <- c :: preds.(c')
-                end)
-              succs)
-          g.fwd.(c)
+        for i = succ_lo g c to succ_hi g c - 1 do
+          let c' = g.succ.(i) in
+          if legitimate.(c') then value.(c) <- max value.(c) 1
+          else begin
+            pending.(c) <- pending.(c) + 1;
+            preds.(c') <- c :: preds.(c')
+          end
+        done
     done;
     let queue = Queue.create () in
     for c = 0 to n - 1 do

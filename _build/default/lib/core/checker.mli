@@ -21,14 +21,29 @@
       arbitrary configuration sets under synchronous steps. *)
 
 type graph
-(** Expanded transition relation of a space under a scheduler class:
-    every edge carries the activated subset. *)
+(** Expanded transition relation of a space under a scheduler class,
+    packed in compressed-sparse-row form: flat successor/offset int
+    arrays with interned activation subsets, so the graph passes below
+    run over contiguous memory. Every edge carries the activated
+    subset and its outcome probability. *)
 
 val expand : 'a Statespace.t -> Statespace.sched_class -> graph
 (** Materialize all transitions. Cost is proportional to the number of
-    (configuration, allowed subset, outcome) triples. *)
+    (configuration, allowed subset, outcome) triples; row enumeration
+    is sharded across OCaml 5 domains (deterministic merge). Results
+    are cached per ({!Statespace.uid}, class) in a small bounded
+    store, so the theorem checks, the portfolio, the quantitative
+    sweeps and {!Markov.of_space} share one expansion per space
+    instead of re-deriving it. *)
 
 val graph_edge_count : graph -> int
+
+val weighted_row : graph -> int -> (int * float) list
+(** [weighted_row g c] reads off the Markov row of [c] under the
+    uniform randomized daemon of the graph's class: each outcome's
+    probability times [1/#groups]. Entries are unmerged, in transition
+    order; terminal configurations give []. Consumed by
+    {!Markov.of_space}. *)
 
 type closure_violation =
   | Empty_legitimate_set
@@ -106,8 +121,14 @@ val reverse_build_count : unit -> int
     backward passes over the same expansion count once. *)
 
 val terminal_scan_count : unit -> int
-(** Number of full terminal scans ({!illegitimate_terminals})
-    performed so far. *)
+(** Number of full terminal scans ({!illegitimate_terminals} or the
+    graph-side equivalent) performed so far. *)
+
+val scc_build_count : unit -> int
+(** Number of Tarjan SCC decompositions performed so far. {!analyze}
+    shares one decomposition of [C \ L] between the strong- and
+    weak-fairness checks (Streett refinement may add further
+    decompositions on pruned subsets). *)
 
 val weak_stabilizing : verdict -> bool
 (** Closure holds and possible convergence holds (Definition 3). *)

@@ -11,6 +11,9 @@ let merge_row entries =
     entries;
   Hashtbl.fold (fun c w acc -> (c, w) :: acc) tbl [] |> List.sort compare
 
+(* The chain is read off the checker's packed expansion, so a space
+   analysed exhaustively and then probabilistically expands its
+   transition relation once, not twice. *)
 let of_space space randomization =
   let cls =
     match randomization with
@@ -18,20 +21,13 @@ let of_space space randomization =
     | Distributed_uniform -> Statespace.Distributed
     | Sync -> Statespace.Synchronous
   in
+  let g = Checker.expand space cls in
   let n = Statespace.count space in
   let rows = Array.make n [] in
   for c = 0 to n - 1 do
-    match Statespace.transitions space cls c with
+    match Checker.weighted_row g c with
     | [] -> rows.(c) <- [ (c, 1.0) ] (* terminal: absorbing *)
-    | transitions ->
-      let subset_weight = 1.0 /. float_of_int (List.length transitions) in
-      let entries =
-        List.concat_map
-          (fun (_, outcomes) ->
-            List.map (fun (c', w) -> (c', w *. subset_weight)) outcomes)
-          transitions
-      in
-      rows.(c) <- merge_row entries
+    | entries -> rows.(c) <- merge_row entries
   done;
   { rows }
 

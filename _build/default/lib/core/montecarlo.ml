@@ -55,24 +55,50 @@ let estimate_parallel ?domains ~runs ~max_steps rng protocol scheduler spec =
   let domains =
     match domains with Some d -> max 1 d | None -> Domain.recommended_domain_count ()
   in
-  let shard_sizes =
-    List.init domains (fun i -> (runs / domains) + if i < runs mod domains then 1 else 0)
-  in
-  (* Split the streams BEFORE spawning so the derivation order is
-     deterministic regardless of scheduling. *)
-  let shards =
-    List.filter_map
-      (fun size -> if size = 0 then None else Some (size, Stabrng.Rng.split rng))
-      shard_sizes
-  in
-  let workers =
-    List.map
-      (fun (size, stream) ->
-        Domain.spawn (fun () ->
-            estimate ~runs:size ~max_steps stream protocol scheduler spec))
-      shards
-  in
-  merge (List.map Domain.join workers)
+  if domains <= 1 || runs <= 1 then estimate ~runs ~max_steps rng protocol scheduler spec
+  else begin
+    (* Split one stream per run BEFORE spawning, in exactly the order
+       the sequential [estimate] loop would: run [r]'s outcome is a
+       pure function of its pre-split stream, so the pooled sample is
+       identical to the sequential one for the same seed, whatever the
+       domain count or scheduling. *)
+    let streams = Array.make runs rng in
+    for r = 0 to runs - 1 do
+      streams.(r) <- Stabrng.Rng.split rng
+    done;
+    let out = Array.make runs None in
+    let fill lo hi =
+      for r = lo to hi - 1 do
+        let stream = streams.(r) in
+        let init = Protocol.random_config stream protocol in
+        out.(r) <- Engine.convergence_cost ~max_steps stream protocol scheduler spec ~init
+      done
+    in
+    let chunk = (runs + domains - 1) / domains in
+    let spawned =
+      List.init (domains - 1) (fun i ->
+          let lo = (i + 1) * chunk in
+          let hi = min runs (lo + chunk) in
+          Domain.spawn (fun () -> fill lo hi))
+    in
+    fill 0 (min runs chunk);
+    List.iter Domain.join spawned;
+    (* Reassemble in run order, as [collect] does. *)
+    let times = ref [] in
+    let rounds = ref [] in
+    let timeouts = ref 0 in
+    for r = runs - 1 downto 0 do
+      match out.(r) with
+      | Some (steps, rnds) ->
+        times := steps :: !times;
+        rounds := rnds :: !rounds
+      | None -> incr timeouts
+    done;
+    of_samples
+      ~times:(Array.of_list !times)
+      ~rounds:(Array.of_list !rounds)
+      ~timeouts:!timeouts
+  end
 
 let pp_result fmt r =
   match (r.summary, r.rounds_summary) with

@@ -49,11 +49,14 @@ val estimate_parallel :
   'a Spec.t ->
   result
 (** Like {!estimate}, but sharded across [domains] OCaml 5 domains
-    (default: [Domain.recommended_domain_count ()]). Each shard derives
-    an independent RNG stream by splitting [rng] before spawning, so
-    results are deterministic for a given (seed, domains) pair —
-    though not equal to the sequential {!estimate} sample for the same
-    seed. *)
+    (default: [Domain.recommended_domain_count ()]). One RNG stream is
+    split off [rng] per run, in the sequential order, before any
+    domain spawns; each run's outcome is a pure function of its
+    stream, so the pooled result equals the sequential {!estimate}
+    sample for the same seed — whatever the domain count. (Stateful
+    schedulers such as round-robin are shared across domains and
+    should not be used here; the randomized schedulers read only the
+    per-run stream.) *)
 
 val merge : result list -> result
 (** Pool samples from independent estimations. *)

@@ -5,9 +5,13 @@ let pp_sched_class fmt = function
   | Distributed -> Format.pp_print_string fmt "distributed"
   | Synchronous -> Format.pp_print_string fmt "synchronous"
 
-type 'a t = { protocol : 'a Protocol.t; encoding : 'a Encoding.t }
+type 'a t = { protocol : 'a Protocol.t; encoding : 'a Encoding.t; uid : int }
 
 let default_max_configs = 2_000_000
+
+(* Every space gets a process-unique id so expansion caches (see
+   Checker) can key on identity without retaining the space itself. *)
+let next_uid = Atomic.make 0
 
 let build ?(max_configs = default_max_configs) protocol =
   let encoding = Encoding.of_protocol protocol in
@@ -15,10 +19,11 @@ let build ?(max_configs = default_max_configs) protocol =
     invalid_arg
       (Printf.sprintf "Statespace.build: %d configurations exceed the %d limit"
          (Encoding.count encoding) max_configs);
-  { protocol; encoding }
+  { protocol; encoding; uid = Atomic.fetch_and_add next_uid 1 }
 
 let protocol t = t.protocol
 let encoding t = t.encoding
+let uid t = t.uid
 let count t = Encoding.count t.encoding
 let config t c = Encoding.decode t.encoding c
 let code t cfg = Encoding.encode t.encoding cfg
@@ -30,45 +35,53 @@ let legitimate_set t spec =
   Encoding.iter t.encoding (fun c cfg -> out.(c) <- spec.Spec.legitimate cfg);
   out
 
-(* Non-empty subsets of [items] enumerated via bitmasks. Item count is
-   bounded by the process count, itself small in exhaustive analyses. *)
-let nonempty_subsets items =
+(* Non-empty subsets of [items], streamed straight from the bitmask
+   loop in ascending mask order (so subset [i] alone comes before
+   subsets containing later items). Item count is bounded by the
+   process count, itself small in exhaustive analyses. *)
+let iter_nonempty_subsets items f =
   let arr = Array.of_list items in
   let k = Array.length arr in
   if k > 20 then invalid_arg "Statespace: too many enabled processes to enumerate subsets";
-  let out = ref [] in
-  for mask = (1 lsl k) - 1 downto 1 do
+  for mask = 1 to (1 lsl k) - 1 do
     let subset = ref [] in
     for i = k - 1 downto 0 do
       if mask land (1 lsl i) <> 0 then subset := arr.(i) :: !subset
     done;
-    out := !subset :: !out
-  done;
-  !out
+    f !subset
+  done
 
 let subset_count k = (1 lsl k) - 1
 
-let active_sets t cls c =
-  match enabled t c with
-  | [] -> []
-  | enabled -> (
+(* Streamed transition enumeration: the distributed class visits the
+   2^k - 1 activation subsets without ever materializing the subset
+   list, which is what graph expansion consumes. Group order is
+   identical to {!transitions}. *)
+let fold_transitions t cls c ~init ~f =
+  let cfg = config t c in
+  let step acc active =
+    let outcomes = Protocol.step_outcomes t.protocol cfg active in
+    f acc active
+      (List.map (fun (next, w) -> (Encoding.encode t.encoding next, w)) outcomes)
+  in
+  match Protocol.enabled_processes t.protocol cfg with
+  | [] -> init
+  | en -> (
     match cls with
-    | Central -> List.map (fun p -> [ p ]) enabled
-    | Synchronous -> [ enabled ]
-    | Distributed -> nonempty_subsets enabled)
+    | Central -> List.fold_left (fun acc p -> step acc [ p ]) init en
+    | Synchronous -> step init en
+    | Distributed ->
+      let acc = ref init in
+      iter_nonempty_subsets en (fun subset -> acc := step !acc subset);
+      !acc)
 
 let transitions t cls c =
-  let cfg = config t c in
-  List.map
-    (fun active ->
-      let outcomes = Protocol.step_outcomes t.protocol cfg active in
-      (active, List.map (fun (next, w) -> (Encoding.encode t.encoding next, w)) outcomes))
-    (active_sets t cls c)
+  List.rev
+    (fold_transitions t cls c ~init:[] ~f:(fun acc active outcomes ->
+         (active, outcomes) :: acc))
 
 let successors t cls c =
   let seen = Hashtbl.create 16 in
-  List.iter
-    (fun (_, outcomes) ->
-      List.iter (fun (c', _) -> Hashtbl.replace seen c' ()) outcomes)
-    (transitions t cls c);
+  fold_transitions t cls c ~init:() ~f:(fun () _ outcomes ->
+      List.iter (fun (c', _) -> Hashtbl.replace seen c' ()) outcomes);
   Hashtbl.fold (fun c' () acc -> c' :: acc) seen [] |> List.sort compare

@@ -24,6 +24,11 @@ val protocol : 'a t -> 'a Protocol.t
 val encoding : 'a t -> 'a Encoding.t
 val count : 'a t -> int
 
+val uid : 'a t -> int
+(** Process-unique identity of this space, assigned at {!build}.
+    Expansion caches key on [(uid, class)] so two builds of the same
+    protocol are never conflated. *)
+
 val config : 'a t -> int -> 'a array
 (** Decode a configuration code. *)
 
@@ -41,6 +46,18 @@ val transitions : 'a t -> sched_class -> int -> (int list * (int * float) list) 
     with the distribution over successor codes (singleton distributions
     for deterministic protocols). Terminal configurations have no
     transitions. *)
+
+val fold_transitions :
+  'a t ->
+  sched_class ->
+  int ->
+  init:'acc ->
+  f:('acc -> int list -> (int * float) list -> 'acc) ->
+  'acc
+(** Streamed version of {!transitions}: calls [f] once per allowed
+    step, in the same order, without materializing the subset list —
+    under the distributed class this avoids building all [2^k - 1]
+    activation subsets up front. Graph expansion consumes this. *)
 
 val successors : 'a t -> sched_class -> int -> int list
 (** De-duplicated successor codes over all subsets and outcomes. *)

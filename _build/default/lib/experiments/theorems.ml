@@ -149,6 +149,36 @@ let theorem4 ?(max_n = 6) () =
   in
   { id = "T4"; claim = "Algorithm 2: weak-stabilizing leader election on trees"; rows }
 
+(* Gouda's observation, stated as the paper's Theorem 5: in a finite
+   system, weak stabilization already implies probabilistic
+   self-stabilization once the daemon is made uniformly random —
+   possible convergence plus positive-probability steps give
+   probability-1 convergence. Checked by pairing the exhaustive weak
+   verdict with probability-1 reachability in the induced Markov
+   chain, and quantified through its expected hitting times. *)
+let theorem5 () =
+  let check (Instance (label, p, spec)) =
+    let space = Statespace.build p in
+    let v = Checker.analyze space Statespace.Distributed spec in
+    let weak = Checker.weak_stabilizing v in
+    let legitimate = Statespace.legitimate_set space spec in
+    let chain = Markov.of_space space Markov.Distributed_uniform in
+    let prob1 = Result.is_ok (Markov.converges_with_prob_one chain ~legitimate) in
+    let detail =
+      if weak && prob1 then
+        Printf.sprintf "weak=true prob1=true mean-hit=%.2f max-hit=%.2f"
+          (Markov.mean_hitting_time chain ~legitimate)
+          (Markov.max_hitting_time chain ~legitimate)
+      else Printf.sprintf "weak=%b prob1=%b" weak prob1
+    in
+    { label; holds = (not weak) || prob1; detail }
+  in
+  {
+    id = "T5";
+    claim = "finite weak-stabilizing => probabilistic self-stabilization (uniform daemon)";
+    rows = List.map check (small_instances ());
+  }
+
 (* The Theorem 6 lasso: alternate the two token holders of a 6-ring
    until the configuration recurs. *)
 let thm6_lasso () =
@@ -286,6 +316,7 @@ let all () =
     theorem2 ();
     theorem3 ();
     theorem4 ();
+    theorem5 ();
     theorem6 ();
     theorem7 ();
     theorems8_9 ();

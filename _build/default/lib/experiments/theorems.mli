@@ -28,6 +28,11 @@ val theorem4 : ?max_n:int -> unit -> result
 (** Algorithm 2 is weak- but not self-stabilizing on every tree with up
     to [max_n] (default 6) nodes. *)
 
+val theorem5 : unit -> result
+(** Gouda's implication: every finite weak-stabilizing instance
+    converges with probability 1 under the uniform randomized
+    distributed daemon, with its expected hitting times as detail. *)
+
 val theorem6 : unit -> result
 (** The alternating two-token execution on the 6-ring is strongly fair,
     never converges, and is not Gouda-fair. *)
@@ -42,4 +47,4 @@ val theorems8_9 : unit -> result
     synchronous and distributed randomized schedulers, with closure. *)
 
 val all : unit -> result list
-(** T1, T2, T3, T4, T6, T7, T8/9 in order. *)
+(** T1, T2, T3, T4, T5, T6, T7, T8/9 in order. *)

@@ -1,0 +1,1 @@
+test/test_bitset.ml: Alcotest Array Bitset List Stabcore

@@ -5,6 +5,7 @@ let () =
     [
       ("rng", Test_rng.suite);
       ("graph", Test_graph.suite);
+      ("bitset", Test_bitset.suite);
       ("matrix", Test_matrix.suite);
       ("stats", Test_stats.suite);
       ("encoding", Test_encoding.suite);

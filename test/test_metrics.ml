@@ -303,6 +303,33 @@ let test_parallel_montecarlo_deterministic () =
   in
   Alcotest.(check (list int)) "same seed, same pooled samples" (sample ()) (sample ())
 
+let test_parallel_equals_serial () =
+  (* Streams are pre-split per run in sequential order, so the parallel
+     estimator must reproduce the serial sample exactly — same times,
+     same order — whatever the domain count. *)
+  let n = 4 in
+  let p = Stabalgo.Token_ring.make ~n in
+  let spec = Stabalgo.Token_ring.spec ~n in
+  let serial =
+    Montecarlo.estimate ~runs:60 ~max_steps:10_000 (Stabrng.Rng.create 321) p
+      (Scheduler.central_random ()) spec
+  in
+  let parallel =
+    Montecarlo.estimate_parallel ~domains:3 ~runs:60 ~max_steps:10_000
+      (Stabrng.Rng.create 321) p
+      (Scheduler.central_random ()) spec
+  in
+  Alcotest.(check (list int))
+    "same times, same order"
+    (Array.to_list serial.Montecarlo.times)
+    (Array.to_list parallel.Montecarlo.times);
+  Alcotest.(check (list int))
+    "same rounds, same order"
+    (Array.to_list serial.Montecarlo.rounds)
+    (Array.to_list parallel.Montecarlo.rounds);
+  Alcotest.(check int) "same timeouts" serial.Montecarlo.timeouts
+    parallel.Montecarlo.timeouts
+
 let test_merge () =
   let a = Montecarlo.of_samples ~times:[| 1; 2 |] ~rounds:[| 1; 1 |] ~timeouts:1 in
   let b = Montecarlo.of_samples ~times:[| 3 |] ~rounds:[| 2 |] ~timeouts:0 in
@@ -317,6 +344,7 @@ let parallel_suite =
   [
     Alcotest.test_case "parallel counts" `Quick test_parallel_montecarlo_counts;
     Alcotest.test_case "parallel deterministic" `Quick test_parallel_montecarlo_deterministic;
+    Alcotest.test_case "parallel equals serial" `Quick test_parallel_equals_serial;
     Alcotest.test_case "merge" `Quick test_merge;
   ]
 
