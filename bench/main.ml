@@ -15,6 +15,62 @@ open Bechamel
 
 let stage_unit f = Staged.stage (fun () -> ignore (f ()))
 
+(* The resilience campaign of ISSUE 2: exact per-k recovery metrics on
+   the packed graph (token ring, N = 7, k = 1..3) plus a 500-run
+   availability estimate under periodic injection. *)
+let faults_campaign () =
+  let n = 7 in
+  let p = Stabalgo.Token_ring.make ~n in
+  let spec = Stabalgo.Token_ring.spec ~n in
+  let space = Stabcore.Statespace.build p in
+  let metrics =
+    Stabcore.Resilience.analyze space Stabcore.Statespace.Central spec ~ks:[ 0; 1; 2; 3 ]
+  in
+  let plan = Stabcore.Faults.periodic p ~gap:50 ~faults:1 in
+  let availability =
+    Stabcore.Faults.availability_profile ~runs:500 ~horizon:2000
+      (Stabrng.Rng.create 42) p
+      (Stabcore.Scheduler.central_random ())
+      spec ~plan
+      ~init:(Stabalgo.Token_ring.legitimate_config ~n)
+  in
+  (metrics, availability)
+
+let print_faults_campaign () =
+  let metrics, availability = faults_campaign () in
+  let t =
+    Stabexp.Report.create
+      ~title:"faults-campaign: token ring N=7, exact recovery radius + availability"
+      ~columns:
+        [ "k"; "faulty"; "worst case"; "prob-1"; "E[recovery] mean"; "E[recovery] max" ]
+  in
+  List.iter
+    (fun (m : Stabcore.Resilience.metric) ->
+      Stabexp.Report.add_row t
+        [
+          Stabexp.Report.cell_int m.Stabcore.Resilience.k;
+          Stabexp.Report.cell_int m.Stabcore.Resilience.faulty_configs;
+          (match m.Stabcore.Resilience.worst_case with
+          | Some w -> Stabexp.Report.cell_int w
+          | None -> "unbounded");
+          Stabexp.Report.cell_bool m.Stabcore.Resilience.prob_one;
+          (match m.Stabcore.Resilience.expected_mean with
+          | Some v -> Stabexp.Report.cell_float v
+          | None -> "-");
+          (match m.Stabcore.Resilience.expected_max with
+          | Some v -> Stabexp.Report.cell_float v
+          | None -> "-");
+        ])
+    metrics;
+  Stabexp.Report.print t;
+  let r = Stabcore.Resilience.radius_of metrics in
+  Printf.printf
+    "   radius (k <= %d): adversarial %d, probabilistic %d\n\
+    \   availability under periodic(gap=50,k=1), 500 runs: mean %.4f [%.4f, %.4f]\n\n"
+    r.Stabcore.Resilience.max_k r.Stabcore.Resilience.adversarial
+    r.Stabcore.Resilience.probabilistic availability.Stabstats.Stats.mean
+    availability.Stabstats.Stats.ci95_low availability.Stabstats.Stats.ci95_high
+
 let tests =
   [
     Test.make ~name:"fig1-token-trace" (stage_unit (fun () -> Stabexp.Figures.fig1 ()));
@@ -48,6 +104,7 @@ let tests =
       (stage_unit (fun () -> Stabexp.Quantitative.e9_sync_orbit_census ~quick:true ()));
     Test.make ~name:"e8-dijkstra-threshold"
       (stage_unit (fun () -> Stabexp.Portfolio.dijkstra_k_threshold ~max_n:4 ()));
+    Test.make ~name:"faults-campaign" (stage_unit faults_campaign);
   ]
 
 let benchmark () =
@@ -143,11 +200,17 @@ let print_quantitative () =
   Stabexp.Report.print (Stabexp.Quantitative.e7_convergence_curves ~quick:true ());
   Stabexp.Report.print (Stabexp.Quantitative.e9_sync_orbit_census ~quick:true ());
   Stabexp.Report.print (Stabexp.Quantitative.e10_fault_recovery ~quick:true ());
+  Stabexp.Report.print (Stabexp.Quantitative.e11_availability ~quick:true ());
   Stabexp.Report.print (Stabexp.Portfolio.dijkstra_k_threshold ());
   let _, portfolio = Stabexp.Portfolio.classify () in
   Stabexp.Report.print portfolio;
   let _, taxonomy = Stabexp.Portfolio.taxonomy () in
-  Stabexp.Report.print taxonomy
+  Stabexp.Report.print taxonomy;
+  let _, crash = Stabexp.Portfolio.crash_resilience () in
+  Stabexp.Report.print crash;
+  let _, radii = Stabexp.Portfolio.resilience_radii () in
+  Stabexp.Report.print radii;
+  print_faults_campaign ()
 
 let () =
   print_endline "=== Part 1: micro-benchmarks (bechamel, OLS on monotonic clock) ===\n";

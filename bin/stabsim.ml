@@ -35,42 +35,72 @@ let steps_arg =
   let doc = "Maximum number of steps to simulate." in
   Arg.(value & opt int 50 & info [ "steps" ] ~docv:"STEPS" ~doc)
 
+(* Scheduler/class/randomization names are validated at parse time
+   (Arg.enum), so a typo yields cmdliner's one-line usage error and a
+   non-zero exit instead of an exception from deep inside a run. *)
+let scheduler_names =
+  [
+    ("central-random", `Central_random);
+    ("distributed-random", `Distributed_random);
+    ("synchronous", `Synchronous);
+    ("central-first", `Central_first);
+    ("round-robin", `Round_robin);
+  ]
+
 let scheduler_arg =
   let doc =
     "Scheduler: central-random, distributed-random, synchronous, central-first, \
      round-robin."
   in
-  Arg.(value & opt string "distributed-random" & info [ "s"; "scheduler" ] ~docv:"SCHED" ~doc)
+  Arg.(
+    value
+    & opt (enum scheduler_names) `Distributed_random
+    & info [ "s"; "scheduler" ] ~docv:"SCHED" ~doc)
+
+let scheduler_label kind =
+  fst (List.find (fun (_, k) -> k = kind) scheduler_names)
+
+let instantiate_scheduler : type a. _ -> a Stabcore.Scheduler.t = function
+  | `Central_random -> Stabcore.Scheduler.central_random ()
+  | `Distributed_random -> Stabcore.Scheduler.distributed_random ()
+  | `Synchronous -> Stabcore.Scheduler.synchronous ()
+  | `Central_first -> Stabcore.Scheduler.central_first ()
+  | `Round_robin -> Stabcore.Scheduler.round_robin ()
 
 let sched_class_arg =
   let doc = "Scheduler class for exhaustive checking: central, distributed, synchronous." in
-  Arg.(value & opt string "distributed" & info [ "class" ] ~docv:"CLASS" ~doc)
+  Arg.(
+    value
+    & opt
+        (enum
+           [
+             ("central", Stabcore.Statespace.Central);
+             ("distributed", Stabcore.Statespace.Distributed);
+             ("synchronous", Stabcore.Statespace.Synchronous);
+           ])
+        Stabcore.Statespace.Distributed
+    & info [ "class" ] ~docv:"CLASS" ~doc)
+
+(* The simulation face of a scheduler class: its uniform randomized
+   daemon (Definition 6). *)
+let class_scheduler : type a. Stabcore.Statespace.sched_class -> a Stabcore.Scheduler.t =
+  function
+  | Stabcore.Statespace.Central -> Stabcore.Scheduler.central_random ()
+  | Stabcore.Statespace.Distributed -> Stabcore.Scheduler.distributed_random ()
+  | Stabcore.Statespace.Synchronous -> Stabcore.Scheduler.synchronous ()
 
 let quick_arg =
   let doc = "Keep experiment instance sizes small (fast); disable for the full sweep." in
   Arg.(value & opt bool true & info [ "quick" ] ~docv:"BOOL" ~doc)
 
-let scheduler_of_string : type a. string -> a Stabcore.Scheduler.t = function
-  | "central-random" -> Stabcore.Scheduler.central_random ()
-  | "distributed-random" -> Stabcore.Scheduler.distributed_random ()
-  | "synchronous" -> Stabcore.Scheduler.synchronous ()
-  | "central-first" -> Stabcore.Scheduler.central_first ()
-  | "round-robin" -> Stabcore.Scheduler.round_robin ()
-  | other -> invalid_arg ("unknown scheduler " ^ other)
+let crash_arg =
+  let doc = "Crash-fault the listed processes (comma-separated ids)." in
+  Arg.(value & opt (list int) [] & info [ "crash" ] ~docv:"I,J,..." ~doc)
 
-let sched_class_of_string = function
-  | "central" -> Stabcore.Statespace.Central
-  | "distributed" -> Stabcore.Statespace.Distributed
-  | "synchronous" -> Stabcore.Statespace.Synchronous
-  | other -> invalid_arg ("unknown scheduler class " ^ other)
-
-let randomization_of_string = function
-  | "central-random" | "central" -> Stabcore.Markov.Central_uniform
-  | "distributed-random" | "distributed" -> Stabcore.Markov.Distributed_uniform
-  | "synchronous" | "sync" -> Stabcore.Markov.Sync
-  | other -> invalid_arg ("unknown randomization " ^ other)
-
-let wrap f = try Ok (f ()) with Invalid_argument msg | Failure msg -> Error (`Msg msg)
+let wrap f =
+  try Ok (f ()) with
+  | Invalid_argument msg | Failure msg -> Error (`Msg msg)
+  | Sys_error msg -> Error (`Msg msg)
 
 let file_arg =
   let doc =
@@ -110,44 +140,66 @@ let resolve ~protocol ~topology ~transformed ~file =
 (* --- trace --- *)
 
 let trace_cmd =
-  let run protocol topology transformed file seed steps scheduler =
+  let run protocol topology transformed file seed steps scheduler crash wake_p =
     wrap (fun () ->
         let (Stabexp.Registry.Entry e) = resolve ~protocol ~topology ~transformed ~file in
         let rng = Stabrng.Rng.create seed in
-        let sched = scheduler_of_string scheduler in
+        let sched = instantiate_scheduler scheduler in
+        let sched =
+          if crash = [] then sched
+          else Stabcore.Scheduler.crash ~wake_p ~failed:crash sched
+        in
         let init = Stabcore.Protocol.random_config rng e.protocol in
         let result =
           Stabcore.Engine.run ~stop_on:e.spec ~max_steps:steps rng e.protocol sched ~init
         in
         Format.printf "%s under %s (seed %d)@.%s@.@.%a@.@.stop: %s after %d steps@."
-          e.label scheduler seed e.describe
+          e.label sched.Stabcore.Scheduler.name seed e.describe
           (Stabcore.Trace.pp e.protocol)
           result.Stabcore.Engine.trace
           (match result.Stabcore.Engine.stop with
           | Stabcore.Engine.Converged -> "converged to the legitimate set"
           | Stabcore.Engine.Terminal -> "reached a terminal configuration"
-          | Stabcore.Engine.Exhausted -> "step budget exhausted")
+          | Stabcore.Engine.Exhausted -> "step budget exhausted"
+          | Stabcore.Engine.Stalled -> "stalled: every enabled process is crashed")
           result.Stabcore.Engine.steps)
+  in
+  let wake_p_arg =
+    let doc =
+      "Wake probability for crashed processes (0 = permanent crash; intermittent \
+       otherwise)."
+    in
+    Arg.(value & opt float 0.0 & info [ "wake-p" ] ~docv:"P" ~doc)
   in
   let term =
     Term.(
       term_result
         (const run $ protocol_arg $ topology_arg $ transformed_arg $ file_arg $ seed_arg
-       $ steps_arg $ scheduler_arg))
+       $ steps_arg $ scheduler_arg $ crash_arg $ wake_p_arg))
   in
   Cmd.v (Cmd.info "trace" ~doc:"Simulate one execution and print its trace.") term
 
 (* --- check --- *)
 
 let check_cmd =
-  let run protocol topology transformed file cls =
+  let run protocol topology transformed file cls crash =
     wrap (fun () ->
         let (Stabexp.Registry.Entry e) = resolve ~protocol ~topology ~transformed ~file in
-        let cls = sched_class_of_string cls in
-        let space = Stabcore.Statespace.build e.protocol in
+        (* --crash asks the Dolev-Herman question: does stabilization
+           survive when these processes permanently stop executing?
+           Decided exhaustively on the induced sub-protocol. *)
+        let protocol, label =
+          if crash = [] then (e.protocol, e.label)
+          else
+            let crashed = Stabcore.Faults.crash_protocol e.protocol ~failed:crash in
+            ( crashed,
+              Printf.sprintf "%s, crash-faulted [%s]" e.label
+                (String.concat "," (List.map string_of_int crash)) )
+        in
+        let space = Stabcore.Statespace.build protocol in
         let v = Stabcore.Checker.analyze space cls e.spec in
         Format.printf "%s under the %a class (%d configurations)@.%s@.@.%a@.@."
-          e.label Stabcore.Statespace.pp_sched_class cls
+          label Stabcore.Statespace.pp_sched_class cls
           (Stabcore.Statespace.count space)
           e.describe Stabcore.Checker.pp_verdict v;
         Format.printf "verdicts:@.  weak-stabilizing: %b@.  self-stabilizing (unfair): %b@.  \
@@ -161,7 +213,7 @@ let check_cmd =
     Term.(
       term_result
         (const run $ protocol_arg $ topology_arg $ transformed_arg $ file_arg
-       $ sched_class_arg))
+       $ sched_class_arg $ crash_arg))
   in
   Cmd.v
     (Cmd.info "check" ~doc:"Exhaustively decide weak/self stabilization (small instances).")
@@ -170,10 +222,15 @@ let check_cmd =
 (* --- markov --- *)
 
 let markov_cmd =
-  let run protocol topology transformed file randomization =
+  let run protocol topology transformed file r =
     wrap (fun () ->
         let (Stabexp.Registry.Entry e) = resolve ~protocol ~topology ~transformed ~file in
-        let r = randomization_of_string randomization in
+        let randomization =
+          match r with
+          | Stabcore.Markov.Central_uniform -> "central-random"
+          | Stabcore.Markov.Distributed_uniform -> "distributed-random"
+          | Stabcore.Markov.Sync -> "synchronous"
+        in
         let space = Stabcore.Statespace.build e.protocol in
         let legitimate = Stabcore.Statespace.legitimate_set space e.spec in
         let chain = Stabcore.Markov.of_space space r in
@@ -198,7 +255,17 @@ let markov_cmd =
   in
   let randomization_arg =
     let doc = "Randomized daemon: central-random, distributed-random, synchronous." in
-    Arg.(value & opt string "distributed-random" & info [ "r"; "randomization" ] ~docv:"R" ~doc)
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("central-random", Stabcore.Markov.Central_uniform);
+               ("distributed-random", Stabcore.Markov.Distributed_uniform);
+               ("synchronous", Stabcore.Markov.Sync);
+             ])
+          Stabcore.Markov.Distributed_uniform
+      & info [ "r"; "randomization" ] ~docv:"R" ~doc)
   in
   let term =
     Term.(
@@ -218,12 +285,12 @@ let montecarlo_cmd =
     wrap (fun () ->
         let (Stabexp.Registry.Entry e) = resolve ~protocol ~topology ~transformed ~file in
         let rng = Stabrng.Rng.create seed in
-        let sched = scheduler_of_string scheduler in
+        let sched = instantiate_scheduler scheduler in
         let result =
           Stabcore.Montecarlo.estimate ~runs ~max_steps rng e.protocol sched e.spec
         in
         Format.printf "%s under %s: %d runs from uniform initial configurations@.%a@."
-          e.label scheduler runs Stabcore.Montecarlo.pp_result result)
+          e.label (scheduler_label scheduler) runs Stabcore.Montecarlo.pp_result result)
   in
   let runs_arg =
     Arg.(value & opt int 1000 & info [ "runs" ] ~docv:"RUNS" ~doc:"Number of sampled runs.")
@@ -247,7 +314,6 @@ let reach_cmd =
   let run protocol topology transformed file cls seed inits max_states =
     wrap (fun () ->
         let (Stabexp.Registry.Entry e) = resolve ~protocol ~topology ~transformed ~file in
-        let cls = sched_class_of_string cls in
         let space = Stabcore.Statespace.build ~max_configs:max_int e.protocol in
         let rng = Stabrng.Rng.create seed in
         let init_configs =
@@ -323,44 +389,160 @@ let orbit_cmd =
        ~doc:"Census of synchronous limit cycles (how prevalent Figure-3 oscillations are).")
     term
 
-(* --- faults (recovery profiling) --- *)
+(* --- faults (the resilience lab) --- *)
+
+(* Find a legitimate configuration to corrupt by simulation — the
+   fallback when the space is too large to enumerate [L] exactly. *)
+let hunt_legitimate_start rng (p : 'a Stabcore.Protocol.t) spec =
+  let rec hunt attempts =
+    if attempts = 0 then
+      failwith "could not reach a legitimate configuration to corrupt"
+    else begin
+      let init = Stabcore.Protocol.random_config rng p in
+      let r =
+        Stabcore.Engine.run ~record:false ~stop_on:spec ~max_steps:100_000 rng p
+          (Stabcore.Scheduler.central_random ())
+          ~init
+      in
+      if r.Stabcore.Engine.stop = Stabcore.Engine.Converged then r.Stabcore.Engine.final
+      else hunt (attempts - 1)
+    end
+  in
+  hunt 50
 
 let faults_cmd =
-  let run protocol topology transformed file seed faults runs =
+  let run protocol topology transformed file cls seed ks runs horizon gap max_configs =
     wrap (fun () ->
         let (Stabexp.Registry.Entry e) = resolve ~protocol ~topology ~transformed ~file in
+        let ks = List.sort_uniq compare ks in
+        if ks = [] then invalid_arg "no fault counts given";
+        if List.exists (fun k -> k < 0) ks then invalid_arg "negative fault count";
+        let sched = class_scheduler cls in
         let rng = Stabrng.Rng.create seed in
-        (* Find a legitimate starting configuration by simulation. *)
-        let start =
-          let rec hunt attempts =
-            if attempts = 0 then
-              failwith "could not reach a legitimate configuration to corrupt"
-            else begin
-              let init = Stabcore.Protocol.random_config rng e.protocol in
-              let r =
-                Stabcore.Engine.run ~record:false ~stop_on:e.spec ~max_steps:100_000 rng
-                  e.protocol
-                  (Stabcore.Scheduler.central_random ())
-                  ~init
-              in
-              if r.Stabcore.Engine.stop = Stabcore.Engine.Converged then r.Stabcore.Engine.final
-              else hunt (attempts - 1)
-            end
+        let availability_line start k =
+          let plan = Stabcore.Faults.periodic e.protocol ~gap ~faults:k in
+          let s =
+            Stabcore.Faults.availability_profile ~runs ~horizon rng e.protocol sched
+              e.spec ~plan ~init:start
           in
-          hunt 50
+          Format.printf
+            "  k = %d under %s: mean availability %.4f (ci95 [%.4f, %.4f], min %.4f over \
+             %d runs)@."
+            k
+            (Stabcore.Faults.plan_name plan)
+            s.Stabstats.Stats.mean s.Stabstats.Stats.ci95_low s.Stabstats.Stats.ci95_high
+            s.Stabstats.Stats.min s.Stabstats.Stats.count
         in
-        Format.printf "%s: recovery from injected faults (central randomized daemon)@."
-          e.label;
-        Format.printf "stabilized start: %a@.@." (Stabcore.Protocol.pp_config e.protocol) start;
-        List.iter
-          (fun k ->
-            let profile =
-              Stabcore.Faults.recovery_profile ~runs ~max_steps:1_000_000 rng e.protocol
-                (Stabcore.Scheduler.central_random ())
-                e.spec ~from:start ~faults:k
+        let montecarlo_block start =
+          Format.printf "sampled recovery from a stabilized start, %s daemon:@."
+            sched.Stabcore.Scheduler.name;
+          List.iter
+            (fun k ->
+              let profile =
+                Stabcore.Faults.recovery_profile ~runs ~max_steps:1_000_000 rng e.protocol
+                  sched e.spec ~from:start ~faults:k
+              in
+              Format.printf "  k = %d faults: %a@." k Stabcore.Montecarlo.pp_result
+                profile)
+            ks;
+          Format.printf "availability under recurrent faults (horizon %d steps):@." horizon;
+          List.iter (availability_line start) ks
+        in
+        match Stabcore.Statespace.plan ~max_configs e.protocol with
+        | `Exact space ->
+          let n = Stabcore.Statespace.count space in
+          Format.printf "%s resilience under the %a class (%d configurations, exact)@.%s@.@."
+            e.label Stabcore.Statespace.pp_sched_class cls n e.describe;
+          let max_k = List.fold_left max 0 ks in
+          (* Metrics for every budget up to the largest requested: the
+             intermediate budgets are what make the radius exact. *)
+          let metrics =
+            Stabcore.Resilience.analyze space cls e.spec
+              ~ks:(List.init (max_k + 1) Fun.id)
+          in
+          List.iter
+            (fun (m : Stabcore.Resilience.metric) ->
+              if List.mem m.k ks then begin
+                Format.printf
+                  "k = %d: %d faulty configurations (%d outside L)@.  guaranteed \
+                   recovery: %s@.  prob-1 recovery under the randomized daemon: %b@."
+                  m.k m.faulty_configs m.corrupted_configs
+                  (match m.worst_case with
+                  | Some w -> Printf.sprintf "yes (exact worst case %d steps)" w
+                  | None -> "no (worst case unbounded)")
+                  m.prob_one;
+                (match (m.expected_mean, m.expected_max) with
+                | Some mean, Some worst ->
+                  Format.printf
+                    "  expected recovery: mean %.4f steps, worst faulty configuration \
+                     %.4f steps@."
+                    mean worst
+                | _ ->
+                  Format.printf
+                    "  expected recovery: undefined (not probabilistically stabilizing \
+                     from all of C)@.")
+              end)
+            metrics;
+          let r = Stabcore.Resilience.radius_of metrics in
+          Format.printf
+            "resilience radius (k <= %d): adversarial %d, probabilistic %d@.@."
+            r.Stabcore.Resilience.max_k r.Stabcore.Resilience.adversarial
+            r.Stabcore.Resilience.probabilistic;
+          let legitimate = Stabcore.Statespace.legitimate_set space e.spec in
+          let start =
+            let rec first c =
+              if c >= n then failwith "empty legitimate set: nothing to corrupt"
+              else if legitimate.(c) then Stabcore.Statespace.config space c
+              else first (c + 1)
             in
-            Format.printf "k = %d faults: %a@." k Stabcore.Montecarlo.pp_result profile)
-          faults)
+            first 0
+          in
+          Format.printf "availability under recurrent faults (horizon %d steps):@." horizon;
+          List.iter (availability_line start) ks
+        | `Onthefly space ->
+          Format.eprintf
+            "warning: %d configurations exceed the exact budget (--max-configs %d); \
+             degrading to on-the-fly + Monte-Carlo analysis@."
+            (Stabcore.Statespace.count space)
+            max_configs;
+          Format.printf "%s resilience under the %a class (on-the-fly)@.%s@.@." e.label
+            Stabcore.Statespace.pp_sched_class cls e.describe;
+          let start = hunt_legitimate_start rng e.protocol e.spec in
+          let samples = min runs 20 in
+          List.iter
+            (fun k ->
+              let inits =
+                List.init samples (fun _ ->
+                    Stabcore.Faults.corrupt rng e.protocol start ~faults:k)
+              in
+              let verdict_string = function
+                | Stabcore.Onthefly.Converges -> "holds on the reachable sub-system"
+                | Stabcore.Onthefly.Counterexample c ->
+                  Printf.sprintf "fails (counterexample code %d)" c
+                | Stabcore.Onthefly.Unknown -> "unknown (state budget exhausted)"
+              in
+              let possible, _ =
+                Stabcore.Onthefly.possible_convergence_from ~max_states:max_configs space
+                  cls e.spec ~inits
+              in
+              let certain, stats =
+                Stabcore.Onthefly.certain_convergence_from ~max_states:max_configs space
+                  cls e.spec ~inits
+              in
+              Format.printf
+                "k = %d (%d sampled corruptions): possible convergence %s; certain \
+                 convergence %s (explored %d configurations)@."
+                k samples (verdict_string possible) (verdict_string certain)
+                stats.Stabcore.Onthefly.explored)
+            ks;
+          Format.printf "@.";
+          montecarlo_block start
+        | `Montecarlo reason ->
+          Format.eprintf "warning: %s; degrading to Monte-Carlo analysis@." reason;
+          Format.printf "%s resilience under the %a class (sampled only)@.%s@.@." e.label
+            Stabcore.Statespace.pp_sched_class cls e.describe;
+          let start = hunt_legitimate_start rng e.protocol e.spec in
+          montecarlo_block start)
   in
   let faults_list_arg =
     Arg.(
@@ -371,15 +553,36 @@ let faults_cmd =
   let runs_arg =
     Arg.(value & opt int 500 & info [ "runs" ] ~docv:"RUNS" ~doc:"Runs per fault count.")
   in
+  let horizon_arg =
+    Arg.(
+      value & opt int 2_000
+      & info [ "horizon" ] ~docv:"N" ~doc:"Steps per availability run.")
+  in
+  let gap_arg =
+    Arg.(
+      value & opt int 50
+      & info [ "gap" ] ~docv:"G" ~doc:"Steps between recurrent fault injections.")
+  in
+  let max_configs_arg =
+    Arg.(
+      value & opt int 2_000_000
+      & info [ "max-configs" ] ~docv:"N"
+          ~doc:
+            "Exact-analysis budget; larger spaces degrade to on-the-fly exploration or \
+             Monte-Carlo sampling with a warning.")
+  in
   let term =
     Term.(
       term_result
-        (const run $ protocol_arg $ topology_arg $ transformed_arg $ file_arg $ seed_arg
-       $ faults_list_arg $ runs_arg))
+        (const run $ protocol_arg $ topology_arg $ transformed_arg $ file_arg
+       $ sched_class_arg $ seed_arg $ faults_list_arg $ runs_arg $ horizon_arg $ gap_arg
+       $ max_configs_arg))
   in
   Cmd.v
     (Cmd.info "faults"
-       ~doc:"Measure recovery time after injecting k memory-corruption faults.")
+       ~doc:
+        "The resilience lab: exact per-k recovery radius, recovery-time profiles and \
+         availability under recurrent fault injection.")
     term
 
 (* --- figures / theorems / experiments --- *)
@@ -443,7 +646,9 @@ let experiments_cmd =
         Stabexp.Report.print (Stabexp.Quantitative.e7_convergence_curves ~quick ());
         Stabexp.Report.print (Stabexp.Quantitative.e9_sync_orbit_census ~quick ());
         Stabexp.Report.print
-          (Stabexp.Quantitative.e10_fault_recovery ~seed:(seed + 3) ~quick ()))
+          (Stabexp.Quantitative.e10_fault_recovery ~seed:(seed + 3) ~quick ());
+        Stabexp.Report.print
+          (Stabexp.Quantitative.e11_availability ~seed:(seed + 4) ~quick ()))
   in
   Cmd.v
     (Cmd.info "experiments"
@@ -457,7 +662,11 @@ let portfolio_cmd =
         Stabexp.Report.print table;
         let _, taxonomy = Stabexp.Portfolio.taxonomy () in
         Stabexp.Report.print taxonomy;
-        Stabexp.Report.print (Stabexp.Portfolio.dijkstra_k_threshold ()))
+        Stabexp.Report.print (Stabexp.Portfolio.dijkstra_k_threshold ());
+        let _, crash = Stabexp.Portfolio.crash_resilience () in
+        Stabexp.Report.print crash;
+        let _, radii = Stabexp.Portfolio.resilience_radii () in
+        Stabexp.Report.print radii)
   in
   Cmd.v
     (Cmd.info "portfolio"

@@ -936,3 +936,35 @@ let sync_closed_set space member =
      done
    with Found -> ());
   !result
+
+(* --- graceful degradation under a state budget --- *)
+
+type onthefly_analysis = {
+  possible_from : Onthefly.verdict;
+  certain_from : Onthefly.verdict;
+  exploration : Onthefly.stats;
+}
+
+type budgeted =
+  [ `Exact of verdict | `Onthefly of onthefly_analysis | `Montecarlo of string ]
+
+let analyze_under_budget ?max_configs ?onthefly_configs ?(inits = []) protocol cls spec =
+  match Statespace.plan ?max_configs ?onthefly_configs protocol with
+  | `Montecarlo reason -> `Montecarlo reason
+  | `Exact space -> `Exact (analyze space cls spec)
+  | `Onthefly space ->
+    if inits = [] then
+      `Montecarlo
+        "space exceeds the exact budget and no initial configurations were given \
+         for on-the-fly analysis; only sampling remains"
+    else begin
+      (* The exact budget bounds materialized configurations either
+         way: the on-the-fly hash table gets the same allowance. *)
+      let possible_from, _ =
+        Onthefly.possible_convergence_from ?max_states:max_configs space cls spec ~inits
+      in
+      let certain_from, exploration =
+        Onthefly.certain_convergence_from ?max_states:max_configs space cls spec ~inits
+      in
+      `Onthefly { possible_from; certain_from; exploration }
+    end

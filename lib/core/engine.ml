@@ -6,7 +6,7 @@ type 'a event = {
 
 type 'a trace = { init : 'a array; events : 'a event list }
 
-type stop_reason = Converged | Terminal | Exhausted
+type stop_reason = Converged | Terminal | Exhausted | Stalled
 
 type 'a run = {
   trace : 'a trace;
@@ -14,6 +14,7 @@ type 'a run = {
   steps : int;
   rounds : int;
   stop : stop_reason;
+  injections : int;
 }
 
 (* Round bookkeeping: the frontier holds the processes enabled at the
@@ -44,47 +45,73 @@ let labelled_firings protocol cfg active =
       | Some a -> Some (p, a.Protocol.label))
     (List.sort compare active)
 
-let run ?(record = true) ?stop_on ~max_steps rng protocol scheduler ~init =
+let run ?(record = true) ?stop_on ?inject ~max_steps rng protocol scheduler ~init =
   let legitimate cfg =
     match stop_on with None -> false | Some spec -> spec.Spec.legitimate cfg
   in
+  let injections = ref 0 in
   let tracker = new_round_tracker (Protocol.enabled_processes protocol (Array.copy init)) in
   let finish cfg steps events stop =
     { trace = { init; events = List.rev events }; final = cfg; steps;
-      rounds = tracker.completed; stop }
+      rounds = tracker.completed; stop; injections = !injections }
   in
   let rec go cfg steps events =
     if legitimate cfg then finish cfg steps events Converged
-    else
+    else begin
+      (* Fault injection point: once per iteration, before the daemon
+         moves. The corruption replaces the configuration but consumes
+         no step — faults are environment actions, not protocol steps. *)
+      let cfg =
+        match inject with
+        | None -> cfg
+        | Some hook -> (
+          match hook ~step:steps ~cfg with
+          | None -> cfg
+          | Some cfg' ->
+            incr injections;
+            cfg')
+      in
       match Protocol.enabled_processes protocol cfg with
       | [] -> finish cfg steps events Terminal
       | enabled ->
         if steps >= max_steps then finish cfg steps events Exhausted
         else begin
-          let active = scheduler.Scheduler.choose rng ~step:steps ~cfg ~enabled in
-          let next = Protocol.step_sample rng protocol cfg active in
-          advance_round tracker ~fired:active
-            ~enabled_now:(Protocol.enabled_processes protocol next);
-          let events =
-            if record then
-              { before = cfg; fired = labelled_firings protocol cfg active; after = next }
-              :: events
-            else events
-          in
-          go next (steps + 1) events
+          match scheduler.Scheduler.choose rng ~step:steps ~cfg ~enabled with
+          | [] ->
+            (* A crash-faulted scheduler with every enabled process
+               silenced: the execution can no longer make progress. *)
+            finish cfg steps events Stalled
+          | active ->
+            let next = Protocol.step_sample rng protocol cfg active in
+            advance_round tracker ~fired:active
+              ~enabled_now:(Protocol.enabled_processes protocol next);
+            let events =
+              if record then
+                { before = cfg; fired = labelled_firings protocol cfg active; after = next }
+                :: events
+              else events
+            in
+            go next (steps + 1) events
         end
+    end
   in
   go (Array.copy init) 0 []
 
-let convergence_time ~max_steps rng protocol scheduler spec ~init =
-  let result = run ~record:false ~stop_on:spec ~max_steps rng protocol scheduler ~init in
-  match result.stop with Converged -> Some result.steps | Terminal | Exhausted -> None
+let convergence_time ?inject ~max_steps rng protocol scheduler spec ~init =
+  let result =
+    run ~record:false ~stop_on:spec ?inject ~max_steps rng protocol scheduler ~init
+  in
+  match result.stop with
+  | Converged -> Some result.steps
+  | Terminal | Exhausted | Stalled -> None
 
-let convergence_cost ~max_steps rng protocol scheduler spec ~init =
-  let result = run ~record:false ~stop_on:spec ~max_steps rng protocol scheduler ~init in
+let convergence_cost ?inject ~max_steps rng protocol scheduler spec ~init =
+  let result =
+    run ~record:false ~stop_on:spec ?inject ~max_steps rng protocol scheduler ~init
+  in
   match result.stop with
   | Converged -> Some (result.steps, result.rounds)
-  | Terminal | Exhausted -> None
+  | Terminal | Exhausted | Stalled -> None
 
 let replay protocol ~init script =
   if protocol.Protocol.randomized then

@@ -18,6 +18,10 @@ type stop_reason =
   | Converged  (** reached a legitimate configuration of the spec *)
   | Terminal  (** reached a terminal configuration not in [L] *)
   | Exhausted  (** hit the step budget *)
+  | Stalled
+      (** the scheduler returned the empty set — only crash-faulted
+          schedulers ({!Scheduler.crash}) do this, when every enabled
+          process is permanently silenced *)
 
 type 'a run = {
   trace : 'a trace;
@@ -28,11 +32,15 @@ type 'a run = {
           enabled at its start has fired or become disabled since — the
           standard complexity measure for stabilizing protocols. *)
   stop : stop_reason;
+  injections : int;
+      (** Faults injected by the [inject] hook during this run; 0 when
+          no hook was given. *)
 }
 
 val run :
   ?record:bool ->
   ?stop_on:'a Spec.t ->
+  ?inject:(step:int -> cfg:'a array -> 'a array option) ->
   max_steps:int ->
   Stabrng.Rng.t ->
   'a Protocol.t ->
@@ -43,9 +51,17 @@ val run :
     spec's legitimate set is reached ([stop_on], if given), a terminal
     configuration is reached, or [max_steps] steps have been taken.
     With [record:false] (default [true]) the trace contains no events,
-    which keeps long Monte-Carlo runs allocation-light. *)
+    which keeps long Monte-Carlo runs allocation-light.
+
+    [inject] is the in-run fault hook (see {!Faults.plan}): it is called
+    once per iteration — after the [stop_on] check, before the scheduler
+    moves — with the step counter and the current configuration.
+    Returning [Some cfg'] replaces the configuration without consuming a
+    step; the replacement is counted in [injections]. A corrupted
+    configuration is observable by the scheduler the same step. *)
 
 val convergence_time :
+  ?inject:(step:int -> cfg:'a array -> 'a array option) ->
   max_steps:int ->
   Stabrng.Rng.t ->
   'a Protocol.t ->
@@ -58,6 +74,7 @@ val convergence_time :
     yields [None]. *)
 
 val convergence_cost :
+  ?inject:(step:int -> cfg:'a array -> 'a array option) ->
   max_steps:int ->
   Stabrng.Rng.t ->
   'a Protocol.t ->

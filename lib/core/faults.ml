@@ -47,3 +47,211 @@ let recovery_profile ~runs ~max_steps rng protocol scheduler spec ~from ~faults 
     ~times:(Array.of_list (List.rev !times))
     ~rounds:(Array.of_list (List.rev !rounds))
     ~timeouts:!timeouts
+
+(* --- fault plans: injection schedules applied mid-run --- *)
+
+type 'a plan = {
+  plan_name : string;
+  injector : unit -> Stabrng.Rng.t -> step:int -> cfg:'a array -> 'a array option;
+      (* A plan is a recipe; [injector ()] arms one run's worth of
+         mutable schedule state (burst cursors etc.), so one plan value
+         can drive many independent runs. *)
+}
+
+let plan_name plan = plan.plan_name
+
+let arm plan rng =
+  let inject = plan.injector () in
+  fun ~step ~cfg -> inject rng ~step ~cfg
+
+let periodic p ~gap ~faults =
+  if gap <= 0 then invalid_arg "Faults.periodic: gap must be positive";
+  if faults <= 0 then invalid_arg "Faults.periodic: fault count must be positive";
+  {
+    plan_name = Printf.sprintf "periodic(gap=%d,k=%d)" gap faults;
+    injector =
+      (fun () rng ~step ~cfg ->
+        if step > 0 && step mod gap = 0 then Some (corrupt rng p cfg ~faults) else None);
+  }
+
+let bernoulli p ~rate ~faults =
+  if rate <= 0.0 || rate >= 1.0 then
+    invalid_arg "Faults.bernoulli: rate outside (0, 1)";
+  if faults <= 0 then invalid_arg "Faults.bernoulli: fault count must be positive";
+  {
+    plan_name = Printf.sprintf "bernoulli(rate=%g,k=%d)" rate faults;
+    injector =
+      (fun () rng ~step ~cfg ->
+        if step > 0 && Stabrng.Rng.bernoulli rng rate then Some (corrupt rng p cfg ~faults)
+        else None);
+  }
+
+let burst p ~at ~faults =
+  if faults <= 0 then invalid_arg "Faults.burst: fault count must be positive";
+  if List.exists (fun s -> s < 0) at then invalid_arg "Faults.burst: negative step";
+  let schedule = List.sort_uniq compare at in
+  {
+    plan_name =
+      Printf.sprintf "burst(at=%s,k=%d)"
+        (String.concat "," (List.map string_of_int schedule))
+        faults;
+    injector =
+      (fun () ->
+        let remaining = ref schedule in
+        fun rng ~step ~cfg ->
+          match !remaining with
+          | next :: rest when step >= next ->
+            remaining := rest;
+            Some (corrupt rng p cfg ~faults)
+          | _ -> None);
+  }
+
+let adversarial space g spec ~gap ~faults =
+  if gap <= 0 then invalid_arg "Faults.adversarial: gap must be positive";
+  if faults <= 0 then invalid_arg "Faults.adversarial: fault count must be positive";
+  let p = Statespace.protocol space in
+  let legitimate = Statespace.legitimate_set space spec in
+  (* The adversary's severity measure is the possible-convergence
+     distance: how many steps even a friendly daemon needs back to [L]
+     (max_int = unreachable, the worst corruption there is). Computed
+     once from the packed graph and closed over by every armed run. *)
+  let dist = Checker.best_case_steps space g ~legitimate in
+  let severity cfg = dist.(Statespace.code space cfg) in
+  let nproc = Array.length (Statespace.config space 0) in
+  let inject_once cfg =
+    (* Greedy corruption toward the configuration of maximal
+       convergence radius: each of the [faults] memory flips picks the
+       (process, value) pair maximizing the severity of the result,
+       lowest process id / domain order breaking ties — deterministic,
+       no randomness needed. *)
+    let out = Array.copy cfg in
+    for _ = 1 to faults do
+      let best = ref None in
+      for i = 0 to nproc - 1 do
+        let original = out.(i) in
+        List.iter
+          (fun s ->
+            if not (p.Protocol.equal s original) then begin
+              out.(i) <- s;
+              let sev = severity out in
+              (match !best with
+              | Some (best_sev, _, _) when best_sev >= sev -> ()
+              | _ -> best := Some (sev, i, s));
+              out.(i) <- original
+            end)
+          (p.Protocol.domain i)
+      done;
+      match !best with
+      | Some (sev, i, s) when sev > severity out -> out.(i) <- s
+      | _ -> () (* no single flip makes things worse; stop pushing *)
+    done;
+    if severity out > severity cfg then Some out else None
+  in
+  {
+    plan_name = Printf.sprintf "adversarial(gap=%d,k=%d)" gap faults;
+    injector =
+      (fun () _rng ~step ~cfg ->
+        if step > 0 && step mod gap = 0 then inject_once cfg else None);
+  }
+
+(* --- recovery and availability under a recurrent-fault plan --- *)
+
+let recovery_profile_under_plan ~runs ~max_steps rng protocol scheduler spec ~plan ~from
+    ~faults =
+  let times = ref [] in
+  let rounds = ref [] in
+  let timeouts = ref 0 in
+  for _ = 1 to runs do
+    let stream = Stabrng.Rng.split rng in
+    let corrupted = corrupt stream protocol from ~faults in
+    let inject = arm plan stream in
+    match
+      Engine.convergence_cost ~inject ~max_steps stream protocol scheduler spec
+        ~init:corrupted
+    with
+    | Some (s, r) ->
+      times := s :: !times;
+      rounds := r :: !rounds
+    | None -> incr timeouts
+  done;
+  Montecarlo.of_samples
+    ~times:(Array.of_list (List.rev !times))
+    ~rounds:(Array.of_list (List.rev !rounds))
+    ~timeouts:!timeouts
+
+type availability = {
+  observed : int;
+  in_l : int;
+  injections : int;
+  entries : int;
+  availability : float;
+  stalled : bool;
+}
+
+let availability ~horizon rng protocol scheduler spec ~plan ~init =
+  if horizon <= 0 then invalid_arg "Faults.availability: horizon must be positive";
+  let inject = arm plan rng in
+  let observed = ref 0 in
+  let in_l = ref 0 in
+  let entries = ref 0 in
+  let was_in_l = ref false in
+  (* Observation rides the injection hook: the engine calls it exactly
+     once per iteration with the pre-injection configuration, so the
+     availability denominator is the number of observed configurations
+     whatever stops the run. *)
+  let observing ~step ~cfg =
+    incr observed;
+    let here = spec.Spec.legitimate cfg in
+    if here then begin
+      incr in_l;
+      if not !was_in_l then incr entries
+    end;
+    was_in_l := here;
+    inject ~step ~cfg
+  in
+  let run =
+    Engine.run ~record:false ~inject:observing ~max_steps:horizon rng protocol scheduler
+      ~init
+  in
+  {
+    observed = !observed;
+    in_l = !in_l;
+    injections = run.Engine.injections;
+    entries = !entries;
+    availability =
+      (if !observed = 0 then 0.0 else float_of_int !in_l /. float_of_int !observed);
+    stalled = run.Engine.stop = Engine.Stalled;
+  }
+
+let availability_profile ~runs ~horizon rng protocol scheduler spec ~plan ~init =
+  if runs <= 0 then invalid_arg "Faults.availability_profile: runs must be positive";
+  let samples =
+    Array.init runs (fun _ ->
+        let stream = Stabrng.Rng.split rng in
+        (availability ~horizon stream protocol scheduler spec ~plan ~init).availability)
+  in
+  Stabstats.Stats.summarize samples
+
+(* --- crash faults, protocol view --- *)
+
+let crash_protocol (p : 'a Protocol.t) ~failed =
+  let n = Stabgraph.Graph.size p.Protocol.graph in
+  if failed = [] then invalid_arg "Faults.crash_protocol: empty failed set";
+  List.iter
+    (fun f ->
+      if f < 0 || f >= n then
+        invalid_arg (Printf.sprintf "Faults.crash_protocol: process %d out of range" f))
+    failed;
+  let dead = Array.make n false in
+  List.iter (fun f -> dead.(f) <- true) failed;
+  {
+    p with
+    Protocol.name =
+      Printf.sprintf "%s+crash[%s]" p.Protocol.name
+        (String.concat "," (List.map string_of_int (List.sort_uniq compare failed)));
+    actions =
+      List.map
+        (fun (a : 'a Protocol.action) ->
+          { a with Protocol.guard = (fun cfg i -> (not dead.(i)) && a.Protocol.guard cfg i) })
+        p.Protocol.actions;
+  }

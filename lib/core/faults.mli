@@ -1,11 +1,20 @@
-(** Transient-fault injection.
+(** Transient-fault injection and the resilience lab's fault models.
 
     Self-stabilization is exactly resilience to transient memory
     corruption: a fault flips some process memories to arbitrary
-    values, and the protocol must recover. These helpers corrupt
-    configurations (the fault model behind k-stabilization, where the
-    fault count is the number of memories changed) and measure
-    recovery, driving the fault-recovery experiments (E10). *)
+    values, and the protocol must recover. This module covers three
+    fault models:
+
+    - {b one-shot corruption} ({!corrupt}): the classic k-stabilization
+      setting — corrupt a configuration once, before the run;
+    - {b fault plans} ({!plan}): injection schedules applied {e during}
+      a run through the {!Engine.run} hook — periodic, Bernoulli,
+      burst, and a graph-guided adversarial schedule — modelling the
+      "unsupportive environments" of Dolev-Herman, where faults recur
+      and the interesting quantity is availability (fraction of time in
+      [L]) rather than one recovery time;
+    - {b crash faults} ({!crash_protocol}, {!Scheduler.crash}):
+      processes that stop executing, permanently or intermittently. *)
 
 val corrupt :
   Stabrng.Rng.t -> 'a Protocol.t -> 'a array -> faults:int -> 'a array
@@ -45,3 +54,107 @@ val recovery_profile :
   Montecarlo.result
 (** Repeat {!recovery_time} with independent corruption draws and
     scheduler randomness. *)
+
+(** {1 Fault plans: in-run injection schedules}
+
+    A plan decides, at every engine iteration, whether to corrupt the
+    current configuration. Plans are recipes: {!arm} instantiates one
+    run's worth of schedule state, so a single plan value can drive
+    many independent runs. *)
+
+type 'a plan
+
+val plan_name : 'a plan -> string
+
+val arm :
+  'a plan -> Stabrng.Rng.t -> step:int -> cfg:'a array -> 'a array option
+(** [arm plan rng] is the injection hook for one run, ready to pass as
+    {!Engine.run}'s [inject] argument. *)
+
+val periodic : 'a Protocol.t -> gap:int -> faults:int -> 'a plan
+(** Corrupt [faults] memories every [gap] steps (at steps [gap], [2
+    gap], ...). The fault gap is the knob of the availability curves:
+    recovery is only possible if the protocol stabilizes faster than
+    faults arrive. *)
+
+val bernoulli : 'a Protocol.t -> rate:float -> faults:int -> 'a plan
+(** Each step independently suffers a [faults]-memory corruption with
+    probability [rate] (in (0, 1)) — a memoryless unsupportive
+    environment with mean fault gap [1/rate]. *)
+
+val burst : 'a Protocol.t -> at:int list -> faults:int -> 'a plan
+(** One [faults]-memory corruption at each step of [at] (deduplicated,
+    sorted; a scheduled step skipped because the run was already past
+    it fires at the next opportunity). *)
+
+val adversarial :
+  'a Statespace.t -> Checker.graph -> 'a Spec.t -> gap:int -> faults:int -> 'a plan
+(** The timing adversary of the Dolev-Herman setting, made concrete
+    with the packed transition graph: every [gap] steps it re-corrupts
+    up to [faults] memories, greedily flipping the (process, value)
+    pair that maximizes the possible-convergence distance to [L]
+    ({!Checker.best_case_steps}; unreachable counts as infinite) — i.e.
+    it pushes the system toward the configuration of maximal
+    convergence radius it can reach within its fault budget. Injections
+    that cannot increase the distance are skipped. Deterministic. *)
+
+val recovery_profile_under_plan :
+  runs:int ->
+  max_steps:int ->
+  Stabrng.Rng.t ->
+  'a Protocol.t ->
+  'a Scheduler.t ->
+  'a Spec.t ->
+  plan:'a plan ->
+  from:'a array ->
+  faults:int ->
+  Montecarlo.result
+(** Like {!recovery_profile}, but the plan keeps injecting while the
+    system tries to recover from the initial corruption: time to first
+    re-entry of [L] under recurrent faults. *)
+
+type availability = {
+  observed : int;  (** configurations observed (one per engine iteration) *)
+  in_l : int;  (** of which legitimate *)
+  injections : int;  (** faults the plan actually injected *)
+  entries : int;  (** transitions from outside [L] into [L] (recoveries) *)
+  availability : float;  (** [in_l / observed] *)
+  stalled : bool;  (** the run ended {!Engine.Stalled} *)
+}
+
+val availability :
+  horizon:int ->
+  Stabrng.Rng.t ->
+  'a Protocol.t ->
+  'a Scheduler.t ->
+  'a Spec.t ->
+  plan:'a plan ->
+  init:'a array ->
+  availability
+(** Run for [horizon] steps under the plan (no convergence stopping)
+    and measure the fraction of time spent in [L] — the paper's
+    closure-and-convergence pair turned into an uptime number. *)
+
+val availability_profile :
+  runs:int ->
+  horizon:int ->
+  Stabrng.Rng.t ->
+  'a Protocol.t ->
+  'a Scheduler.t ->
+  'a Spec.t ->
+  plan:'a plan ->
+  init:'a array ->
+  Stabstats.Stats.summary
+(** Availability over [runs] independent runs (split streams). *)
+
+(** {1 Crash faults} *)
+
+val crash_protocol : 'a Protocol.t -> failed:int list -> 'a Protocol.t
+(** [crash_protocol p ~failed] is the sub-protocol induced by
+    permanently crashing the processes of [failed]: their guards never
+    hold, so they never execute — the state space is unchanged but the
+    transition relation loses every step involving them. Feed the
+    result to {!Statespace.build} and {!Checker.analyze} to decide
+    exhaustively whether stabilization survives the crashes (the
+    Dolev-Herman question). Raises [Invalid_argument] on an empty or
+    out-of-range failed set. *)

@@ -34,16 +34,21 @@ let collect ~runs ~sample =
     ~rounds:(Array.of_list (List.rev !rounds))
     ~timeouts:!timeouts
 
-let estimate ~runs ~max_steps rng protocol scheduler spec =
+(* [inject] is an armer, not a hook: each run hands it the run's own
+   stream and gets a fresh per-run injection hook back, so one fault
+   plan (see Faults.arm) drives every sample independently. *)
+let estimate ?inject ~runs ~max_steps rng protocol scheduler spec =
   collect ~runs ~sample:(fun () ->
       let stream = Stabrng.Rng.split rng in
       let init = Protocol.random_config stream protocol in
-      Engine.convergence_cost ~max_steps stream protocol scheduler spec ~init)
+      let inject = Option.map (fun arm -> arm stream) inject in
+      Engine.convergence_cost ?inject ~max_steps stream protocol scheduler spec ~init)
 
-let estimate_from ~runs ~max_steps rng protocol scheduler spec ~init =
+let estimate_from ?inject ~runs ~max_steps rng protocol scheduler spec ~init =
   collect ~runs ~sample:(fun () ->
       let stream = Stabrng.Rng.split rng in
-      Engine.convergence_cost ~max_steps stream protocol scheduler spec ~init)
+      let inject = Option.map (fun arm -> arm stream) inject in
+      Engine.convergence_cost ?inject ~max_steps stream protocol scheduler spec ~init)
 
 let merge results =
   let times = Array.concat (List.map (fun r -> r.times) results) in

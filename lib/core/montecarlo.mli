@@ -16,6 +16,7 @@ type result = {
 }
 
 val estimate :
+  ?inject:(Stabrng.Rng.t -> step:int -> cfg:'a array -> 'a array option) ->
   runs:int ->
   max_steps:int ->
   Stabrng.Rng.t ->
@@ -25,9 +26,15 @@ val estimate :
   result
 (** [estimate ~runs ~max_steps rng protocol scheduler spec] samples
     [runs] independent executions, each from a fresh uniform initial
-    configuration and an independent RNG stream split off [rng]. *)
+    configuration and an independent RNG stream split off [rng].
+
+    [inject] arms a per-run fault-injection hook: it receives the
+    run's own RNG stream and the result is passed to
+    {!Engine.convergence_cost}'s [inject] — pass [Faults.arm plan] to
+    estimate convergence under recurrent faults. *)
 
 val estimate_from :
+  ?inject:(Stabrng.Rng.t -> step:int -> cfg:'a array -> 'a array option) ->
   runs:int ->
   max_steps:int ->
   Stabrng.Rng.t ->

@@ -59,6 +59,40 @@ let adversary ~name strategy =
         chosen);
   }
 
+let crash ?(wake_p = 0.0) ~failed sched =
+  if wake_p < 0.0 || wake_p >= 1.0 then
+    invalid_arg "Scheduler.crash: wake_p outside [0, 1)";
+  if failed = [] then invalid_arg "Scheduler.crash: empty failed set";
+  let tag =
+    Printf.sprintf "%s+crash[%s]%s" sched.name
+      (String.concat "," (List.map string_of_int failed))
+      (if wake_p > 0.0 then Printf.sprintf "(wake=%g)" wake_p else "")
+  in
+  {
+    name = tag;
+    choose =
+      (fun rng ~step ~cfg ~enabled ->
+        (* Enabled processes the crashed set currently silences. For an
+           intermittent crash (wake_p > 0) each crashed process gets an
+           independent per-step wake draw; draws are redone until some
+           process survives, so intermittently-crashed systems never
+           stall — they only slow down. A permanent crash (wake_p = 0)
+           with every enabled process silenced returns [] and the engine
+           reports the run as [Stalled]. *)
+        let survivors () =
+          List.filter
+            (fun p ->
+              (not (List.mem p failed)) || (wake_p > 0.0 && Stabrng.Rng.bernoulli rng wake_p))
+            enabled
+        in
+        let rec draw () =
+          match survivors () with
+          | [] -> if wake_p > 0.0 then draw () else []
+          | alive -> sched.choose rng ~step ~cfg ~enabled:alive
+        in
+        draw ());
+  }
+
 let probabilistic_gate p sched =
   if p <= 0.0 || p > 1.0 then invalid_arg "Scheduler.probabilistic_gate: p outside (0, 1]";
   {

@@ -43,6 +43,18 @@ val adversary : name:string -> ('a array -> int list -> int list) -> 'a t
     [strategy cfg enabled]. The result is checked: it must be a
     non-empty subset of [enabled]. *)
 
+val crash : ?wake_p:float -> failed:int list -> 'a t -> 'a t
+(** [crash ~failed sched] silences the processes of [failed]: they are
+    removed from the enabled set before [sched] chooses. With
+    [wake_p = 0.] (default) the crash is permanent; when every enabled
+    process is crashed the wrapper returns the empty set and the engine
+    stops the run as {!Engine.Stalled}. With [0 < wake_p < 1] the crash
+    is intermittent: each crashed process independently wakes for a
+    given step with probability [wake_p] (re-drawn until some process
+    survives, so intermittent runs never stall). This is the simulation
+    face of crash faults; for exhaustive verdicts on the induced
+    sub-protocol use {!Faults.crash_protocol}. *)
+
 val probabilistic_gate : float -> 'a t -> 'a t
 (** [probabilistic_gate p sched] filters the chosen subset, keeping each
     process independently with probability [p] (re-drawing until the

@@ -21,6 +21,41 @@ let build ?(max_configs = default_max_configs) protocol =
          (Encoding.count encoding) max_configs);
   { protocol; encoding; uid = Atomic.fetch_and_add next_uid 1 }
 
+let try_build ?max_configs protocol =
+  match build ?max_configs protocol with
+  | space -> Ok space
+  | exception Invalid_argument msg -> Error msg
+
+let estimated_configs (p : 'a Protocol.t) =
+  let n = Stabgraph.Graph.size p.Protocol.graph in
+  let acc = ref 1.0 in
+  for i = 0 to n - 1 do
+    acc := !acc *. float_of_int (List.length (p.Protocol.domain i))
+  done;
+  !acc
+
+type 'a strategy = [ `Exact of 'a t | `Onthefly of 'a t | `Montecarlo of string ]
+
+let default_onthefly_configs = 1_000_000_000
+
+let plan ?(max_configs = default_max_configs)
+    ?(onthefly_configs = default_onthefly_configs) protocol =
+  if max_configs <= 0 then invalid_arg "Statespace.plan: max_configs must be positive";
+  let estimate = estimated_configs protocol in
+  (* The float estimate guards the encoding itself: past the on-the-fly
+     budget even lazy code/decode arithmetic risks overflow, and only
+     sampling remains honest. *)
+  if estimate > float_of_int onthefly_configs then
+    `Montecarlo
+      (Printf.sprintf
+         "~%.3g configurations exceed the on-the-fly budget of %d; only sampling \
+          remains"
+         estimate onthefly_configs)
+  else
+    let space = build ~max_configs:max_int protocol in
+    if Encoding.count space.encoding <= max_configs then `Exact space
+    else `Onthefly space
+
 let protocol t = t.protocol
 let encoding t = t.encoding
 let uid t = t.uid

@@ -155,3 +155,144 @@ let classify () =
         ])
     rows;
   (rows, table)
+
+(* --- crash faults: the Dolev-Herman question, exhaustively --- *)
+
+type crash_row = {
+  algorithm_c : string;
+  class_c : string;
+  processes : int;
+  weak_survives : int;
+  self_survives : int;
+  stall_free : int;
+}
+
+let crash_instance (Registry.Entry e) cls =
+  let n = Stabgraph.Graph.size e.protocol.Protocol.graph in
+  let weak = ref 0 and self = ref 0 and stall_free = ref 0 in
+  for f = 0 to n - 1 do
+    (* Crash each location in turn and re-run the full exhaustive
+       analysis on the induced sub-protocol: same state space, fewer
+       transitions. *)
+    let crashed = Faults.crash_protocol e.protocol ~failed:[ f ] in
+    let space = Statespace.build crashed in
+    let v = Checker.analyze space cls e.spec in
+    if Checker.weak_stabilizing v then incr weak;
+    if Checker.self_stabilizing v then incr self;
+    if v.Checker.dead_ends = [] then incr stall_free
+  done;
+  {
+    algorithm_c = e.label;
+    class_c = Format.asprintf "%a" Statespace.pp_sched_class cls;
+    processes = n;
+    weak_survives = !weak;
+    self_survives = !self;
+    stall_free = !stall_free;
+  }
+
+let crash_resilience () =
+  let rows =
+    [
+      crash_instance (Registry.find ~name:"token-ring" ~topology:"ring:5" ()) Statespace.Central;
+      crash_instance (Registry.find ~name:"dijkstra" ~topology:"ring:4" ()) Statespace.Central;
+      crash_instance (Registry.find ~name:"coloring" ~topology:"ring:4" ()) Statespace.Central;
+      crash_instance (Registry.find ~name:"coloring" ~topology:"ring:4" ()) Statespace.Distributed;
+      crash_instance (Registry.find ~name:"matching" ~topology:"chain:5" ()) Statespace.Distributed;
+      crash_instance (Registry.find ~name:"leader-tree" ~topology:"chain:4" ()) Statespace.Distributed;
+      crash_instance (Registry.find ~name:"mis" ~topology:"ring:5" ()) Statespace.Distributed;
+      crash_instance (Registry.find ~name:"centers" ~topology:"chain:5" ()) Statespace.Distributed;
+    ]
+  in
+  let table =
+    Report.create
+      ~title:
+        "P3: crash resilience (Dolev-Herman) - single-crash locations under which \
+         stabilization survives"
+      ~columns:
+        [ "algorithm"; "class"; "weak survives"; "self survives"; "stall-free" ]
+  in
+  List.iter
+    (fun r ->
+      let frac x = Printf.sprintf "%d/%d" x r.processes in
+      Report.add_row table
+        [
+          r.algorithm_c;
+          r.class_c;
+          frac r.weak_survives;
+          frac r.self_survives;
+          frac r.stall_free;
+        ])
+    rows;
+  (rows, table)
+
+(* --- exact resilience radii, portfolio-wide --- *)
+
+type radius_row = {
+  algorithm_r : string;
+  class_r : string;
+  configs : int;
+  adversarial_r : int;
+  probabilistic_r : int;
+  worst_case_1 : int option;
+  expected_mean_1 : float option;
+}
+
+let radius_instance (Registry.Entry e) cls =
+  let space = Statespace.build e.protocol in
+  let n = Stabgraph.Graph.size e.protocol.Protocol.graph in
+  let metrics = Resilience.analyze space cls e.spec ~ks:(List.init (n + 1) Fun.id) in
+  let r = Resilience.radius_of metrics in
+  let m1 = List.find (fun (m : Resilience.metric) -> m.Resilience.k = 1) metrics in
+  {
+    algorithm_r = e.label;
+    class_r = Format.asprintf "%a" Statespace.pp_sched_class cls;
+    configs = Statespace.count space;
+    adversarial_r = r.Resilience.adversarial;
+    probabilistic_r = r.Resilience.probabilistic;
+    worst_case_1 = m1.Resilience.worst_case;
+    expected_mean_1 = m1.Resilience.expected_mean;
+  }
+
+let resilience_radii () =
+  let rows =
+    [
+      radius_instance (Registry.find ~name:"token-ring" ~topology:"ring:5" ()) Statespace.Central;
+      radius_instance (Registry.find ~name:"dijkstra" ~topology:"ring:4" ()) Statespace.Central;
+      radius_instance (Registry.find ~name:"two-bool" ~topology:"ring:3" ()) Statespace.Distributed;
+      radius_instance (Registry.find ~name:"leader-tree" ~topology:"chain:4" ()) Statespace.Distributed;
+      radius_instance (Registry.find ~name:"coloring" ~topology:"ring:4" ()) Statespace.Central;
+      radius_instance (Registry.find ~name:"matching" ~topology:"chain:5" ()) Statespace.Distributed;
+      radius_instance (Registry.find ~name:"centers" ~topology:"chain:5" ()) Statespace.Distributed;
+      radius_instance (Registry.find ~name:"mis" ~topology:"ring:5" ()) Statespace.Central;
+    ]
+  in
+  let table =
+    Report.create
+      ~title:
+        "P4: exact resilience radii (largest k with guaranteed / probability-1 \
+         recovery; k up to n)"
+      ~columns:
+        [
+          "algorithm";
+          "class";
+          "|C|";
+          "adversarial radius";
+          "probabilistic radius";
+          "worst case (k=1)";
+          "E[recovery] (k=1)";
+        ]
+  in
+  List.iter
+    (fun r ->
+      Report.add_row table
+        [
+          r.algorithm_r;
+          r.class_r;
+          Report.cell_int r.configs;
+          Report.cell_int r.adversarial_r;
+          Report.cell_int r.probabilistic_r;
+          (match r.worst_case_1 with Some w -> Report.cell_int w | None -> "unbounded");
+          (match r.expected_mean_1 with Some m -> Report.cell_float m | None -> "-");
+        ])
+    rows;
+  (rows, table)

@@ -41,3 +41,39 @@ val dijkstra_k_threshold : ?max_n:int -> unit -> Report.t
 (** Table E8: sweep of Dijkstra's K-state ring over K for each ring
     size, reporting the exact self-stabilization threshold the checker
     finds (K >= N - 1, one below Dijkstra's own K >= N bound). *)
+
+type crash_row = {
+  algorithm_c : string;
+  class_c : string;
+  processes : int;
+  weak_survives : int;
+      (** single-crash locations under which weak stabilization survives *)
+  self_survives : int;
+  stall_free : int;
+      (** locations whose induced sub-protocol has no illegitimate
+          terminal configuration *)
+}
+
+val crash_resilience : unit -> crash_row list * Report.t
+(** Table P3: the Dolev-Herman question decided exhaustively — for each
+    instance, crash every process in turn ({!Stabcore.Faults.crash_protocol})
+    and re-analyze the induced sub-protocol. Reported as the number of
+    crash locations (out of [n]) under which each property survives. *)
+
+type radius_row = {
+  algorithm_r : string;
+  class_r : string;
+  configs : int;
+  adversarial_r : int;
+  probabilistic_r : int;
+  worst_case_1 : int option;  (** exact worst-case recovery steps after 1 fault *)
+  expected_mean_1 : float option;
+      (** mean expected recovery steps after 1 fault, randomized daemon *)
+}
+
+val resilience_radii : unit -> radius_row list * Report.t
+(** Table P4: {!Stabcore.Resilience} radii for the whole portfolio,
+    with fault budgets up to [n]. Self-stabilizing instances get the
+    full adversarial radius [n]; weak-only instances stop at 0 but keep
+    a large probabilistic radius — the hierarchy of the paper restated
+    as fault tolerance. *)

@@ -448,3 +448,49 @@ let e10_fault_recovery ?(seed = 46) ?(quick = true) () =
   assert (is_lc g oriented);
   List.iter (fun k -> add "algorithm-2" size lp lspec oriented k) [ 1; 2; 3; size ];
   t
+
+let e11_availability ?(seed = 47) ?(quick = true) () =
+  let rng = Stabrng.Rng.create seed in
+  let t =
+    Report.create
+      ~title:
+        "E11: availability under recurrent faults (token ring, central randomized \
+         daemon)"
+      ~columns:[ "plan"; "gap"; "k"; "mean availability"; "ci95"; "min" ]
+  in
+  let n = if quick then 7 else 9 in
+  let p = Stabalgo.Token_ring.make ~n in
+  let spec = Stabalgo.Token_ring.spec ~n in
+  let init = Stabalgo.Token_ring.legitimate_config ~n in
+  let space = Statespace.build p in
+  let g = Checker.expand space Statespace.Central in
+  let runs = if quick then 200 else 1000 in
+  let horizon = 2_000 in
+  let sched = Scheduler.central_random () in
+  let add plan ~gap ~k =
+    let s =
+      Faults.availability_profile ~runs ~horizon (Stabrng.Rng.split rng) p sched spec
+        ~plan ~init
+    in
+    Report.add_row t
+      [
+        Faults.plan_name plan;
+        Report.cell_int gap;
+        Report.cell_int k;
+        Report.cell_float ~decimals:4 s.Stabstats.Stats.mean;
+        Printf.sprintf "[%.4f, %.4f]" s.Stabstats.Stats.ci95_low
+          s.Stabstats.Stats.ci95_high;
+        Report.cell_float ~decimals:4 s.Stabstats.Stats.min;
+      ]
+  in
+  (* The availability curve: the same fault budget hurts more as the
+     gap shrinks, and the graph-guided adversary wastes none of its
+     injections — the gap between its row and the periodic row at equal
+     gap is the price of worst-case (vs random) corruption. *)
+  List.iter
+    (fun gap ->
+      add (Faults.periodic p ~gap ~faults:1) ~gap ~k:1;
+      add (Faults.adversarial space g spec ~gap ~faults:1) ~gap ~k:1)
+    [ 10; 25; 50; 100 ];
+  add (Faults.bernoulli p ~rate:0.02 ~faults:1) ~gap:50 ~k:1;
+  t

@@ -73,3 +73,10 @@ val e7_convergence_curves : ?quick:bool -> unit -> Report.t
     probabilities for the raw Algorithm 3 under a central randomized
     daemon — the paper's example of a system that randomization alone
     cannot save. *)
+
+val e11_availability : ?seed:int -> ?quick:bool -> unit -> Report.t
+(** E11: fraction of time spent in [L] under recurrent fault injection
+    (periodic, Bernoulli, and the graph-guided adversarial plan of
+    {!Stabcore.Faults.adversarial}) as a function of the fault gap —
+    the graceful-degradation face of weak stabilization: convergence
+    must outrun the fault rate. *)

@@ -206,7 +206,7 @@ let qcheck_matching_terminal_runs_are_maximal =
       in
       match r.Engine.stop with
       | Engine.Terminal -> Stabalgo.Matching.is_maximal_matching g r.Engine.final
-      | Engine.Exhausted | Engine.Converged -> true)
+      | Engine.Exhausted | Engine.Converged | Engine.Stalled -> true)
 
 let suite =
   [

@@ -115,6 +115,247 @@ let test_recovery_cost_grows_with_faults () =
   in
   Alcotest.(check bool) "k=3 costs more than k=1" true (mean 3 > mean 1)
 
+let test_corrupt_more_faults_than_processes () =
+  (* Asking for more faults than corruptible processes changes them
+     all, exactly once each. *)
+  let n = 4 in
+  let p = Stabalgo.Token_ring.make ~n in
+  let rng = Stabrng.Rng.create 8 in
+  let base = Stabalgo.Token_ring.legitimate_config ~n in
+  let corrupted = Faults.corrupt rng p base ~faults:(n + 5) in
+  let space = Statespace.build p in
+  Alcotest.(check int) "all processes changed" n (Checker.hamming space base corrupted)
+
+let test_corrupt_all_singletons_is_noop () =
+  let p : int Protocol.t =
+    {
+      Protocol.name = "frozen";
+      graph = Stabgraph.Graph.chain 3;
+      domain = (fun _ -> [ 9 ]);
+      actions =
+        [
+          {
+            label = "noop";
+            guard = (fun _ _ -> false);
+            result = (fun cfg q -> [ (cfg.(q), 1.0) ]);
+          };
+        ];
+      equal = Int.equal;
+      pp = Format.pp_print_int;
+      randomized = false;
+    }
+  in
+  let rng = Stabrng.Rng.create 9 in
+  Alcotest.(check (array int))
+    "nothing to corrupt" [| 9; 9; 9 |]
+    (Faults.corrupt rng p [| 9; 9; 9 |] ~faults:3)
+
+let test_corrupt_deterministic_under_seed () =
+  let n = 6 in
+  let p = Stabalgo.Token_ring.make ~n in
+  let base = Stabalgo.Token_ring.legitimate_config ~n in
+  let draw () = Faults.corrupt (Stabrng.Rng.create 77) p base ~faults:3 in
+  Alcotest.(check (array int)) "same seed, same corruption" (draw ()) (draw ())
+
+(* --- fault plans and the engine injection hook --- *)
+
+let test_periodic_plan_fires_on_schedule () =
+  let n = 5 in
+  let p = Stabalgo.Token_ring.make ~n in
+  let plan = Faults.periodic p ~gap:10 ~faults:1 in
+  let inject = Faults.arm plan (Stabrng.Rng.create 10) in
+  let cfg = Stabalgo.Token_ring.legitimate_config ~n in
+  Alcotest.(check bool) "step 0 silent" true (inject ~step:0 ~cfg = None);
+  Alcotest.(check bool) "step 7 silent" true (inject ~step:7 ~cfg = None);
+  Alcotest.(check bool) "step 10 fires" true (inject ~step:10 ~cfg <> None);
+  Alcotest.(check bool) "step 20 fires" true (inject ~step:20 ~cfg <> None)
+
+let test_burst_plan_fires_once_per_entry () =
+  let n = 4 in
+  let p = Stabalgo.Token_ring.make ~n in
+  let plan = Faults.burst p ~at:[ 5; 2; 5 ] ~faults:1 in
+  let inject = Faults.arm plan (Stabrng.Rng.create 11) in
+  let cfg = Stabalgo.Token_ring.legitimate_config ~n in
+  Alcotest.(check bool) "step 1 silent" true (inject ~step:1 ~cfg = None);
+  Alcotest.(check bool) "step 2 fires" true (inject ~step:2 ~cfg <> None);
+  (* The duplicate 5 was deduplicated: one firing at 5, then silence. *)
+  Alcotest.(check bool) "step 5 fires" true (inject ~step:5 ~cfg <> None);
+  Alcotest.(check bool) "step 6 silent" true (inject ~step:6 ~cfg = None);
+  (* Re-arming resets the schedule. *)
+  let inject2 = Faults.arm plan (Stabrng.Rng.create 12) in
+  Alcotest.(check bool) "re-armed fires again" true (inject2 ~step:3 ~cfg <> None)
+
+let test_plan_validation () =
+  let p = Stabalgo.Token_ring.make ~n:4 in
+  Alcotest.check_raises "bad gap"
+    (Invalid_argument "Faults.periodic: gap must be positive") (fun () ->
+      ignore (Faults.periodic p ~gap:0 ~faults:1));
+  Alcotest.check_raises "bad rate"
+    (Invalid_argument "Faults.bernoulli: rate outside (0, 1)") (fun () ->
+      ignore (Faults.bernoulli p ~rate:1.5 ~faults:1));
+  Alcotest.check_raises "negative burst step"
+    (Invalid_argument "Faults.burst: negative step") (fun () ->
+      ignore (Faults.burst p ~at:[ -1 ] ~faults:1))
+
+let test_adversarial_plan_increases_severity () =
+  let n = 5 in
+  let p = Stabalgo.Token_ring.make ~n in
+  let spec = Stabalgo.Token_ring.spec ~n in
+  let space = Statespace.build p in
+  let g = Checker.expand space Statespace.Central in
+  let legitimate = Statespace.legitimate_set space spec in
+  let dist = Checker.best_case_steps space g ~legitimate in
+  let plan = Faults.adversarial space g spec ~gap:1 ~faults:2 in
+  let inject = Faults.arm plan (Stabrng.Rng.create 13) in
+  let from = Stabalgo.Token_ring.legitimate_config ~n in
+  (match inject ~step:1 ~cfg:from with
+  | None -> Alcotest.fail "adversary found no corruption from L"
+  | Some out ->
+    Alcotest.(check bool)
+      "severity strictly increased" true
+      (dist.(Statespace.code space out) > dist.(Statespace.code space from));
+    Alcotest.(check bool)
+      "within fault budget" true
+      (Checker.hamming space from out <= 2));
+  (* Deterministic: same configuration, same corruption. *)
+  let again = Faults.arm plan (Stabrng.Rng.create 14) in
+  Alcotest.(check bool)
+    "deterministic" true
+    (inject ~step:2 ~cfg:from = again ~step:1 ~cfg:from)
+
+let test_engine_injections_counted_and_stepless () =
+  (* A plan injecting every step must not consume steps: the run still
+     takes max_steps scheduler steps and records max_steps injections
+     (the step-0 call fires nothing for periodic plans). *)
+  let n = 5 in
+  let p = Stabalgo.Token_ring.make ~n in
+  let plan = Faults.periodic p ~gap:1 ~faults:1 in
+  let rng = Stabrng.Rng.create 15 in
+  let inject = Faults.arm plan rng in
+  let r =
+    Engine.run ~record:false ~inject ~max_steps:20 rng p (Scheduler.central_random ())
+      ~init:(Stabalgo.Token_ring.legitimate_config ~n)
+  in
+  Alcotest.(check int) "all steps taken" 20 r.Engine.steps;
+  (* The hook runs once per loop iteration, including the final one
+     whose step counter equals max_steps, so steps 1..20 all fire. *)
+  Alcotest.(check int) "one injection per positive step" 20 r.Engine.injections
+
+let test_availability_bounds_and_entries () =
+  let n = 5 in
+  let p = Stabalgo.Token_ring.make ~n in
+  let spec = Stabalgo.Token_ring.spec ~n in
+  let plan = Faults.periodic p ~gap:25 ~faults:1 in
+  let a =
+    Faults.availability ~horizon:500 (Stabrng.Rng.create 16) p
+      (Scheduler.central_random ())
+      spec ~plan
+      ~init:(Stabalgo.Token_ring.legitimate_config ~n)
+  in
+  Alcotest.(check bool) "within [0,1]" true (a.Faults.availability >= 0.0 && a.Faults.availability <= 1.0);
+  Alcotest.(check int) "observed = horizon + 1" 501 a.Faults.observed;
+  Alcotest.(check bool) "faults injected" true (a.Faults.injections > 0);
+  Alcotest.(check bool) "recovered at least once" true (a.Faults.entries >= 1);
+  Alcotest.(check bool) "not stalled" true (not a.Faults.stalled);
+  Alcotest.(check bool)
+    "mostly up: faults are rare" true
+    (a.Faults.availability > 0.5)
+
+let test_recovery_profile_under_plan_converges () =
+  let n = 5 in
+  let p = Stabalgo.Token_ring.make ~n in
+  let spec = Stabalgo.Token_ring.spec ~n in
+  let plan = Faults.periodic p ~gap:100 ~faults:1 in
+  let profile =
+    Faults.recovery_profile_under_plan ~runs:50 ~max_steps:100_000
+      (Stabrng.Rng.create 17) p
+      (Scheduler.central_random ())
+      spec ~plan
+      ~from:(Stabalgo.Token_ring.legitimate_config ~n)
+      ~faults:2
+  in
+  Alcotest.(check int) "all runs converge" 0 profile.Montecarlo.timeouts
+
+(* --- crash faults --- *)
+
+let test_crash_scheduler_silences_permanently () =
+  let n = 4 in
+  let p = Stabalgo.Token_ring.make ~n in
+  (* Crash every process: the first scheduler call returns the empty
+     set and the engine reports Stalled without taking a step. *)
+  let sched = Scheduler.crash ~failed:[ 0; 1; 2; 3 ] (Scheduler.central_random ()) in
+  let rng = Stabrng.Rng.create 18 in
+  let r =
+    Engine.run ~record:false ~max_steps:50 rng p sched
+      ~init:(Stabalgo.Token_ring.legitimate_config ~n)
+  in
+  Alcotest.(check bool) "stalled" true (r.Engine.stop = Engine.Stalled);
+  Alcotest.(check int) "no steps" 0 r.Engine.steps
+
+let test_crash_scheduler_intermittent_progresses () =
+  let n = 4 in
+  let p = Stabalgo.Token_ring.make ~n in
+  let sched =
+    Scheduler.crash ~wake_p:0.3 ~failed:[ 0; 1; 2; 3 ] (Scheduler.central_random ())
+  in
+  let rng = Stabrng.Rng.create 19 in
+  let r =
+    Engine.run ~record:false ~max_steps:50 rng p sched
+      ~init:(Stabalgo.Token_ring.legitimate_config ~n)
+  in
+  (* Intermittent crashes redraw until someone wakes: never stalls. *)
+  Alcotest.(check bool) "not stalled" true (r.Engine.stop = Engine.Exhausted);
+  Alcotest.(check int) "all steps taken" 50 r.Engine.steps
+
+let test_crash_scheduler_validation () =
+  Alcotest.check_raises "empty failed set"
+    (Invalid_argument "Scheduler.crash: empty failed set") (fun () ->
+      ignore (Scheduler.crash ~failed:[] (Scheduler.central_random () : int Scheduler.t)));
+  Alcotest.check_raises "bad wake_p"
+    (Invalid_argument "Scheduler.crash: wake_p outside [0, 1)") (fun () ->
+      ignore
+        (Scheduler.crash ~wake_p:1.0 ~failed:[ 0 ]
+           (Scheduler.central_random () : int Scheduler.t)))
+
+let test_crash_protocol_disables_failed_guards () =
+  let n = 5 in
+  let p = Stabalgo.Token_ring.make ~n in
+  let crashed = Faults.crash_protocol p ~failed:[ 2 ] in
+  let space = Statespace.build p in
+  for c = 0 to Statespace.count space - 1 do
+    let cfg = Statespace.config space c in
+    if List.mem 2 (Protocol.enabled_processes crashed cfg) then
+      Alcotest.fail "crashed process still enabled";
+    (* Survivors keep exactly their original enabledness. *)
+    let alive l = List.filter (fun q -> q <> 2) l in
+    if
+      alive (Protocol.enabled_processes p cfg)
+      <> Protocol.enabled_processes crashed cfg
+    then Alcotest.fail "crash changed a survivor's guard"
+  done
+
+let test_crash_protocol_validation () =
+  let p = Stabalgo.Token_ring.make ~n:3 in
+  Alcotest.check_raises "empty" (Invalid_argument "Faults.crash_protocol: empty failed set")
+    (fun () -> ignore (Faults.crash_protocol p ~failed:[]));
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Faults.crash_protocol: process 7 out of range") (fun () ->
+      ignore (Faults.crash_protocol p ~failed:[ 7 ]))
+
+let test_montecarlo_estimate_with_inject () =
+  let n = 5 in
+  let p = Stabalgo.Token_ring.make ~n in
+  let spec = Stabalgo.Token_ring.spec ~n in
+  let plan = Faults.periodic p ~gap:200 ~faults:1 in
+  let result =
+    Montecarlo.estimate_from ~inject:(Faults.arm plan) ~runs:50 ~max_steps:100_000
+      (Stabrng.Rng.create 20) p
+      (Scheduler.central_random ())
+      spec
+      ~init:(Stabalgo.Token_ring.legitimate_config ~n)
+  in
+  Alcotest.(check int) "all converge despite faults" 0 result.Montecarlo.timeouts
+
 (* --- synchronous orbit census --- *)
 
 let test_census_counts_all_configs () =
@@ -178,6 +419,22 @@ let suite =
     Alcotest.test_case "corrupt respects domain" `Quick test_corrupt_respects_domain;
     Alcotest.test_case "corrupt skips singletons" `Quick test_corrupt_skips_singleton_domains;
     Alcotest.test_case "corrupt validation" `Quick test_corrupt_validation;
+    Alcotest.test_case "corrupt faults > n" `Quick test_corrupt_more_faults_than_processes;
+    Alcotest.test_case "corrupt all-singleton no-op" `Quick test_corrupt_all_singletons_is_noop;
+    Alcotest.test_case "corrupt deterministic" `Quick test_corrupt_deterministic_under_seed;
+    Alcotest.test_case "periodic plan schedule" `Quick test_periodic_plan_fires_on_schedule;
+    Alcotest.test_case "burst plan one-shot entries" `Quick test_burst_plan_fires_once_per_entry;
+    Alcotest.test_case "plan validation" `Quick test_plan_validation;
+    Alcotest.test_case "adversarial plan severity" `Quick test_adversarial_plan_increases_severity;
+    Alcotest.test_case "inject hook stepless" `Quick test_engine_injections_counted_and_stepless;
+    Alcotest.test_case "availability bounds" `Quick test_availability_bounds_and_entries;
+    Alcotest.test_case "recovery under plan" `Quick test_recovery_profile_under_plan_converges;
+    Alcotest.test_case "crash permanent stalls" `Quick test_crash_scheduler_silences_permanently;
+    Alcotest.test_case "crash intermittent progresses" `Quick test_crash_scheduler_intermittent_progresses;
+    Alcotest.test_case "crash scheduler validation" `Quick test_crash_scheduler_validation;
+    Alcotest.test_case "crash protocol guards" `Quick test_crash_protocol_disables_failed_guards;
+    Alcotest.test_case "crash protocol validation" `Quick test_crash_protocol_validation;
+    Alcotest.test_case "montecarlo with inject" `Quick test_montecarlo_estimate_with_inject;
     Alcotest.test_case "recovery zero faults" `Quick test_recovery_zero_faults_is_instant;
     Alcotest.test_case "recovery profile" `Quick test_recovery_profile_all_converge;
     Alcotest.test_case "recovery grows with k" `Slow test_recovery_cost_grows_with_faults;

@@ -202,7 +202,7 @@ let qcheck_converged_runs_are_lc =
       in
       match r.Engine.stop with
       | Engine.Terminal -> is_lc g r.Engine.final
-      | Engine.Exhausted | Engine.Converged -> true)
+      | Engine.Exhausted | Engine.Converged | Engine.Stalled -> true)
 
 let suite =
   [

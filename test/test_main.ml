@@ -27,6 +27,7 @@ let () =
       ("taxonomy", Test_taxonomy.suite);
       ("onthefly", Test_onthefly.suite);
       ("faults", Test_faults.suite);
+      ("resilience", Test_resilience.suite);
       ("structures", Test_structures.suite);
       ("gcp", Test_gcp.suite);
       ("experiments", Test_experiments.suite);

@@ -157,7 +157,7 @@ let qcheck_mis_runs_end_maximal =
       in
       match r.Engine.stop with
       | Engine.Terminal -> Stabalgo.Mis.maximal_independent g r.Engine.final
-      | Engine.Exhausted | Engine.Converged -> true)
+      | Engine.Exhausted | Engine.Converged | Engine.Stalled -> true)
 
 let suite =
   [
