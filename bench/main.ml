@@ -12,6 +12,8 @@
    repro gate. *)
 
 open Bechamel
+module Json = Stabobs.Json
+module Obs = Stabobs.Obs
 
 let stage_unit f = Staged.stage (fun () -> ignore (f ()))
 
@@ -105,6 +107,15 @@ let tests =
     Test.make ~name:"e8-dijkstra-threshold"
       (stage_unit (fun () -> Stabexp.Portfolio.dijkstra_k_threshold ~max_n:4 ()));
     Test.make ~name:"faults-campaign" (stage_unit faults_campaign);
+    (* The dark-telemetry gate: with no sink installed, a span is one
+       atomic load and a branch, and a counter add is dropped before
+       touching domain-local state. Timings here must stay within noise
+       of an empty loop — a regression means instrumentation started
+       taxing the uninstrumented hot path. *)
+    Test.make ~name:"obs-span-disabled"
+      (Staged.stage (fun () -> Obs.span "bench.noop" ignore));
+    Test.make ~name:"obs-counter-disabled"
+      (Staged.stage (fun () -> Obs.Counter.add Obs.configs_expanded 1));
   ]
 
 let benchmark () =
@@ -117,21 +128,90 @@ let benchmark () =
   let ols = Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |] in
   Analyze.all ols Toolkit.Instance.monotonic_clock raw
 
-(* Machine-readable timing record, one entry per artifact, so timing
-   comparisons across revisions can be scripted instead of scraped
-   from the rendered table. *)
+(* Machine-readable timing record (schema 2): run metadata, one entry
+   per artifact, and a per-phase telemetry capture of the reference
+   pipeline, so timing comparisons across revisions can be scripted
+   instead of scraped from the rendered table. *)
 let bench_json_path = "BENCH_checker.json"
 
+let git_commit () =
+  match Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" with
+  | exception _ -> "unknown"
+  | ic ->
+    let line = try input_line ic with End_of_file -> "unknown" in
+    (match Unix.close_process_in ic with Unix.WEXITED 0 -> line | _ -> "unknown")
+
+(* One instrumented pass over the reference pipeline (token ring,
+   N = 7: exhaustive verdicts, exact hitting times, 200 sampled runs)
+   recorded through the telemetry sinks — the per-phase breakdown that
+   rides along with the OLS timings. *)
+let capture_profile () =
+  let profile = Obs.Profile.create () in
+  Obs.install (Obs.Profile.sink profile);
+  Obs.Counter.reset_all ();
+  Fun.protect ~finally:Obs.clear (fun () ->
+      let n = 7 in
+      let p = Stabalgo.Token_ring.make ~n in
+      let spec = Stabalgo.Token_ring.spec ~n in
+      let space = Stabcore.Statespace.build p in
+      ignore (Stabcore.Checker.analyze space Stabcore.Statespace.Distributed spec);
+      let legitimate = Stabcore.Statespace.legitimate_set space spec in
+      let chain = Stabcore.Markov.of_space space Stabcore.Markov.Distributed_uniform in
+      ignore (Stabcore.Markov.expected_hitting_times chain ~legitimate);
+      ignore
+        (Stabcore.Montecarlo.estimate ~runs:200 ~max_steps:1_000_000
+           (Stabrng.Rng.create 42) p
+           (Stabcore.Scheduler.distributed_random ())
+           spec));
+  let phases =
+    List.map
+      (fun (r : Obs.Profile.row) ->
+        ( r.Obs.Profile.name,
+          Json.Obj
+            [
+              ("count", Json.Int r.Obs.Profile.count);
+              ("total_ns", Json.Int r.Obs.Profile.total_ns);
+              ("max_ns", Json.Int r.Obs.Profile.max_ns);
+            ] ))
+      (Obs.Profile.rows profile)
+  in
+  let counters =
+    List.filter_map
+      (fun (name, v) -> if v = 0 then None else Some (name, Json.Int v))
+      (Obs.Counter.snapshot ())
+  in
+  Json.Obj [ ("phases", Json.Obj phases); ("counters", Json.Obj counters) ]
+
 let emit_json timings =
+  let artifacts =
+    List.map
+      (fun (name, time_ns) ->
+        ( name,
+          Json.Obj
+            [
+              ( "ns_per_run",
+                if Float.is_nan time_ns then Json.Null else Json.Float time_ns );
+            ] ))
+      timings
+  in
+  let doc =
+    Json.Obj
+      [
+        ("schema", Json.Int 2);
+        ( "meta",
+          Json.Obj
+            [
+              ("commit", Json.String (git_commit ()));
+              ("ocaml", Json.String Sys.ocaml_version);
+              ("domains", Json.Int (Domain.recommended_domain_count ()));
+            ] );
+        ("artifacts", Json.Obj artifacts);
+        ("profile", capture_profile ());
+      ]
+  in
   let oc = open_out bench_json_path in
-  output_string oc "{\n";
-  List.iteri
-    (fun i (name, time_ns) ->
-      Printf.fprintf oc "  %S: { \"ns_per_run\": %s }%s\n" name
-        (if Float.is_nan time_ns then "null" else Printf.sprintf "%.1f" time_ns)
-        (if i = List.length timings - 1 then "" else ","))
-    timings;
-  output_string oc "}\n";
+  output_string oc (Json.to_string ~minify:false doc);
+  output_char oc '\n';
   close_out oc;
   Printf.printf "(wrote per-artifact timings to %s)\n\n%!" bench_json_path
 

@@ -7,6 +7,85 @@
    (paper reproduction reports). *)
 
 open Cmdliner
+module Obs = Stabobs.Obs
+
+(* --- observability: flags shared by every subcommand --- *)
+
+let print_profile profile =
+  match Obs.Profile.rows profile with
+  | [] -> ()
+  | rows ->
+    let table =
+      Stabexp.Report.create ~title:"per-phase timing"
+        ~columns:[ "phase"; "count"; "total"; "mean"; "max" ]
+    in
+    List.iter
+      (fun (r : Obs.Profile.row) ->
+        Stabexp.Report.add_row table
+          [
+            r.Obs.Profile.name;
+            Stabexp.Report.cell_int r.Obs.Profile.count;
+            Obs.pretty_ns r.Obs.Profile.total_ns;
+            Obs.pretty_ns (r.Obs.Profile.total_ns / max 1 r.Obs.Profile.count);
+            Obs.pretty_ns r.Obs.Profile.max_ns;
+          ])
+      rows;
+    Stabexp.Report.print table;
+    Printf.printf "wall clock: %s\n%!" (Obs.pretty_ns (Obs.Profile.wall_ns profile))
+
+let print_counters () =
+  match List.filter (fun (_, v) -> v <> 0) (Obs.Counter.snapshot ()) with
+  | [] -> ()
+  | nonzero ->
+    let table = Stabexp.Report.create ~title:"counters" ~columns:[ "counter"; "value" ] in
+    List.iter
+      (fun (name, v) -> Stabexp.Report.add_row table [ name; Stabexp.Report.cell_int v ])
+      nonzero;
+    Stabexp.Report.print table
+
+(* Sinks are installed before the subcommand body runs and closed by
+   [at_exit Obs.clear], so file-backed sinks flush their trailers even
+   when the command errors out. *)
+let setup_obs verbose quiet log_json profile =
+  (match (quiet, List.length verbose) with
+  | true, _ -> Obs.set_level Obs.Quiet
+  | false, 0 -> ()
+  | false, 1 -> Obs.set_level Obs.Info
+  | false, _ -> Obs.set_level Obs.Debug);
+  at_exit Obs.clear;
+  if (not quiet) && verbose <> [] then Obs.install (Obs.stderr_sink ());
+  (match log_json with
+  | None -> ()
+  | Some path -> Obs.install (Obs.jsonl_channel (open_out path)));
+  if profile then begin
+    let p = Obs.Profile.create () in
+    Obs.install (Obs.Profile.sink p);
+    at_exit (fun () ->
+        print_profile p;
+        print_counters ())
+  end
+
+let obs_term =
+  let verbose_arg =
+    let doc =
+      "Echo span timings to stderr and raise the log level (repeatable: $(b,-v) info, \
+       $(b,-vv) debug)."
+    in
+    Arg.(value & flag_all & info [ "v"; "verbose" ] ~doc)
+  in
+  let quiet_arg =
+    let doc = "Silence warnings and degradation notices." in
+    Arg.(value & flag & info [ "quiet" ] ~doc)
+  in
+  let log_json_arg =
+    let doc = "Write telemetry (spans, counters, messages) to $(docv) as JSON lines." in
+    Arg.(value & opt (some string) None & info [ "log-json" ] ~docv:"FILE" ~doc)
+  in
+  let profile_arg =
+    let doc = "Collect per-phase timings and print profile tables on exit." in
+    Arg.(value & flag & info [ "profile" ] ~doc)
+  in
+  Term.(const setup_obs $ verbose_arg $ quiet_arg $ log_json_arg $ profile_arg)
 
 (* --- shared arguments --- *)
 
@@ -140,7 +219,7 @@ let resolve ~protocol ~topology ~transformed ~file =
 (* --- trace --- *)
 
 let trace_cmd =
-  let run protocol topology transformed file seed steps scheduler crash wake_p =
+  let run () protocol topology transformed file seed steps scheduler crash wake_p =
     wrap (fun () ->
         let (Stabexp.Registry.Entry e) = resolve ~protocol ~topology ~transformed ~file in
         let rng = Stabrng.Rng.create seed in
@@ -174,15 +253,15 @@ let trace_cmd =
   let term =
     Term.(
       term_result
-        (const run $ protocol_arg $ topology_arg $ transformed_arg $ file_arg $ seed_arg
-       $ steps_arg $ scheduler_arg $ crash_arg $ wake_p_arg))
+        (const run $ obs_term $ protocol_arg $ topology_arg $ transformed_arg $ file_arg
+       $ seed_arg $ steps_arg $ scheduler_arg $ crash_arg $ wake_p_arg))
   in
   Cmd.v (Cmd.info "trace" ~doc:"Simulate one execution and print its trace.") term
 
 (* --- check --- *)
 
 let check_cmd =
-  let run protocol topology transformed file cls crash =
+  let run () protocol topology transformed file cls crash =
     wrap (fun () ->
         let (Stabexp.Registry.Entry e) = resolve ~protocol ~topology ~transformed ~file in
         (* --crash asks the Dolev-Herman question: does stabilization
@@ -212,7 +291,7 @@ let check_cmd =
   let term =
     Term.(
       term_result
-        (const run $ protocol_arg $ topology_arg $ transformed_arg $ file_arg
+        (const run $ obs_term $ protocol_arg $ topology_arg $ transformed_arg $ file_arg
        $ sched_class_arg $ crash_arg))
   in
   Cmd.v
@@ -222,7 +301,7 @@ let check_cmd =
 (* --- markov --- *)
 
 let markov_cmd =
-  let run protocol topology transformed file r =
+  let run () protocol topology transformed file r =
     wrap (fun () ->
         let (Stabexp.Registry.Entry e) = resolve ~protocol ~topology ~transformed ~file in
         let randomization =
@@ -270,7 +349,7 @@ let markov_cmd =
   let term =
     Term.(
       term_result
-        (const run $ protocol_arg $ topology_arg $ transformed_arg $ file_arg
+        (const run $ obs_term $ protocol_arg $ topology_arg $ transformed_arg $ file_arg
        $ randomization_arg))
   in
   Cmd.v
@@ -281,7 +360,7 @@ let markov_cmd =
 (* --- montecarlo --- *)
 
 let montecarlo_cmd =
-  let run protocol topology transformed file seed scheduler runs max_steps =
+  let run () protocol topology transformed file seed scheduler runs max_steps =
     wrap (fun () ->
         let (Stabexp.Registry.Entry e) = resolve ~protocol ~topology ~transformed ~file in
         let rng = Stabrng.Rng.create seed in
@@ -303,15 +382,15 @@ let montecarlo_cmd =
   let term =
     Term.(
       term_result
-        (const run $ protocol_arg $ topology_arg $ transformed_arg $ file_arg $ seed_arg
-       $ scheduler_arg $ runs_arg $ max_steps_arg))
+        (const run $ obs_term $ protocol_arg $ topology_arg $ transformed_arg $ file_arg
+       $ seed_arg $ scheduler_arg $ runs_arg $ max_steps_arg))
   in
   Cmd.v (Cmd.info "montecarlo" ~doc:"Sampled stabilization-time estimates.") term
 
 (* --- reach (on-the-fly analysis) --- *)
 
 let reach_cmd =
-  let run protocol topology transformed file cls seed inits max_states =
+  let run () protocol topology transformed file cls seed inits max_states =
     wrap (fun () ->
         let (Stabexp.Registry.Entry e) = resolve ~protocol ~topology ~transformed ~file in
         let space = Stabcore.Statespace.build ~max_configs:max_int e.protocol in
@@ -355,7 +434,7 @@ let reach_cmd =
   let term =
     Term.(
       term_result
-        (const run $ protocol_arg $ topology_arg $ transformed_arg $ file_arg
+        (const run $ obs_term $ protocol_arg $ topology_arg $ transformed_arg $ file_arg
        $ sched_class_arg $ seed_arg $ inits_arg $ max_states_arg))
   in
   Cmd.v
@@ -368,7 +447,7 @@ let reach_cmd =
 (* --- orbit (synchronous census) --- *)
 
 let orbit_cmd =
-  let run protocol topology transformed file =
+  let run () protocol topology transformed file =
     wrap (fun () ->
         let (Stabexp.Registry.Entry e) = resolve ~protocol ~topology ~transformed ~file in
         let space = Stabcore.Statespace.build e.protocol in
@@ -382,7 +461,9 @@ let orbit_cmd =
           census)
   in
   let term =
-    Term.(term_result (const run $ protocol_arg $ topology_arg $ transformed_arg $ file_arg))
+    Term.(
+      term_result
+        (const run $ obs_term $ protocol_arg $ topology_arg $ transformed_arg $ file_arg))
   in
   Cmd.v
     (Cmd.info "orbit"
@@ -411,7 +492,7 @@ let hunt_legitimate_start rng (p : 'a Stabcore.Protocol.t) spec =
   hunt 50
 
 let faults_cmd =
-  let run protocol topology transformed file cls seed ks runs horizon gap max_configs =
+  let run () protocol topology transformed file cls seed ks runs horizon gap max_configs =
     wrap (fun () ->
         let (Stabexp.Registry.Entry e) = resolve ~protocol ~topology ~transformed ~file in
         let ks = List.sort_uniq compare ks in
@@ -500,9 +581,9 @@ let faults_cmd =
           Format.printf "availability under recurrent faults (horizon %d steps):@." horizon;
           List.iter (availability_line start) ks
         | `Onthefly space ->
-          Format.eprintf
+          Obs.warnf
             "warning: %d configurations exceed the exact budget (--max-configs %d); \
-             degrading to on-the-fly + Monte-Carlo analysis@."
+             degrading to on-the-fly + Monte-Carlo analysis"
             (Stabcore.Statespace.count space)
             max_configs;
           Format.printf "%s resilience under the %a class (on-the-fly)@.%s@.@." e.label
@@ -538,7 +619,7 @@ let faults_cmd =
           Format.printf "@.";
           montecarlo_block start
         | `Montecarlo reason ->
-          Format.eprintf "warning: %s; degrading to Monte-Carlo analysis@." reason;
+          Obs.warnf "warning: %s; degrading to Monte-Carlo analysis" reason;
           Format.printf "%s resilience under the %a class (sampled only)@.%s@.@." e.label
             Stabcore.Statespace.pp_sched_class cls e.describe;
           let start = hunt_legitimate_start rng e.protocol e.spec in
@@ -574,7 +655,7 @@ let faults_cmd =
   let term =
     Term.(
       term_result
-        (const run $ protocol_arg $ topology_arg $ transformed_arg $ file_arg
+        (const run $ obs_term $ protocol_arg $ topology_arg $ transformed_arg $ file_arg
        $ sched_class_arg $ seed_arg $ faults_list_arg $ runs_arg $ horizon_arg $ gap_arg
        $ max_configs_arg))
   in
@@ -583,6 +664,112 @@ let faults_cmd =
        ~doc:
         "The resilience lab: exact per-k recovery radius, recovery-time profiles and \
          availability under recurrent fault injection.")
+    term
+
+(* --- profile (per-phase telemetry over the whole pipeline) --- *)
+
+let profile_cmd =
+  let run () protocol n topology cls seed runs trace =
+    wrap (fun () ->
+        let topology =
+          match topology with
+          | Some t -> t
+          | None ->
+            (* Tree protocols cannot live on a ring; everything else
+               defaults to one. *)
+            let shape =
+              match protocol with
+              | "leader-tree" | "centers" | "center-leader" -> "chain"
+              | _ -> "ring"
+            in
+            Printf.sprintf "%s:%d" shape n
+        in
+        let (Stabexp.Registry.Entry e) =
+          resolve ~protocol ~topology ~transformed:false ~file:None
+        in
+        let profile = Obs.Profile.create () in
+        Obs.install (Obs.Profile.sink profile);
+        (match trace with
+        | None -> ()
+        | Some path -> Obs.install (Obs.chrome_channel (open_out path)));
+        Obs.Counter.reset_all ();
+        let rng = Stabrng.Rng.create seed in
+        (* The full pipeline, end to end: exhaustive verdicts, the
+           induced Markov chain, and a Monte-Carlo estimate, each phase
+           showing up as its own span. *)
+        let space = Stabcore.Statespace.build e.protocol in
+        let v = Stabcore.Checker.analyze space cls e.spec in
+        let legitimate = Stabcore.Statespace.legitimate_set space e.spec in
+        let randomization =
+          match cls with
+          | Stabcore.Statespace.Central -> Stabcore.Markov.Central_uniform
+          | Stabcore.Statespace.Distributed -> Stabcore.Markov.Distributed_uniform
+          | Stabcore.Statespace.Synchronous -> Stabcore.Markov.Sync
+        in
+        let chain = Stabcore.Markov.of_space space randomization in
+        let prob1 = Stabcore.Markov.converges_with_prob_one chain ~legitimate in
+        let mean_hit =
+          match prob1 with
+          | Ok () -> Some (Stabcore.Markov.mean_hitting_time chain ~legitimate)
+          | Error _ -> None
+        in
+        let sched = class_scheduler cls in
+        let mc =
+          Stabcore.Montecarlo.estimate ~runs ~max_steps:1_000_000 rng e.protocol sched
+            e.spec
+        in
+        Format.printf "%s under the %a class (%d configurations)@.%s@.@." e.label
+          Stabcore.Statespace.pp_sched_class cls
+          (Stabcore.Statespace.count space)
+          e.describe;
+        Format.printf
+          "verdicts: weak-stabilizing %b, self-stabilizing %b, prob-1 convergence %b@."
+          (Stabcore.Checker.weak_stabilizing v)
+          (Stabcore.Checker.self_stabilizing v)
+          (match prob1 with Ok () -> true | Error _ -> false);
+        (match mean_hit with
+        | Some m -> Format.printf "expected stabilization time: mean %.4f steps@." m
+        | None -> ());
+        Format.printf "montecarlo (%d runs): %a@.@." runs Stabcore.Montecarlo.pp_result mc;
+        print_profile profile;
+        print_counters ())
+  in
+  let protocol_pos_arg =
+    let doc =
+      Printf.sprintf "Protocol to profile. One of: %s."
+        (String.concat ", " Stabexp.Registry.names)
+    in
+    Arg.(value & pos 0 string "token-ring" & info [] ~docv:"PROTOCOL" ~doc)
+  in
+  let n_arg =
+    let doc = "Instance size (ring:N, or chain:N for tree protocols)." in
+    Arg.(value & opt int 5 & info [ "n" ] ~docv:"N" ~doc)
+  in
+  let topology_opt_arg =
+    let doc = "Explicit topology; overrides $(b,--n)." in
+    Arg.(value & opt (some string) None & info [ "t"; "topology" ] ~docv:"TOPO" ~doc)
+  in
+  let runs_arg =
+    Arg.(
+      value & opt int 200 & info [ "runs" ] ~docv:"RUNS" ~doc:"Monte-Carlo runs to sample.")
+  in
+  let trace_arg =
+    let doc =
+      "Write a Chrome trace_event file to $(docv) (open in chrome://tracing or Perfetto)."
+    in
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+  in
+  let term =
+    Term.(
+      term_result
+        (const run $ obs_term $ protocol_pos_arg $ n_arg $ topology_opt_arg
+       $ sched_class_arg $ seed_arg $ runs_arg $ trace_arg))
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+        "Run the full checker pipeline on one instance and print per-phase timing and \
+         counter tables.")
     term
 
 (* --- figures / theorems / experiments --- *)
@@ -598,10 +785,10 @@ let figures_cmd =
   in
   Cmd.v
     (Cmd.info "figures" ~doc:"Reproduce the paper's Figures 1-3 (example executions).")
-    Term.(term_result (const run $ const ()))
+    Term.(term_result (const run $ obs_term))
 
 let theorems_cmd =
-  let run id =
+  let run () id =
     wrap (fun () ->
         let results = Stabexp.Theorems.all () in
         let selected =
@@ -628,10 +815,10 @@ let theorems_cmd =
   in
   Cmd.v
     (Cmd.info "theorems" ~doc:"Machine-check the paper's theorems on small instances.")
-    Term.(term_result (const run $ id_arg))
+    Term.(term_result (const run $ obs_term $ id_arg))
 
 let experiments_cmd =
-  let run quick seed =
+  let run () quick seed =
     wrap (fun () ->
         let _, t1 = Stabexp.Quantitative.e1_token_sweep ~seed ~quick () in
         Stabexp.Report.print t1;
@@ -653,7 +840,7 @@ let experiments_cmd =
   Cmd.v
     (Cmd.info "experiments"
        ~doc:"Run the quantitative experiments E1-E7 (expected stabilization times).")
-    Term.(term_result (const run $ quick_arg $ seed_arg))
+    Term.(term_result (const run $ obs_term $ quick_arg $ seed_arg))
 
 let portfolio_cmd =
   let run () =
@@ -672,7 +859,7 @@ let portfolio_cmd =
     (Cmd.info "portfolio"
        ~doc:
         "Classify every bundled algorithm under every scheduler class (tables P1, P2, E8).")
-    Term.(term_result (const run $ const ()))
+    Term.(term_result (const run $ obs_term))
 
 let main =
   let doc = "stabilization laboratory: weak vs. self vs. probabilistic stabilization" in
@@ -690,6 +877,11 @@ let main =
       reach_cmd;
       orbit_cmd;
       faults_cmd;
+      profile_cmd;
     ]
 
-let () = exit (Cmd.eval main)
+let () =
+  (* cmdliner spells one-character names as short options; accept the
+     natural "--n" for `profile --n 7` too. *)
+  let argv = Array.map (function "--n" -> "-n" | a -> a) Sys.argv in
+  exit (Cmd.eval ~argv main)

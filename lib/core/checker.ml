@@ -13,6 +13,8 @@
    [active_sets]. [succ_w] carries the outcome probabilities so the
    Markov chain of a randomized daemon can be read off the same
    packing. *)
+module Obs = Stabobs.Obs
+
 type graph = {
   n : int;
   grp_off : int array; (* length n+1 *)
@@ -149,17 +151,22 @@ let expand_serial space cls n nproc =
   done;
   grp_off.(n) <- grp_active.Ibuf.len;
   Ibuf.push succ_off succ.Ibuf.len;
-  {
-    n;
-    grp_off;
-    grp_active = Ibuf.contents grp_active;
-    succ_off = Ibuf.contents succ_off;
-    succ = Ibuf.contents succ;
-    succ_w = Fbuf.contents succ_w;
-    active_sets = interner_sets intern;
-    rev_off = None;
-    rev = None;
-  }
+  let g =
+    {
+      n;
+      grp_off;
+      grp_active = Ibuf.contents grp_active;
+      succ_off = Ibuf.contents succ_off;
+      succ = Ibuf.contents succ;
+      succ_w = Fbuf.contents succ_w;
+      active_sets = interner_sets intern;
+      rev_off = None;
+      rev = None;
+    }
+  in
+  Obs.Counter.add Obs.configs_expanded n;
+  Obs.Counter.add Obs.transitions_emitted (Array.length g.succ);
+  g
 
 (* Multi-domain expansion: workers enumerate transition rows for
    disjoint slices of the configuration range, so the merge is a join
@@ -208,17 +215,22 @@ let pack n nproc rows =
   done;
   grp_off.(n) <- grp_active.Ibuf.len;
   Ibuf.push succ_off succ.Ibuf.len;
-  {
-    n;
-    grp_off;
-    grp_active = Ibuf.contents grp_active;
-    succ_off = Ibuf.contents succ_off;
-    succ = Ibuf.contents succ;
-    succ_w = Fbuf.contents succ_w;
-    active_sets = interner_sets intern;
-    rev_off = None;
-    rev = None;
-  }
+  let g =
+    {
+      n;
+      grp_off;
+      grp_active = Ibuf.contents grp_active;
+      succ_off = Ibuf.contents succ_off;
+      succ = Ibuf.contents succ;
+      succ_w = Fbuf.contents succ_w;
+      active_sets = interner_sets intern;
+      rev_off = None;
+      rev = None;
+    }
+  in
+  Obs.Counter.add Obs.configs_expanded n;
+  Obs.Counter.add Obs.transitions_emitted (Array.length g.succ);
+  g
 
 (* Expansions are cached per (space identity, scheduler class): the
    theorem checks, the taxonomy, the quantitative sweeps and the Markov
@@ -243,9 +255,12 @@ let build_graph space cls =
 let expand space cls =
   let key = (Statespace.uid space, cls) in
   match Mutex.protect cache_mutex (fun () -> Hashtbl.find_opt cache key) with
-  | Some g -> g
+  | Some g ->
+    Obs.Counter.incr Obs.graph_cache_hits;
+    g
   | None ->
-    let g = build_graph space cls in
+    Obs.Counter.incr Obs.graph_cache_misses;
+    let g = Obs.span "checker.expand" (fun () -> build_graph space cls) in
     Mutex.protect cache_mutex (fun () ->
         match Hashtbl.find_opt cache key with
         | Some g -> g (* a concurrent expansion won the race *)
@@ -261,6 +276,7 @@ let reverse g =
   | Some off, Some rev -> (off, rev)
   | _ ->
     incr reverse_builds;
+    Obs.span "checker.reverse" @@ fun () ->
     let n = g.n in
     let nedges = Array.length g.succ in
     let off = Array.make (n + 1) 0 in
@@ -634,19 +650,36 @@ type verdict = {
 }
 
 let analyze space cls spec =
+  Obs.span "checker.analyze" @@ fun () ->
   let g = expand space cls in
   let legitimate = Statespace.legitimate_set space spec in
   (* Shared intermediates: the reverse adjacency (memoized on [g]), the
      terminal list, and the SCC decomposition of C \ L (used by both
      fairness checks) are each derived exactly once per verdict. *)
-  let terminals = terminals_of g ~legitimate in
-  let components = sccs g ~alive:(alive_outside legitimate) in
+  let terminals = Obs.span "checker.terminals" (fun () -> terminals_of g ~legitimate) in
+  let components =
+    Obs.span "checker.sccs" (fun () -> sccs g ~alive:(alive_outside legitimate))
+  in
+  let closure = Obs.span "checker.closure" (fun () -> check_closure space g spec) in
+  let possible =
+    Obs.span "checker.possible" (fun () -> possible_convergence space g ~legitimate)
+  in
+  let certain =
+    Obs.span "checker.certain" (fun () ->
+        certain_of_terminals g ~legitimate ~terminals)
+  in
+  let strongly_fair_diverges =
+    Obs.span "checker.fairness.strong" (fun () -> strongly_fair_from space g components)
+  in
+  let weakly_fair_diverges =
+    Obs.span "checker.fairness.weak" (fun () -> weakly_fair_from space g components)
+  in
   {
-    closure = check_closure space g spec;
-    possible = possible_convergence space g ~legitimate;
-    certain = certain_of_terminals g ~legitimate ~terminals;
-    strongly_fair_diverges = strongly_fair_from space g components;
-    weakly_fair_diverges = weakly_fair_from space g components;
+    closure;
+    possible;
+    certain;
+    strongly_fair_diverges;
+    weakly_fair_diverges;
     dead_ends = terminals;
   }
 
@@ -950,14 +983,24 @@ type budgeted =
 
 let analyze_under_budget ?max_configs ?onthefly_configs ?(inits = []) protocol cls spec =
   match Statespace.plan ?max_configs ?onthefly_configs protocol with
-  | `Montecarlo reason -> `Montecarlo reason
+  | `Montecarlo reason ->
+    Obs.warnf "warning: %s; degrading to Monte-Carlo analysis" reason;
+    `Montecarlo reason
   | `Exact space -> `Exact (analyze space cls spec)
   | `Onthefly space ->
-    if inits = [] then
-      `Montecarlo
+    if inits = [] then begin
+      let reason =
         "space exceeds the exact budget and no initial configurations were given \
          for on-the-fly analysis; only sampling remains"
+      in
+      Obs.warnf "warning: %s" reason;
+      `Montecarlo reason
+    end
     else begin
+      Obs.warnf
+        "warning: %d configurations exceed the exact budget; degrading to \
+         on-the-fly analysis from %d initial configurations"
+        (Statespace.count space) (List.length inits);
       (* The exact budget bounds materialized configurations either
          way: the on-the-fly hash table gets the same allowance. *)
       let possible_from, _ =

@@ -52,6 +52,8 @@ let run ?(record = true) ?stop_on ?inject ~max_steps rng protocol scheduler ~ini
   let injections = ref 0 in
   let tracker = new_round_tracker (Protocol.enabled_processes protocol (Array.copy init)) in
   let finish cfg steps events stop =
+    Stabobs.Obs.Counter.incr Stabobs.Obs.engine_runs;
+    Stabobs.Obs.Counter.add Stabobs.Obs.engine_steps steps;
     { trace = { init; events = List.rev events }; final = cfg; steps;
       rounds = tracker.completed; stop; injections = !injections }
   in
@@ -69,6 +71,7 @@ let run ?(record = true) ?stop_on ?inject ~max_steps rng protocol scheduler ~ini
           | None -> cfg
           | Some cfg' ->
             incr injections;
+            Stabobs.Obs.Counter.incr Stabobs.Obs.fault_injections;
             cfg')
       in
       match Protocol.enabled_processes protocol cfg with

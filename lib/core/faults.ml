@@ -32,6 +32,7 @@ let recovery_time ~max_steps rng protocol scheduler spec ~from ~faults =
   | None -> { faults; steps = None; rounds = None }
 
 let recovery_profile ~runs ~max_steps rng protocol scheduler spec ~from ~faults =
+  Stabobs.Obs.span "faults.recovery_profile" @@ fun () ->
   let times = ref [] in
   let rounds = ref [] in
   let timeouts = ref 0 in
@@ -158,6 +159,7 @@ let adversarial space g spec ~gap ~faults =
 
 let recovery_profile_under_plan ~runs ~max_steps rng protocol scheduler spec ~plan ~from
     ~faults =
+  Stabobs.Obs.span "faults.recovery_profile_under_plan" @@ fun () ->
   let times = ref [] in
   let rounds = ref [] in
   let timeouts = ref 0 in
@@ -225,6 +227,7 @@ let availability ~horizon rng protocol scheduler spec ~plan ~init =
 
 let availability_profile ~runs ~horizon rng protocol scheduler spec ~plan ~init =
   if runs <= 0 then invalid_arg "Faults.availability_profile: runs must be positive";
+  Stabobs.Obs.span "faults.availability_profile" @@ fun () ->
   let samples =
     Array.init runs (fun _ ->
         let stream = Stabrng.Rng.split rng in

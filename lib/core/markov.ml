@@ -15,6 +15,7 @@ let merge_row entries =
    analysed exhaustively and then probabilistically expands its
    transition relation once, not twice. *)
 let of_space space randomization =
+  Stabobs.Obs.span "markov.of_space" @@ fun () ->
   let cls =
     match randomization with
     | Central_uniform -> Statespace.Central
@@ -150,6 +151,7 @@ type hitting_method =
   | Iterative of { tolerance : float; max_sweeps : int }
 
 let exact_hitting chain ~legitimate ~transient =
+  Stabobs.Obs.span "markov.solve.exact" @@ fun () ->
   let t_count = Array.length transient in
   let pos = Array.make (states chain) (-1) in
   Array.iteri (fun i c -> pos.(c) <- i) transient;
@@ -167,6 +169,7 @@ let exact_hitting chain ~legitimate ~transient =
   Stablinalg.Matrix.solve a (Array.make t_count 1.0)
 
 let iterative_hitting chain ~legitimate ~transient ~tolerance ~max_sweeps =
+  Stabobs.Obs.span "markov.solve.iterative" @@ fun () ->
   let n = states chain in
   let h = Array.make n 0.0 in
   let sweep () =
@@ -222,6 +225,7 @@ let expected_hitting_times ?method_ chain ~legitimate =
   end
 
 let absorption_probabilities chain ~legitimate =
+  Stabobs.Obs.span "markov.absorption" @@ fun () ->
   let n = states chain in
   let can_reach = reaches chain ~target:legitimate in
   let p = Array.init n (fun c -> if legitimate.(c) then 1.0 else 0.0) in

@@ -23,6 +23,7 @@ let collect ~runs ~sample =
   let rounds = ref [] in
   let timeouts = ref 0 in
   for _ = 1 to runs do
+    Stabobs.Obs.Counter.incr Stabobs.Obs.montecarlo_runs;
     match sample () with
     | Some (steps, rnds) ->
       times := steps :: !times;
@@ -38,6 +39,7 @@ let collect ~runs ~sample =
    stream and gets a fresh per-run injection hook back, so one fault
    plan (see Faults.arm) drives every sample independently. *)
 let estimate ?inject ~runs ~max_steps rng protocol scheduler spec =
+  Stabobs.Obs.span "montecarlo.estimate" @@ fun () ->
   collect ~runs ~sample:(fun () ->
       let stream = Stabrng.Rng.split rng in
       let init = Protocol.random_config stream protocol in
@@ -62,6 +64,7 @@ let estimate_parallel ?domains ~runs ~max_steps rng protocol scheduler spec =
   in
   if domains <= 1 || runs <= 1 then estimate ~runs ~max_steps rng protocol scheduler spec
   else begin
+    Stabobs.Obs.span "montecarlo.estimate_parallel" @@ fun () ->
     (* Split one stream per run BEFORE spawning, in exactly the order
        the sequential [estimate] loop would: run [r]'s outcome is a
        pure function of its pre-split stream, so the pooled sample is
@@ -74,6 +77,7 @@ let estimate_parallel ?domains ~runs ~max_steps rng protocol scheduler spec =
     let out = Array.make runs None in
     let fill lo hi =
       for r = lo to hi - 1 do
+        Stabobs.Obs.Counter.incr Stabobs.Obs.montecarlo_runs;
         let stream = streams.(r) in
         let init = Protocol.random_config stream protocol in
         out.(r) <- Engine.convergence_cost ~max_steps stream protocol scheduler spec ~init

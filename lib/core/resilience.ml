@@ -35,6 +35,7 @@ type 'a lab = {
 }
 
 let prepare space cls spec =
+  Stabobs.Obs.span "resilience.prepare" @@ fun () ->
   let graph = Checker.expand space cls in
   let legitimate = Statespace.legitimate_set space spec in
   let chain = Markov.of_space space (randomization_of_class cls) in
@@ -49,6 +50,7 @@ let prepare space cls spec =
   { space; graph; legitimate; chain; doomed; hitting }
 
 let metric_of_lab lab ~k =
+  Stabobs.Obs.span ~args:[ ("k", Stabobs.Json.Int k) ] "resilience.metric" @@ fun () ->
   let faulty = Checker.k_faulty_set lab.space ~legitimate:lab.legitimate ~k in
   let n = Statespace.count lab.space in
   (* Forward closure of the corrupted configurations through
@@ -127,6 +129,7 @@ let metric_of_lab lab ~k =
   }
 
 let analyze space cls spec ~ks =
+  Stabobs.Obs.span "resilience.analyze" @@ fun () ->
   let lab = prepare space cls spec in
   List.map (fun k -> metric_of_lab lab ~k) (List.sort_uniq compare ks)
 

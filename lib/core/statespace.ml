@@ -14,6 +14,7 @@ let default_max_configs = 2_000_000
 let next_uid = Atomic.make 0
 
 let build ?(max_configs = default_max_configs) protocol =
+  Stabobs.Obs.span "statespace.build" @@ fun () ->
   let encoding = Encoding.of_protocol protocol in
   if Encoding.count encoding > max_configs then
     invalid_arg

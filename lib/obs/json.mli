@@ -1,0 +1,39 @@
+(** Minimal JSON values: emission and parsing.
+
+    One tiny module shared by every JSON producer in the tree — the
+    JSONL event sink, the Chrome trace exporter and the bench's
+    [BENCH_checker.json] — so none of them hand-roll comma placement or
+    string escaping. The parser exists for round-trip tests and for
+    validating line-delimited event logs; it accepts standard JSON
+    (RFC 8259) minus nothing of relevance at this scale. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_buffer : Buffer.t -> t -> unit
+(** Compact (single-line) rendering. Non-finite floats render as
+    [null]; finite floats use the shortest representation that parses
+    back to the same value. *)
+
+val to_string : ?minify:bool -> t -> string
+(** [minify:true] (default) is single-line; [minify:false] pretty-prints
+    with two-space indentation, for committed artifacts that should
+    diff well. *)
+
+val output : out_channel -> t -> unit
+(** Compact rendering straight to a channel. *)
+
+val of_string : string -> (t, string) result
+(** Parses one JSON document (surrounding whitespace allowed); the
+    error string carries a byte offset. Numbers without [.], [e] or [E]
+    that fit in an OCaml [int] parse as [Int], everything else as
+    [Float]. *)
+
+val member : string -> t -> t option
+(** Field lookup in an [Obj]; [None] on missing fields or non-objects. *)

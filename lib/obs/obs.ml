@@ -1,0 +1,361 @@
+external now_ns : unit -> int = "stabobs_clock_ns" [@@noalloc]
+
+(* --- levels --- *)
+
+type level = Quiet | Error | Warn | Info | Debug
+
+let rank = function Quiet -> 0 | Error -> 1 | Warn -> 2 | Info -> 3 | Debug -> 4
+let level_name = function
+  | Quiet -> "quiet"
+  | Error -> "error"
+  | Warn -> "warn"
+  | Info -> "info"
+  | Debug -> "debug"
+
+let current_level = Atomic.make (rank Warn)
+let set_level l = Atomic.set current_level (rank l)
+
+let get_level () =
+  match Atomic.get current_level with
+  | 0 -> Quiet
+  | 1 -> Error
+  | 2 -> Warn
+  | 3 -> Info
+  | _ -> Debug
+
+let would_log l = rank l > 0 && rank l <= Atomic.get current_level
+
+(* --- events and the sink stack --- *)
+
+type event =
+  | Span_begin of {
+      name : string;
+      ts : int;
+      domain : int;
+      args : (string * Json.t) list;
+    }
+  | Span_end of {
+      name : string;
+      ts : int;
+      dur : int;
+      domain : int;
+      args : (string * Json.t) list;
+      counters : (string * int) list;
+    }
+  | Message of { level : level; ts : int; domain : int; text : string }
+
+type sink = { emit : event -> unit; close : unit -> unit }
+
+let sinks : sink list Atomic.t = Atomic.make []
+
+let on () = match Atomic.get sinks with [] -> false | _ :: _ -> true
+
+let rec install s =
+  let cur = Atomic.get sinks in
+  if not (Atomic.compare_and_set sinks cur (cur @ [ s ])) then install s
+
+let clear () =
+  let cur = Atomic.exchange sinks [] in
+  List.iter (fun s -> s.close ()) cur
+
+let emit e = List.iter (fun s -> s.emit e) (Atomic.get sinks)
+
+let self_id () = (Domain.self () :> int)
+
+(* --- counters --- *)
+
+module Counter = struct
+  (* One accumulator cell per (counter, domain), created through DLS on
+     the domain's first touch and registered in the counter's cell
+     list; cells of terminated domains stay registered so their totals
+     survive the join. Each cell has a single writer (its domain), so
+     plain atomic load/store suffices — no RMW contention anywhere on
+     the hot path. *)
+  type t = {
+    cname : string;
+    mu : Mutex.t;
+    cells : int Atomic.t list ref;
+    key : int Atomic.t Domain.DLS.key;
+  }
+
+  let registry_mu = Mutex.create ()
+  let registry : t list ref = ref []
+
+  let make cname =
+    let mu = Mutex.create () in
+    let cells = ref [] in
+    let key =
+      Domain.DLS.new_key (fun () ->
+          let cell = Atomic.make 0 in
+          Mutex.protect mu (fun () -> cells := cell :: !cells);
+          cell)
+    in
+    let t = { cname; mu; cells; key } in
+    Mutex.protect registry_mu (fun () -> registry := t :: !registry);
+    t
+
+  let add t k =
+    if k <> 0 && on () then begin
+      let cell = Domain.DLS.get t.key in
+      Atomic.set cell (Atomic.get cell + k)
+    end
+
+  let incr t = add t 1
+
+  let value t =
+    let cells = Mutex.protect t.mu (fun () -> !(t.cells)) in
+    List.fold_left (fun acc cell -> acc + Atomic.get cell) 0 cells
+
+  let name t = t.cname
+
+  let all () = List.rev (Mutex.protect registry_mu (fun () -> !registry))
+
+  let snapshot () = List.map (fun t -> (t.cname, value t)) (all ())
+
+  let reset_all () =
+    List.iter
+      (fun t ->
+        let cells = Mutex.protect t.mu (fun () -> !(t.cells)) in
+        List.iter (fun cell -> Atomic.set cell 0) cells)
+      (all ())
+end
+
+let configs_expanded = Counter.make "configs_expanded"
+let transitions_emitted = Counter.make "transitions_emitted"
+let graph_cache_hits = Counter.make "graph_cache_hits"
+let graph_cache_misses = Counter.make "graph_cache_misses"
+let montecarlo_runs = Counter.make "montecarlo_runs"
+let fault_injections = Counter.make "fault_injections"
+let engine_runs = Counter.make "engine_runs"
+let engine_steps = Counter.make "engine_steps"
+
+(* --- messages --- *)
+
+let message level text =
+  if would_log level then begin
+    emit (Message { level; ts = now_ns (); domain = self_id (); text });
+    Printf.eprintf "%s\n%!" text
+  end
+
+let logf level fmt =
+  if would_log level then Format.kasprintf (message level) fmt
+  else Format.ikfprintf (fun _ -> ()) Format.err_formatter fmt
+
+let errorf fmt = logf Error fmt
+let warnf fmt = logf Warn fmt
+let infof fmt = logf Info fmt
+let debugf fmt = logf Debug fmt
+
+(* --- spans --- *)
+
+let span ?(args = []) name f =
+  if not (on ()) then f ()
+  else begin
+    let domain = self_id () in
+    let t0 = now_ns () in
+    emit (Span_begin { name; ts = t0; domain; args });
+    Fun.protect f ~finally:(fun () ->
+        let t1 = now_ns () in
+        emit
+          (Span_end
+             {
+               name;
+               ts = t1;
+               dur = t1 - t0;
+               domain;
+               args;
+               counters = Counter.snapshot ();
+             }))
+  end
+
+(* --- rendering helpers --- *)
+
+let pretty_ns ns =
+  let f = float_of_int ns in
+  if ns < 1_000 then Printf.sprintf "%dns" ns
+  else if ns < 1_000_000 then Printf.sprintf "%.1fus" (f /. 1e3)
+  else if ns < 1_000_000_000 then Printf.sprintf "%.1fms" (f /. 1e6)
+  else Printf.sprintf "%.2fs" (f /. 1e9)
+
+(* --- sinks --- *)
+
+let stderr_sink () =
+  let mu = Mutex.create () in
+  let emit = function
+    | Span_end { name; dur; domain; _ } ->
+      Mutex.protect mu (fun () ->
+          Printf.eprintf "[obs] %-32s %10s  (domain %d)\n%!" name (pretty_ns dur)
+            domain)
+    | Span_begin { name; domain; _ } ->
+      if rank Debug <= Atomic.get current_level then
+        Mutex.protect mu (fun () ->
+            Printf.eprintf "[obs] %-32s %10s  (domain %d)\n%!" name "begin" domain)
+    | Message _ -> () (* the logger already writes messages to stderr *)
+  in
+  { emit; close = (fun () -> flush stderr) }
+
+let fields_to_json fields = Json.Obj (List.map (fun (k, v) -> (k, v)) fields)
+
+let counters_to_json counters =
+  Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) counters)
+
+let event_to_json = function
+  | Span_begin { name; ts; domain; args } ->
+    Json.Obj
+      ([
+         ("type", Json.String "span_begin");
+         ("name", Json.String name);
+         ("ts_ns", Json.Int ts);
+         ("domain", Json.Int domain);
+       ]
+      @ if args = [] then [] else [ ("args", fields_to_json args) ])
+  | Span_end { name; ts; dur; domain; args; counters } ->
+    Json.Obj
+      ([
+         ("type", Json.String "span_end");
+         ("name", Json.String name);
+         ("ts_ns", Json.Int ts);
+         ("dur_ns", Json.Int dur);
+         ("domain", Json.Int domain);
+       ]
+      @ (if args = [] then [] else [ ("args", fields_to_json args) ])
+      @ [ ("counters", counters_to_json counters) ])
+  | Message { level; ts; domain; text } ->
+    Json.Obj
+      [
+        ("type", Json.String "message");
+        ("level", Json.String (level_name level));
+        ("ts_ns", Json.Int ts);
+        ("domain", Json.Int domain);
+        ("text", Json.String text);
+      ]
+
+let jsonl_sink ~write_line =
+  let mu = Mutex.create () in
+  {
+    emit =
+      (fun e ->
+        let line = Json.to_string (event_to_json e) in
+        Mutex.protect mu (fun () -> write_line line));
+    close = (fun () -> ());
+  }
+
+let jsonl_channel oc =
+  let base =
+    jsonl_sink ~write_line:(fun line ->
+        output_string oc line;
+        output_char oc '\n')
+  in
+  { base with close = (fun () -> close_out oc) }
+
+let chrome_channel oc =
+  let mu = Mutex.create () in
+  let first = ref true in
+  output_string oc "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  let put j =
+    Mutex.protect mu (fun () ->
+        if !first then first := false else output_string oc ",\n";
+        Json.output oc j)
+  in
+  let us ns = float_of_int ns /. 1e3 in
+  let emit = function
+    | Span_begin _ -> () (* complete events carry begin and end at once *)
+    | Span_end { name; ts; dur; domain; args; _ } ->
+      put
+        (Json.Obj
+           ([
+              ("name", Json.String name);
+              ("ph", Json.String "X");
+              ("pid", Json.Int 0);
+              ("tid", Json.Int domain);
+              ("ts", Json.Float (us (ts - dur)));
+              ("dur", Json.Float (us dur));
+            ]
+           @ if args = [] then [] else [ ("args", fields_to_json args) ]))
+    | Message { level; ts; domain; text } ->
+      put
+        (Json.Obj
+           [
+             ("name", Json.String text);
+             ("ph", Json.String "i");
+             ("s", Json.String "t");
+             ("pid", Json.Int 0);
+             ("tid", Json.Int domain);
+             ("ts", Json.Float (us ts));
+             ("args", Json.Obj [ ("level", Json.String (level_name level)) ]);
+           ])
+  in
+  {
+    emit;
+    close =
+      (fun () ->
+        output_string oc "\n]}\n";
+        close_out oc);
+  }
+
+let memory_sink () =
+  let mu = Mutex.create () in
+  let acc = ref [] in
+  ( {
+      emit = (fun e -> Mutex.protect mu (fun () -> acc := e :: !acc));
+      close = (fun () -> ());
+    },
+    fun () -> List.rev (Mutex.protect mu (fun () -> !acc)) )
+
+(* --- per-phase profiling --- *)
+
+module Profile = struct
+  type cell = { mutable count : int; mutable total : int; mutable max : int }
+
+  type t = {
+    mu : Mutex.t;
+    tbl : (string, cell) Hashtbl.t;
+    mutable t_first : int;
+    mutable t_last : int;
+  }
+
+  let create () =
+    { mu = Mutex.create (); tbl = Hashtbl.create 32; t_first = 0; t_last = 0 }
+
+  let touch t ts =
+    if t.t_first = 0 || ts < t.t_first then t.t_first <- ts;
+    if ts > t.t_last then t.t_last <- ts
+
+  let sink t =
+    let emit = function
+      | Span_begin { ts; _ } -> Mutex.protect t.mu (fun () -> touch t ts)
+      | Span_end { name; ts; dur; _ } ->
+        Mutex.protect t.mu (fun () ->
+            touch t ts;
+            let cell =
+              match Hashtbl.find_opt t.tbl name with
+              | Some c -> c
+              | None ->
+                let c = { count = 0; total = 0; max = 0 } in
+                Hashtbl.add t.tbl name c;
+                c
+            in
+            cell.count <- cell.count + 1;
+            cell.total <- cell.total + dur;
+            if dur > cell.max then cell.max <- dur)
+      | Message { ts; _ } -> Mutex.protect t.mu (fun () -> touch t ts)
+    in
+    { emit; close = (fun () -> ()) }
+
+  type row = { name : string; count : int; total_ns : int; max_ns : int }
+
+  let rows t =
+    Mutex.protect t.mu (fun () ->
+        Hashtbl.fold
+          (fun name (c : cell) acc ->
+            { name; count = c.count; total_ns = c.total; max_ns = c.max } :: acc)
+          t.tbl [])
+    |> List.sort (fun a b ->
+           match compare b.total_ns a.total_ns with
+           | 0 -> compare a.name b.name
+           | c -> c)
+
+  let wall_ns t =
+    Mutex.protect t.mu (fun () ->
+        if t.t_first = 0 then 0 else t.t_last - t.t_first)
+end

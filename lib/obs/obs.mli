@@ -1,0 +1,189 @@
+(** Telemetry core: counters, spans, sinks and per-phase profiling.
+
+    The library pipeline (state-space expansion, the packed-graph
+    checker, the Markov solver, Monte-Carlo sampling, fault campaigns)
+    reports what it does through this module: lock-free per-Domain
+    {b counters}, nestable monotonic-clock {b spans}, and leveled
+    {b messages}, all delivered to pluggable {b sinks}.
+
+    {b Zero cost when dark.} With no sink installed every span call
+    degrades to one atomic load, a branch and a tail call of the
+    wrapped closure, and every counter bump to a load and a branch —
+    no clock read, no allocation. Instrument hot paths freely; the
+    bench's [obs-span-disabled] / [obs-counter-disabled] entries pin
+    the disabled cost.
+
+    {b Domain-safe.} Counters keep one accumulator cell per Domain
+    (registered through [Domain.DLS] on first touch) and merge them on
+    read, so increments from [Domain.spawn]ed workers are never lost
+    and never contend. Sinks serialize internally; events may arrive
+    from any domain. *)
+
+val now_ns : unit -> int
+(** Monotonic clock, nanoseconds since an arbitrary origin. *)
+
+(** {1 Levels and messages} *)
+
+type level = Quiet | Error | Warn | Info | Debug
+
+val set_level : level -> unit
+(** Default is {!Warn}: warnings and errors show, spans and info do
+    not. {!Quiet} silences everything, including the stderr fallback
+    for warnings. *)
+
+val get_level : unit -> level
+
+val logf : level -> ('a, Format.formatter, unit, unit) format4 -> 'a
+(** Messages at or below the current level are printed to stderr and
+    emitted to every installed sink as a {!Message} event; others are
+    dropped without formatting. *)
+
+val errorf : ('a, Format.formatter, unit, unit) format4 -> 'a
+val warnf : ('a, Format.formatter, unit, unit) format4 -> 'a
+val infof : ('a, Format.formatter, unit, unit) format4 -> 'a
+val debugf : ('a, Format.formatter, unit, unit) format4 -> 'a
+
+(** {1 Counters} *)
+
+module Counter : sig
+  type t
+
+  val make : string -> t
+  (** Registers a new named counter. Counters live for the process;
+      make them once at module initialization, not per call. *)
+
+  val incr : t -> unit
+  (** No-op unless a sink is installed (see {!on}). *)
+
+  val add : t -> int -> unit
+  val value : t -> int
+  (** Sum over every per-Domain cell, including cells of domains that
+      have since terminated. *)
+
+  val name : t -> string
+
+  val snapshot : unit -> (string * int) list
+  (** Every registered counter with its current value, in registration
+      order. *)
+
+  val reset_all : unit -> unit
+  (** Zero every cell of every counter — for the start of a profiling
+      run. Racy against concurrent writers; call it between, not
+      during, instrumented work. *)
+end
+
+(** The pipeline's well-known counters. *)
+
+val configs_expanded : Counter.t
+(** Configurations whose transition rows were packed by {!Checker}. *)
+
+val transitions_emitted : Counter.t
+(** Edges pushed into packed transition graphs. *)
+
+val graph_cache_hits : Counter.t
+val graph_cache_misses : Counter.t
+(** Lookups in the per-(space, class) packed-graph cache. *)
+
+val montecarlo_runs : Counter.t
+(** Sampled executions completed (serial and Domain-parallel). *)
+
+val fault_injections : Counter.t
+(** Mid-run corruptions applied by {!Engine.run}'s inject hook. *)
+
+val engine_runs : Counter.t
+val engine_steps : Counter.t
+(** Simulated executions and their cumulative daemon steps. *)
+
+(** {1 Spans} *)
+
+val span : ?args:(string * Json.t) list -> string -> (unit -> 'a) -> 'a
+(** [span name f] runs [f], bracketing it with {!Span_begin} /
+    {!Span_end} events carrying monotonic timestamps, the running
+    domain, and (at close) a full counter snapshot — so per-Domain
+    accumulators are merged at span close. Exceptions still close the
+    span. With no sink installed this is [f ()]. *)
+
+(** {1 Events and sinks} *)
+
+type event =
+  | Span_begin of {
+      name : string;
+      ts : int;  (** ns, monotonic *)
+      domain : int;
+      args : (string * Json.t) list;
+    }
+  | Span_end of {
+      name : string;
+      ts : int;  (** ns, end of span *)
+      dur : int;  (** ns *)
+      domain : int;
+      args : (string * Json.t) list;
+      counters : (string * int) list;  (** merged snapshot at close *)
+    }
+  | Message of { level : level; ts : int; domain : int; text : string }
+
+type sink = { emit : event -> unit; close : unit -> unit }
+
+val install : sink -> unit
+(** Sinks stack: every event goes to every installed sink. *)
+
+val clear : unit -> unit
+(** Uninstall and [close] every sink (flushing files). *)
+
+val on : unit -> bool
+(** True iff at least one sink is installed — the guard every
+    instrumentation site checks first. *)
+
+val event_to_json : event -> Json.t
+(** The JSONL schema: [{"type":"span_end","name":...,"ts_ns":...,
+    "dur_ns":...,"domain":...,"args":{...},"counters":{...}}] and
+    likewise for [span_begin] / [message] (see docs/observability.md). *)
+
+val stderr_sink : unit -> sink
+(** Human sink for [-v]: one line per closed span with its duration;
+    span opens shown only at {!Debug}. Messages are not re-printed
+    here (the logger already writes them to stderr). *)
+
+val jsonl_sink : write_line:(string -> unit) -> sink
+(** Structured sink: one compact JSON object per event, one per line. *)
+
+val jsonl_channel : out_channel -> sink
+(** {!jsonl_sink} owning the channel: closing the sink flushes and
+    closes it. *)
+
+val chrome_channel : out_channel -> sink
+(** Chrome [trace_event] exporter: spans become complete ("X") events
+    with microsecond timestamps, tid = domain id; messages become
+    instant events. The resulting file loads directly in
+    [chrome://tracing] and Perfetto. Owns the channel. *)
+
+val memory_sink : unit -> sink * (unit -> event list)
+(** Buffering sink for tests: the accessor returns events in emission
+    order. *)
+
+(** {1 Per-phase profiling} *)
+
+module Profile : sig
+  type t
+
+  val create : unit -> t
+
+  val sink : t -> sink
+  (** Install this to accumulate span statistics into [t]. *)
+
+  type row = {
+    name : string;
+    count : int;
+    total_ns : int;  (** inclusive: nested spans also count in parents *)
+    max_ns : int;
+  }
+
+  val rows : t -> row list
+  (** Sorted by total time, descending. *)
+
+  val wall_ns : t -> int
+  (** Span between the first and last event the recorder saw. *)
+end
+
+val pretty_ns : int -> string
+(** "412ns", "3.2us", "41.7ms", "1.24s". *)

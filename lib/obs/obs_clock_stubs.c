@@ -1,0 +1,21 @@
+/* Monotonic clock for span timing.
+
+   Returns nanoseconds since an arbitrary epoch as a tagged OCaml int:
+   63 bits hold ~146 years of nanoseconds, far beyond any uptime, and
+   an immediate return value keeps the [@@noalloc] external honest (no
+   OCaml allocation, no callbacks). */
+
+#include <caml/mlvalues.h>
+#include <time.h>
+
+CAMLprim value stabobs_clock_ns(value unit)
+{
+  struct timespec ts;
+  (void)unit;
+#ifdef CLOCK_MONOTONIC
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+#else
+  clock_gettime(CLOCK_REALTIME, &ts);
+#endif
+  return Val_long((intnat)ts.tv_sec * 1000000000 + (intnat)ts.tv_nsec);
+}

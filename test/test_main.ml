@@ -29,6 +29,7 @@ let () =
       ("faults", Test_faults.suite);
       ("resilience", Test_resilience.suite);
       ("structures", Test_structures.suite);
+      ("obs", Test_obs.suite);
       ("gcp", Test_gcp.suite);
       ("experiments", Test_experiments.suite);
       ("integration", Test_integration.suite);

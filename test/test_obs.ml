@@ -1,0 +1,225 @@
+(* Tests for the telemetry core: counter semantics under domains, span
+   nesting and exception safety, JSONL round-trips through the shared
+   JSON emitter, and the guarantee that uninstalled telemetry stays off
+   the allocation path. *)
+
+module Obs = Stabobs.Obs
+module Json = Stabobs.Json
+
+(* Every test leaves the global sink stack empty; telemetry state is
+   process-global and the rest of the suite expects it dark. *)
+let with_sink sink f = Obs.install sink; Fun.protect ~finally:Obs.clear f
+
+let test_counter_monotonic () =
+  let sink, _ = Obs.memory_sink () in
+  with_sink sink (fun () ->
+      Obs.Counter.reset_all ();
+      let c = Obs.configs_expanded in
+      Alcotest.(check int) "starts at zero" 0 (Obs.Counter.value c);
+      Obs.Counter.add c 3;
+      Obs.Counter.incr c;
+      Alcotest.(check int) "accumulates" 4 (Obs.Counter.value c);
+      Obs.Counter.add c 0;
+      Alcotest.(check int) "add 0 is a no-op" 4 (Obs.Counter.value c);
+      Alcotest.(check string) "name" "configs_expanded" (Obs.Counter.name c);
+      let snapshot = Obs.Counter.snapshot () in
+      Alcotest.(check (option int))
+        "snapshot carries the total" (Some 4)
+        (List.assoc_opt "configs_expanded" snapshot));
+  Obs.Counter.reset_all ()
+
+let test_counter_merges_across_domains () =
+  let sink, _ = Obs.memory_sink () in
+  with_sink sink (fun () ->
+      Obs.Counter.reset_all ();
+      let c = Obs.montecarlo_runs in
+      let worker () =
+        for _ = 1 to 1_000 do
+          Obs.Counter.incr c
+        done
+      in
+      let spawned = List.init 4 (fun _ -> Domain.spawn worker) in
+      Obs.Counter.incr c;
+      List.iter Domain.join spawned;
+      (* Four dead domains' cells plus the main domain's must all
+         survive into the merged value. *)
+      Alcotest.(check int) "per-domain cells merge" 4_001 (Obs.Counter.value c));
+  Obs.Counter.reset_all ()
+
+let test_counter_dark_when_no_sink () =
+  Obs.clear ();
+  Obs.Counter.reset_all ();
+  Obs.Counter.add Obs.configs_expanded 42;
+  Alcotest.(check int)
+    "adds are dropped with no sink installed" 0
+    (Obs.Counter.value Obs.configs_expanded)
+
+let span_name = function
+  | Obs.Span_begin { name; _ } -> "begin:" ^ name
+  | Obs.Span_end { name; _ } -> "end:" ^ name
+  | Obs.Message _ -> "message"
+
+let test_span_nesting_order () =
+  let sink, events = Obs.memory_sink () in
+  with_sink sink (fun () ->
+      let r = Obs.span "outer" (fun () -> Obs.span "inner" (fun () -> 7)) in
+      Alcotest.(check int) "span returns the body's value" 7 r);
+  let names = List.map span_name (events ()) in
+  Alcotest.(check (list string))
+    "events bracket properly"
+    [ "begin:outer"; "begin:inner"; "end:inner"; "end:outer" ]
+    names;
+  let durs =
+    List.filter_map
+      (function Obs.Span_end { name; dur; _ } -> Some (name, dur) | _ -> None)
+      (events ())
+  in
+  let inner = List.assoc "inner" durs and outer = List.assoc "outer" durs in
+  Alcotest.(check bool) "inner duration within outer" true (0 <= inner && inner <= outer)
+
+let test_span_survives_exceptions () =
+  let sink, events = Obs.memory_sink () in
+  with_sink sink (fun () ->
+      match Obs.span "doomed" (fun () -> failwith "boom") with
+      | () -> Alcotest.fail "span swallowed the exception"
+      | exception Failure _ -> ());
+  Alcotest.(check (list string))
+    "end event emitted despite the raise"
+    [ "begin:doomed"; "end:doomed" ]
+    (List.map span_name (events ()))
+
+let test_span_end_carries_counters () =
+  let sink, events = Obs.memory_sink () in
+  with_sink sink (fun () ->
+      Obs.Counter.reset_all ();
+      Obs.span "work" (fun () -> Obs.Counter.add Obs.transitions_emitted 11));
+  (match events () with
+  | [ Obs.Span_begin _; Obs.Span_end { counters; _ } ] ->
+    Alcotest.(check (option int))
+      "snapshot taken at span close" (Some 11)
+      (List.assoc_opt "transitions_emitted" counters)
+  | _ -> Alcotest.fail "expected exactly one begin/end pair");
+  Obs.Counter.reset_all ()
+
+let test_jsonl_round_trip () =
+  let lines = ref [] in
+  let sink = Obs.jsonl_sink ~write_line:(fun l -> lines := l :: !lines) in
+  with_sink sink (fun () ->
+      Obs.Counter.reset_all ();
+      Obs.span "phase" ~args:[ ("k", Json.Int 2) ] (fun () ->
+          Obs.Counter.add Obs.fault_injections 5);
+      Obs.set_level Obs.Warn;
+      Obs.warnf "warning: %s" "with \"quotes\" and \xe2\x86\x92 utf8");
+  Obs.Counter.reset_all ();
+  let lines = List.rev !lines in
+  Alcotest.(check int) "begin + end + message" 3 (List.length lines);
+  List.iter
+    (fun line ->
+      match Json.of_string line with
+      | Error e -> Alcotest.failf "unparseable JSONL line %S: %s" line e
+      | Ok v ->
+        Alcotest.(check string) "compact re-serialization is identity" line
+          (Json.to_string v))
+    lines;
+  let types =
+    List.map
+      (fun line ->
+        match Json.of_string line with
+        | Ok v -> (
+          match Json.member "type" v with Some (Json.String s) -> s | _ -> "?")
+        | Error _ -> "?")
+      lines
+  in
+  Alcotest.(check (list string))
+    "event types" [ "span_begin"; "span_end"; "message" ] types
+
+let test_message_levels () =
+  let sink, events = Obs.memory_sink () in
+  with_sink sink (fun () ->
+      Obs.set_level Obs.Warn;
+      Obs.infof "suppressed %d" 1;
+      Obs.warnf "kept";
+      Obs.set_level Obs.Quiet;
+      Obs.warnf "silenced";
+      Obs.errorf "silenced too";
+      Obs.set_level Obs.Warn);
+  let texts =
+    List.filter_map
+      (function Obs.Message { text; _ } -> Some text | _ -> None)
+      (events ())
+  in
+  Alcotest.(check (list string)) "only passing levels emit" [ "kept" ] texts
+
+let test_disabled_path_allocates_nothing () =
+  Obs.clear ();
+  let body = ignore in
+  (* Warm both paths once so any one-time setup is off the meter. *)
+  Obs.span "warmup" body;
+  Obs.Counter.add Obs.engine_steps 1;
+  let before = Gc.minor_words () in
+  for _ = 1 to 10_000 do
+    Obs.span "dark" body;
+    Obs.Counter.add Obs.engine_steps 1
+  done;
+  let delta = Gc.minor_words () -. before in
+  (* The loop itself must not allocate; leave a few words of slack for
+     the Gc.minor_words probes themselves. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "dark instrumentation allocates nothing (%.0f words)" delta)
+    true (delta < 256.0)
+
+let test_profile_aggregates () =
+  let p = Obs.Profile.create () in
+  with_sink (Obs.Profile.sink p) (fun () ->
+      Obs.span "repeat" (fun () -> ());
+      Obs.span "repeat" (fun () -> ());
+      Obs.span "once" (fun () -> ()));
+  let rows = Obs.Profile.rows p in
+  let row name =
+    List.find (fun (r : Obs.Profile.row) -> r.Obs.Profile.name = name) rows
+  in
+  Alcotest.(check int) "two rows" 2 (List.length rows);
+  Alcotest.(check int) "repeat count" 2 (row "repeat").Obs.Profile.count;
+  Alcotest.(check int) "once count" 1 (row "once").Obs.Profile.count;
+  Alcotest.(check bool) "max <= total" true
+    ((row "repeat").Obs.Profile.max_ns <= (row "repeat").Obs.Profile.total_ns);
+  Alcotest.(check bool) "wall clock spans the run" true (Obs.Profile.wall_ns p >= 0)
+
+let test_json_parser () =
+  let ok s = match Json.of_string s with Ok v -> v | Error e -> Alcotest.failf "%s" e in
+  (match ok {|{"a":[1,2.5,"x\n",true,null],"b":{"c":-3}}|} with
+  | Json.Obj [ ("a", Json.List [ Json.Int 1; Json.Float f; Json.String "x\n"; Json.Bool true; Json.Null ]); ("b", Json.Obj [ ("c", Json.Int (-3)) ]) ] ->
+    Alcotest.(check (float 1e-12)) "float field" 2.5 f
+  | _ -> Alcotest.fail "unexpected parse shape");
+  (match ok {|"é→"|} with
+  | Json.String s -> Alcotest.(check string) "unicode escapes decode to UTF-8" "\xc3\xa9\xe2\x86\x92" s
+  | _ -> Alcotest.fail "expected a string");
+  (match Json.of_string "{\"a\":" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "truncated document must not parse");
+  (* Non-finite floats degrade to null rather than emitting invalid JSON. *)
+  Alcotest.(check string) "nan renders as null" "null" (Json.to_string (Json.Float Float.nan));
+  let v = Json.Obj [ ("xs", Json.List [ Json.Int 1; Json.Int 2 ]) ] in
+  Alcotest.(check string)
+    "pretty and compact agree after a round-trip"
+    (Json.to_string v)
+    (match Json.of_string (Json.to_string ~minify:false v) with
+    | Ok w -> Json.to_string w
+    | Error e -> Alcotest.failf "pretty output unparseable: %s" e)
+
+let suite =
+  [
+    Alcotest.test_case "counter is monotonic" `Quick test_counter_monotonic;
+    Alcotest.test_case "counter merges across domains" `Quick
+      test_counter_merges_across_domains;
+    Alcotest.test_case "counter dark without sinks" `Quick test_counter_dark_when_no_sink;
+    Alcotest.test_case "span nesting order" `Quick test_span_nesting_order;
+    Alcotest.test_case "span survives exceptions" `Quick test_span_survives_exceptions;
+    Alcotest.test_case "span end carries counters" `Quick test_span_end_carries_counters;
+    Alcotest.test_case "jsonl lines round-trip" `Quick test_jsonl_round_trip;
+    Alcotest.test_case "message level filtering" `Quick test_message_levels;
+    Alcotest.test_case "disabled path allocates nothing" `Quick
+      test_disabled_path_allocates_nothing;
+    Alcotest.test_case "profile aggregates spans" `Quick test_profile_aggregates;
+    Alcotest.test_case "json parser" `Quick test_json_parser;
+  ]
