@@ -212,9 +212,12 @@ let resolve ~protocol ~topology ~transformed ~file =
           label = "trans(" ^ label ^ ")";
           protocol = Stabcore.Transformer.randomize base_protocol;
           spec = Stabcore.Transformer.lift_spec spec;
+          relabel = None;
           describe;
         }
-    else Stabexp.Registry.Entry { label; protocol = base_protocol; spec; describe }
+    else
+      Stabexp.Registry.Entry
+        { label; protocol = base_protocol; spec; relabel = None; describe }
 
 (* --- trace --- *)
 
@@ -261,7 +264,7 @@ let trace_cmd =
 (* --- check --- *)
 
 let check_cmd =
-  let run () protocol topology transformed file cls crash =
+  let run () protocol topology transformed file cls crash quotient =
     wrap (fun () ->
         let (Stabexp.Registry.Entry e) = resolve ~protocol ~topology ~transformed ~file in
         (* --crash asks the Dolev-Herman question: does stabilization
@@ -275,12 +278,25 @@ let check_cmd =
               Printf.sprintf "%s, crash-faulted [%s]" e.label
                 (String.concat "," (List.map string_of_int crash)) )
         in
-        let space = Stabcore.Statespace.build protocol in
+        let full = Stabcore.Statespace.build protocol in
+        let space =
+          if quotient then Stabcore.Statespace.quotient ?relabel:e.relabel full else full
+        in
         let v = Stabcore.Checker.analyze space cls e.spec in
-        Format.printf "%s under the %a class (%d configurations)@.%s@.@.%a@.@."
+        Format.printf "%s under the %a class (%d configurations)@.%s@."
           label Stabcore.Statespace.pp_sched_class cls
-          (Stabcore.Statespace.count space)
-          e.describe Stabcore.Checker.pp_verdict v;
+          (Stabcore.Statespace.count full)
+          e.describe;
+        if quotient then
+          if Stabcore.Statespace.is_quotient space then
+            Format.printf
+              "symmetry quotient: group order %d, %d orbit representatives@."
+              (Stabcore.Statespace.symmetry_order space)
+              (Stabcore.Statespace.count space)
+          else
+            Format.printf
+              "symmetry quotient: validated group is trivial, full space retained@.";
+        Format.printf "@.%a@.@." Stabcore.Checker.pp_verdict v;
         Format.printf "verdicts:@.  weak-stabilizing: %b@.  self-stabilizing (unfair): %b@.  \
                        self-stabilizing (weakly fair): %b@.  self-stabilizing (strongly fair): %b@."
           (Stabcore.Checker.weak_stabilizing v)
@@ -288,11 +304,18 @@ let check_cmd =
           (Stabcore.Checker.self_stabilizing_weakly_fair v)
           (Stabcore.Checker.self_stabilizing_strongly_fair v))
   in
+  let quotient_arg =
+    let doc =
+      "Analyze the symmetry quotient: verdicts are computed on one representative per \
+       orbit of the validated automorphism group (identical answers, fewer states)."
+    in
+    Arg.(value & flag & info [ "quotient" ] ~doc)
+  in
   let term =
     Term.(
       term_result
         (const run $ obs_term $ protocol_arg $ topology_arg $ transformed_arg $ file_arg
-       $ sched_class_arg $ crash_arg))
+       $ sched_class_arg $ crash_arg $ quotient_arg))
   in
   Cmd.v
     (Cmd.info "check" ~doc:"Exhaustively decide weak/self stabilization (small instances).")
@@ -301,7 +324,7 @@ let check_cmd =
 (* --- markov --- *)
 
 let markov_cmd =
-  let run () protocol topology transformed file r =
+  let run () protocol topology transformed file r quotient =
     wrap (fun () ->
         let (Stabexp.Registry.Entry e) = resolve ~protocol ~topology ~transformed ~file in
         let randomization =
@@ -311,19 +334,27 @@ let markov_cmd =
           | Stabcore.Markov.Sync -> "synchronous"
         in
         let space = Stabcore.Statespace.build e.protocol in
+        let space =
+          if quotient then Stabcore.Statespace.quotient ?relabel:e.relabel space
+          else space
+        in
         let legitimate = Stabcore.Statespace.legitimate_set space e.spec in
         let chain = Stabcore.Markov.of_space space r in
+        if Stabcore.Statespace.is_quotient space then
+          Format.printf "orbit-lumped chain: %d states for %d configurations@."
+            (Stabcore.Statespace.count space)
+            (Stabcore.Statespace.count (Stabcore.Statespace.base space));
         (match Stabcore.Markov.converges_with_prob_one chain ~legitimate with
         | Ok () ->
-          let times = Stabcore.Markov.expected_hitting_times chain ~legitimate in
-          let mean =
-            Array.fold_left ( +. ) 0.0 times /. float_of_int (Array.length times)
+          let stats =
+            Stabcore.Markov.hitting_stats
+              ?weights:(Stabcore.Statespace.orbit_sizes space)
+              chain ~legitimate
           in
-          let worst = Array.fold_left Float.max 0.0 times in
           Format.printf
             "%s: converges with probability 1 under %s@.expected stabilization time: \
              mean %.4f steps, worst initial configuration %.4f steps@."
-            e.label randomization mean worst
+            e.label randomization stats.Stabcore.Markov.mean stats.Stabcore.Markov.max
         | Error c ->
           Format.printf
             "%s: does NOT converge with probability 1 under %s@.counterexample \
@@ -346,11 +377,18 @@ let markov_cmd =
           Stabcore.Markov.Distributed_uniform
       & info [ "r"; "randomization" ] ~docv:"R" ~doc)
   in
+  let quotient_arg =
+    let doc =
+      "Solve the orbit-lumped chain: one state per symmetry orbit, orbit sizes \
+       weighting the mean (identical numbers, smaller linear system)."
+    in
+    Arg.(value & flag & info [ "quotient" ] ~doc)
+  in
   let term =
     Term.(
       term_result
         (const run $ obs_term $ protocol_arg $ topology_arg $ transformed_arg $ file_arg
-       $ randomization_arg))
+       $ randomization_arg $ quotient_arg))
   in
   Cmd.v
     (Cmd.info "markov"
@@ -708,9 +746,9 @@ let profile_cmd =
         in
         let chain = Stabcore.Markov.of_space space randomization in
         let prob1 = Stabcore.Markov.converges_with_prob_one chain ~legitimate in
-        let mean_hit =
+        let hit_stats =
           match prob1 with
-          | Ok () -> Some (Stabcore.Markov.mean_hitting_time chain ~legitimate)
+          | Ok () -> Some (Stabcore.Markov.hitting_stats chain ~legitimate)
           | Error _ -> None
         in
         let sched = class_scheduler cls in
@@ -727,8 +765,10 @@ let profile_cmd =
           (Stabcore.Checker.weak_stabilizing v)
           (Stabcore.Checker.self_stabilizing v)
           (match prob1 with Ok () -> true | Error _ -> false);
-        (match mean_hit with
-        | Some m -> Format.printf "expected stabilization time: mean %.4f steps@." m
+        (match hit_stats with
+        | Some s ->
+          Format.printf "expected stabilization time: mean %.4f steps, worst %.4f steps@."
+            s.Stabcore.Markov.mean s.Stabcore.Markov.max
         | None -> ());
         Format.printf "montecarlo (%d runs): %a@.@." runs Stabcore.Montecarlo.pp_result mc;
         print_profile profile;

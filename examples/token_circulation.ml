@@ -31,7 +31,7 @@ let () =
   let verdict = Checker.analyze space Statespace.Distributed spec in
   Format.printf "--- Theorem 2 on the %d-ring (%d configurations)@.%a@.@." n
     (Statespace.count space) Checker.pp_verdict verdict;
-  (match verdict.Checker.strongly_fair_diverges with
+  (match Lazy.force verdict.Checker.strongly_fair_diverges with
   | Some witness ->
     Format.printf
       "the checker found a strongly-fair divergence witness of %d configurations;@.\

@@ -43,6 +43,14 @@ let is_lc g cfg =
     Graph.fold_nodes (fun q acc -> acc && (q = l || root_of g cfg q = l)) g true
   | [] | _ :: _ :: _ -> false
 
+(* State translation under a tree automorphism: a parent pointer is a
+   *local* neighbor index, so moving p's state to perm.(p) must re-index
+   the pointed-at neighbor in perm.(p)'s adjacency. *)
+let relabel g ~perm p s =
+  match s with
+  | Root -> Root
+  | Parent k -> Parent (Graph.local_index g perm.(p) perm.(Graph.neighbor g p k))
+
 let make g =
   if not (Graph.is_tree g) then invalid_arg "Leader_tree.make: graph is not a tree";
   let a1 : par Stabcore.Protocol.action =

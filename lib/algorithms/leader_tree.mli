@@ -26,6 +26,12 @@ type par = Root  (** the paper's [⊥] *) | Parent of int  (** local neighbor in
 val make : Stabgraph.Graph.t -> par Stabcore.Protocol.t
 (** The protocol on a tree; raises [Invalid_argument] on non-trees. *)
 
+val relabel : Stabgraph.Graph.t -> perm:int array -> int -> par -> par
+(** Translate a local state across a tree automorphism for symmetry
+    reduction: parent pointers are local neighbor indexes, so
+    [relabel g ~perm p (Parent k)] re-indexes the pointer for residence
+    at [perm.(p)]. Pass to {!Stabcore.Statespace.quotient}. *)
+
 val is_leader : par array -> int -> bool
 (** [Par_p = ⊥]. *)
 

@@ -17,6 +17,7 @@ module Obs = Stabobs.Obs
 
 type graph = {
   n : int;
+  cls : Statespace.sched_class; (* the class the graph was expanded under *)
   grp_off : int array; (* length n+1 *)
   grp_active : int array; (* length ngroups *)
   succ_off : int array; (* length ngroups+1 *)
@@ -154,6 +155,7 @@ let expand_serial space cls n nproc =
   let g =
     {
       n;
+      cls;
       grp_off;
       grp_active = Ibuf.contents grp_active;
       succ_off = Ibuf.contents succ_off;
@@ -193,7 +195,7 @@ let expand_rows space cls n workers =
   List.iter Domain.join spawned;
   rows
 
-let pack n nproc rows =
+let pack n nproc cls rows =
   let grp_off = Array.make (n + 1) 0 in
   let grp_active = Ibuf.create (2 * n) in
   let succ_off = Ibuf.create (2 * n) in
@@ -218,6 +220,7 @@ let pack n nproc rows =
   let g =
     {
       n;
+      cls;
       grp_off;
       grp_active = Ibuf.contents grp_active;
       succ_off = Ibuf.contents succ_off;
@@ -250,7 +253,7 @@ let build_graph space cls =
   (* Below ~512 configurations per worker the spawn cost dominates. *)
   let workers = min (Domain.recommended_domain_count ()) (n / 512) in
   if workers <= 1 then expand_serial space cls n nproc
-  else pack n nproc (expand_rows space cls n workers)
+  else pack n nproc cls (expand_rows space cls n workers)
 
 let expand space cls =
   let key = (Statespace.uid space, cls) in
@@ -317,7 +320,47 @@ type closure_violation =
   | Escape of { config : int; active : int list; successor : int }
   | Step_spec of { config : int; successor : int }
 
-let check_closure space g spec =
+(* Closure on a quotient must consult the *base* relation: [step_ok]
+   relates a configuration to its actual successor, and canonicalizing
+   the successor first would hand it a rotated/permuted pair (e.g. the
+   ring token would appear to jump to the representative's position).
+   The legitimate set is orbit-invariant, so checking each
+   representative's base transitions covers every orbit member. *)
+let check_closure_quotient space base reps rep_of cls spec =
+  let legitimate = Statespace.legitimate_set space spec in
+  if not (Array.exists Fun.id legitimate) then Error Empty_legitimate_set
+  else begin
+    let violation = ref None in
+    (let exception Found in
+     try
+       for i = 0 to Array.length reps - 1 do
+         if legitimate.(i) then begin
+           let src = Statespace.config base reps.(i) in
+           Statespace.fold_transitions base cls reps.(i) ~init:()
+             ~f:(fun () active outcomes ->
+               List.iter
+                 (fun (s, _) ->
+                   let j = rep_of.(s) in
+                   if not legitimate.(j) then begin
+                     violation := Some (Escape { config = i; active; successor = j });
+                     raise Found
+                   end
+                   else
+                     match spec.Spec.step_ok with
+                     | None -> ()
+                     | Some ok ->
+                       if not (ok src (Statespace.config base s)) then begin
+                         violation := Some (Step_spec { config = i; successor = j });
+                         raise Found
+                       end)
+                 outcomes)
+         end
+       done
+     with Found -> ());
+    match !violation with None -> Ok () | Some v -> Error v
+  end
+
+let check_closure_full space g spec =
   let legitimate = Statespace.legitimate_set space spec in
   if not (Array.exists Fun.id legitimate) then Error Empty_legitimate_set
   else begin
@@ -356,6 +399,12 @@ let check_closure space g spec =
      with Found -> ());
     match !violation with None -> Ok () | Some v -> Error v
   end
+
+let check_closure space g spec =
+  match Statespace.quotient_view space with
+  | Some (base, reps, rep_of, _) ->
+    check_closure_quotient space base reps rep_of g.cls spec
+  | None -> check_closure_full space g spec
 
 let possible_convergence _space g ~legitimate =
   let n = g.n in
@@ -535,10 +584,33 @@ let has_internal_edge g in_scc members =
       go (succ_lo g c))
     members
 
-let enabled_in space members =
+(* Enabled set of a configuration, read off the packed graph instead of
+   re-decoding the configuration and re-evaluating guards: groups are
+   emitted in ascending activation-bitmask order, so under the
+   synchronous and distributed classes the last group of [c] is exactly
+   Enabled(c), and under the central class the groups are the enabled
+   singletons in ascending process order. Terminal configurations have
+   no groups. *)
+let graph_enabled g c =
+  let lo = g.grp_off.(c) and hi = g.grp_off.(c + 1) in
+  if lo = hi then []
+  else
+    match g.cls with
+    | Statespace.Synchronous | Statespace.Distributed ->
+      g.active_sets.(g.grp_active.(hi - 1))
+    | Statespace.Central ->
+      let out = ref [] in
+      for grp = hi - 1 downto lo do
+        match g.active_sets.(g.grp_active.(grp)) with
+        | [ p ] -> out := p :: !out
+        | s -> out := s @ !out
+      done;
+      !out
+
+let enabled_in g members =
   let seen = Hashtbl.create 16 in
   List.iter
-    (fun c -> List.iter (fun p -> Hashtbl.replace seen p ()) (Statespace.enabled space c))
+    (fun c -> List.iter (fun p -> Hashtbl.replace seen p ()) (graph_enabled g c))
     members;
   seen
 
@@ -570,14 +642,14 @@ let membership n members =
    the states where the never-firing processes are enabled and
    recurse. The top-level SCC decomposition is taken as an argument so
    [analyze] can share it with the weak-fairness check. *)
-let rec strongly_fair_from space g components =
+let rec strongly_fair_from g components =
   let n = g.n in
   let try_component members =
     let mask = membership n members in
     let in_scc c = Bitset.mem mask c in
     if not (has_internal_edge g in_scc members) then None
     else begin
-      let enabled = enabled_in space members in
+      let enabled = enabled_in g members in
       let firing = firing_in g in_scc members in
       let bad =
         Hashtbl.fold
@@ -592,13 +664,13 @@ let rec strongly_fair_from space g components =
         let kept = ref 0 in
         List.iter
           (fun c ->
-            let here = Statespace.enabled space c in
+            let here = graph_enabled g c in
             if not (List.exists (fun p -> List.mem p here) bad) then begin
               Bitset.set alive' c;
               incr kept
             end)
           members;
-        if !kept = 0 then None else strongly_fair_from space g (sccs g ~alive:alive')
+        if !kept = 0 then None else strongly_fair_from g (sccs g ~alive:alive')
     end
   in
   List.fold_left
@@ -613,12 +685,12 @@ let alive_outside legitimate =
   done;
   alive
 
-let strongly_fair_divergence space g ~legitimate =
-  strongly_fair_from space g (sccs g ~alive:(alive_outside legitimate))
+let strongly_fair_divergence _space g ~legitimate =
+  strongly_fair_from g (sccs g ~alive:(alive_outside legitimate))
 
 (* Weak fairness needs no refinement: acceptance is monotone in the
    component (see the design notes) — check maximal SCCs only. *)
-let weakly_fair_from space g components =
+let weakly_fair_from g components =
   let n = g.n in
   let accepting members =
     let mask = membership n members in
@@ -627,9 +699,9 @@ let weakly_fair_from space g components =
     else begin
       let firing = firing_in g in_scc members in
       let everywhere_enabled p =
-        List.for_all (fun c -> List.mem p (Statespace.enabled space c)) members
+        List.for_all (fun c -> List.mem p (graph_enabled g c)) members
       in
-      let processes = enabled_in space members in
+      let processes = enabled_in g members in
       Hashtbl.fold
         (fun p () acc -> acc && (Hashtbl.mem firing p || not (everywhere_enabled p)))
         processes true
@@ -637,15 +709,15 @@ let weakly_fair_from space g components =
   in
   List.find_opt accepting components |> Option.map (List.sort compare)
 
-let weakly_fair_divergence space g ~legitimate =
-  weakly_fair_from space g (sccs g ~alive:(alive_outside legitimate))
+let weakly_fair_divergence _space g ~legitimate =
+  weakly_fair_from g (sccs g ~alive:(alive_outside legitimate))
 
 type verdict = {
   closure : (unit, closure_violation) result;
   possible : (unit, int) result;
   certain : (unit, divergence) result;
-  strongly_fair_diverges : int list option;
-  weakly_fair_diverges : int list option;
+  strongly_fair_diverges : int list option Lazy.t;
+  weakly_fair_diverges : int list option Lazy.t;
   dead_ends : int list;
 }
 
@@ -653,12 +725,15 @@ let analyze space cls spec =
   Obs.span "checker.analyze" @@ fun () ->
   let g = expand space cls in
   let legitimate = Statespace.legitimate_set space spec in
-  (* Shared intermediates: the reverse adjacency (memoized on [g]), the
-     terminal list, and the SCC decomposition of C \ L (used by both
-     fairness checks) are each derived exactly once per verdict. *)
+  (* Shared intermediates: the reverse adjacency (memoized on [g]) and
+     the terminal list are derived exactly once per verdict. The SCC
+     decomposition of C \ L feeds only the two fairness checks, so it
+     is deferred with them: callers that never force a fairness field
+     (weak/self verdicts) skip the Streett machinery entirely, and
+     forcing both fields still decomposes once. *)
   let terminals = Obs.span "checker.terminals" (fun () -> terminals_of g ~legitimate) in
   let components =
-    Obs.span "checker.sccs" (fun () -> sccs g ~alive:(alive_outside legitimate))
+    lazy (Obs.span "checker.sccs" (fun () -> sccs g ~alive:(alive_outside legitimate)))
   in
   let closure = Obs.span "checker.closure" (fun () -> check_closure space g spec) in
   let possible =
@@ -669,10 +744,14 @@ let analyze space cls spec =
         certain_of_terminals g ~legitimate ~terminals)
   in
   let strongly_fair_diverges =
-    Obs.span "checker.fairness.strong" (fun () -> strongly_fair_from space g components)
+    lazy
+      (Obs.span "checker.fairness.strong" (fun () ->
+           strongly_fair_from g (Lazy.force components)))
   in
   let weakly_fair_diverges =
-    Obs.span "checker.fairness.weak" (fun () -> weakly_fair_from space g components)
+    lazy
+      (Obs.span "checker.fairness.weak" (fun () ->
+           weakly_fair_from g (Lazy.force components)))
   in
   {
     closure;
@@ -688,11 +767,11 @@ let weak_stabilizing v = Result.is_ok v.closure && Result.is_ok v.possible
 let self_stabilizing v = Result.is_ok v.closure && Result.is_ok v.certain
 
 let self_stabilizing_strongly_fair v =
-  Result.is_ok v.closure && v.dead_ends = [] && v.strongly_fair_diverges = None
+  Result.is_ok v.closure && v.dead_ends = [] && Lazy.force v.strongly_fair_diverges = None
   && Result.is_ok v.possible
 
 let self_stabilizing_weakly_fair v =
-  Result.is_ok v.closure && v.dead_ends = [] && v.weakly_fair_diverges = None
+  Result.is_ok v.closure && v.dead_ends = [] && Lazy.force v.weakly_fair_diverges = None
   && Result.is_ok v.possible
 
 let pp_verdict fmt v =
@@ -702,8 +781,8 @@ let pp_verdict fmt v =
     (yesno (Result.is_ok v.closure))
     (yesno (Result.is_ok v.possible))
     (yesno (Result.is_ok v.certain))
-    (match v.strongly_fair_diverges with None -> "none" | Some w -> Printf.sprintf "witness of %d states" (List.length w))
-    (match v.weakly_fair_diverges with None -> "none" | Some w -> Printf.sprintf "witness of %d states" (List.length w))
+    (match Lazy.force v.strongly_fair_diverges with None -> "none" | Some w -> Printf.sprintf "witness of %d states" (List.length w))
+    (match Lazy.force v.weakly_fair_diverges with None -> "none" | Some w -> Printf.sprintf "witness of %d states" (List.length w))
     (List.length v.dead_ends)
 
 let pseudo_stabilizing _space g ~legitimate =
@@ -736,9 +815,12 @@ let hamming space c1 c2 =
   !count
 
 (* Configurations reachable from L by corrupting at most k process
-   memories: BFS in the "one corruption" graph. *)
+   memories: BFS in the "one corruption" graph. Codes go through
+   [Statespace.config]/[Statespace.code], so on a quotient the BFS runs
+   over canonicalized corruptions — sound because Hamming distance to an
+   orbit is the minimum over its members and corruption commutes with
+   the group action. *)
 let k_faulty_set space ~legitimate ~k =
-  let enc = Statespace.encoding space in
   let n = Statespace.count space in
   let dist = Array.make n max_int in
   let queue = Queue.create () in
@@ -754,14 +836,14 @@ let k_faulty_set space ~legitimate ~k =
   while not (Queue.is_empty queue) do
     let c = Queue.pop queue in
     if dist.(c) < k then begin
-      let cfg = Encoding.decode enc c in
+      let cfg = Statespace.config space c in
       for i = 0 to processes - 1 do
         let original = cfg.(i) in
         List.iter
           (fun s ->
             if not (p.Protocol.equal s original) then begin
               cfg.(i) <- s;
-              let c' = Encoding.encode enc cfg in
+              let c' = Statespace.code space cfg in
               if dist.(c') = max_int then begin
                 dist.(c') <- dist.(c) + 1;
                 Queue.add c' queue
@@ -981,12 +1063,17 @@ type onthefly_analysis = {
 type budgeted =
   [ `Exact of verdict | `Onthefly of onthefly_analysis | `Montecarlo of string ]
 
-let analyze_under_budget ?max_configs ?onthefly_configs ?(inits = []) protocol cls spec =
+let analyze_under_budget ?max_configs ?onthefly_configs ?(inits = [])
+    ?(quotient = false) ?relabel protocol cls spec =
   match Statespace.plan ?max_configs ?onthefly_configs protocol with
   | `Montecarlo reason ->
     Obs.warnf "warning: %s; degrading to Monte-Carlo analysis" reason;
     `Montecarlo reason
-  | `Exact space -> `Exact (analyze space cls spec)
+  | `Exact space ->
+    (* Prefer the symmetry quotient when asked and the group turns out
+       nontrivial; [Statespace.quotient] is the identity otherwise. *)
+    let space = if quotient then Statespace.quotient ?relabel space else space in
+    `Exact (analyze space cls spec)
   | `Onthefly space ->
     if inits = [] then begin
       let reason =

@@ -57,7 +57,9 @@ val check_closure :
   'a Statespace.t -> graph -> 'a Spec.t -> (unit, closure_violation) result
 (** Strong closure of the spec's legitimate set. Fails with the first
     violation found. Also fails if [L] is empty, which Definitions 1-3
-    exclude. *)
+    exclude. On a quotient space the check walks each representative's
+    *base* transitions so [step_ok] sees actual successor
+    configurations, never canonicalized ones. *)
 
 val possible_convergence :
   'a Statespace.t -> graph -> legitimate:bool array -> (unit, int) result
@@ -102,12 +104,18 @@ type verdict = {
   closure : (unit, closure_violation) result;
   possible : (unit, int) result;
   certain : (unit, divergence) result;
-  strongly_fair_diverges : int list option;
-  weakly_fair_diverges : int list option;
+  strongly_fair_diverges : int list option Lazy.t;
+  weakly_fair_diverges : int list option Lazy.t;
   dead_ends : int list;
 }
 
 val analyze : 'a Statespace.t -> Statespace.sched_class -> 'a Spec.t -> verdict
+(** The closure/possible/certain verdicts are computed eagerly; the two
+    fairness witnesses are deferred until forced (along with the SCC
+    decomposition of [C \ L] they share), so callers that only need
+    weak/self verdicts never pay for the Streett analysis. The
+    {!self_stabilizing_strongly_fair} / {!self_stabilizing_weakly_fair}
+    accessors force them. *)
 
 (** {2 Instrumentation}
 
@@ -246,6 +254,8 @@ val analyze_under_budget :
   ?max_configs:int ->
   ?onthefly_configs:int ->
   ?inits:'a array list ->
+  ?quotient:bool ->
+  ?relabel:(perm:int array -> int -> 'a -> 'a) ->
   'a Protocol.t ->
   Statespace.sched_class ->
   'a Spec.t ->
@@ -256,4 +266,7 @@ val analyze_under_budget :
     [inits] (with the hash table capped at the same budget) when only
     the encoding fits; [`Montecarlo reason] when even that is out of
     reach — or when degradation was needed but no [inits] were given.
-    Never raises on size: oversized spaces degrade instead. *)
+    Never raises on size: oversized spaces degrade instead.
+    [quotient] (default false) analyses the exact space modulo its
+    validated symmetry group when that group is nontrivial, passing
+    [relabel] through to {!Statespace.quotient}. *)

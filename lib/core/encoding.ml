@@ -36,6 +36,19 @@ let of_protocol (p : 'a Protocol.t) =
 
 let count t = t.count
 let processes t = Array.length t.domains
+let domain_size t i = Array.length t.domains.(i)
+let value t i d = t.domains.(i).(d)
+let digit t i code = (code / t.weights.(i)) mod Array.length t.domains.(i)
+let weight t i = t.weights.(i)
+
+let index_opt t i s =
+  let dom = t.domains.(i) in
+  let rec go k =
+    if k >= Array.length dom then None
+    else if t.equal s dom.(k) then Some k
+    else go (k + 1)
+  in
+  go 0
 
 let index_in_domain t i s =
   let dom = t.domains.(i) in

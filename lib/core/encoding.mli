@@ -22,6 +22,28 @@ val count : 'a t -> int
 
 val processes : 'a t -> int
 
+val domain_size : 'a t -> int -> int
+(** [domain_size t i] is [|D_i|]. *)
+
+val value : 'a t -> int -> int -> 'a
+(** [value t i d] is the [d]-th state of process [i]'s domain. *)
+
+val digit : 'a t -> int -> int -> int
+(** [digit t i code] is process [i]'s mixed-radix digit inside [code] —
+    the domain index of its state in the decoded configuration. *)
+
+val weight : 'a t -> int -> int
+(** [weight t i] is the positional weight [prod_{j<i} |D_j|]. *)
+
+val index_in_domain : 'a t -> int -> 'a -> int
+(** [index_in_domain t i s] is the domain index of state [s] at process
+    [i]; raises [Invalid_argument] when [s] is not listed, like
+    {!encode}. *)
+
+val index_opt : 'a t -> int -> 'a -> int option
+(** [index_opt t i s] is the domain index of state [s] at process [i],
+    or [None] if the state is outside the domain. *)
+
 val encode : 'a t -> 'a array -> int
 (** Raises [Invalid_argument] if some state is outside its domain. *)
 

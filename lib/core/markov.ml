@@ -9,11 +9,52 @@ let merge_row entries =
       let prev = Option.value (Hashtbl.find_opt tbl c) ~default:0.0 in
       Hashtbl.replace tbl c (prev +. w))
     entries;
-  Hashtbl.fold (fun c w acc -> (c, w) :: acc) tbl [] |> List.sort compare
+  Hashtbl.fold (fun c w acc -> (c, w) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+(* Strong-lumpability audit of a quotient chain, enabled by paranoid
+   mode: every orbit member of the *full* space must project (through
+   rep_of) onto exactly the lumped row its representative got. This is
+   the condition making quotient hitting times and absorption
+   probabilities equal to the full chain's. Expensive — it expands the
+   base space — and therefore gated. *)
+let check_lumpability quotient_rows space base reps rep_of cls =
+  let g = Checker.expand base cls in
+  let project entries =
+    match entries with
+    | [] -> None
+    | _ -> Some (merge_row (List.map (fun (c, w) -> (rep_of.(c), w)) entries))
+  in
+  let fail c =
+    invalid_arg
+      (Printf.sprintf
+         "Markov.of_space: lumpability violated at full-space code %d (quotient uid \
+          %d)"
+         c (Statespace.uid space))
+  in
+  for c = 0 to Statespace.count base - 1 do
+    let expected = quotient_rows.(rep_of.(c)) in
+    match project (Checker.weighted_row g c) with
+    | None ->
+      (* Terminal in the base: its representative must be absorbing. *)
+      if expected <> [ (rep_of.(c), 1.0) ] then fail c
+    | Some row ->
+      if
+        List.length row <> List.length expected
+        || not
+             (List.for_all2
+                (fun (i, w) (i', w') -> i = i' && Float.abs (w -. w') <= 1e-9)
+                row expected)
+      then fail c
+  done;
+  ignore reps
 
 (* The chain is read off the checker's packed expansion, so a space
    analysed exhaustively and then probabilistically expands its
-   transition relation once, not twice. *)
+   transition relation once, not twice. On a quotient space the packed
+   graph already has canonicalized targets, so the very same read-off
+   produces the lumped chain; orbit sizes only matter to consumers that
+   average over the full space (see {!hitting_stats}). *)
 let of_space space randomization =
   Stabobs.Obs.span "markov.of_space" @@ fun () ->
   let cls =
@@ -30,6 +71,11 @@ let of_space space randomization =
     | [] -> rows.(c) <- [ (c, 1.0) ] (* terminal: absorbing *)
     | entries -> rows.(c) <- merge_row entries
   done;
+  (if Symmetry.paranoid_enabled () then
+     match Statespace.quotient_view space with
+     | None -> ()
+     | Some (base, reps, rep_of, _) ->
+       check_lumpability rows space base reps rep_of cls);
   { rows }
 
 let of_rows rows =
@@ -117,7 +163,7 @@ let bsccs chain =
         (fun c -> List.for_all (fun (c', _) -> component.(c') = i) chain.rows.(c))
         members)
     (List.mapi (fun i m -> (i, m)) all |> List.map snd)
-  |> List.map (List.sort compare)
+  |> List.map (List.sort Int.compare)
 
 let reaches chain ~target =
   let n = states chain in
@@ -287,10 +333,32 @@ let mass_in dist set =
   Array.iteri (fun c mass -> if set.(c) then acc := !acc +. mass) dist;
   !acc
 
-let mean_hitting_time chain ~legitimate =
-  let times = expected_hitting_times chain ~legitimate in
-  Array.fold_left ( +. ) 0.0 times /. float_of_int (Array.length times)
+type hitting_stats = { times : float array; mean : float; max : float }
 
-let max_hitting_time chain ~legitimate =
-  let times = expected_hitting_times chain ~legitimate in
-  Array.fold_left Float.max 0.0 times
+(* One solve for all summary statistics. [weights] are per-state
+   multiplicities (orbit sizes of a lumped chain): the weighted mean
+   over representatives equals the plain mean over the full space,
+   because hitting times are constant on orbits. The max needs no
+   weighting. *)
+let hitting_stats ?method_ ?weights chain ~legitimate =
+  let times = expected_hitting_times ?method_ chain ~legitimate in
+  let n = Array.length times in
+  let mean =
+    match weights with
+    | None -> Array.fold_left ( +. ) 0.0 times /. float_of_int n
+    | Some w ->
+      if Array.length w <> n then
+        invalid_arg "Markov.hitting_stats: weights length mismatch";
+      let num = ref 0.0 and den = ref 0.0 in
+      Array.iteri
+        (fun c t ->
+          let wc = float_of_int w.(c) in
+          num := !num +. (wc *. t);
+          den := !den +. wc)
+        times;
+      !num /. !den
+  in
+  { times; mean; max = Array.fold_left Float.max 0.0 times }
+
+let mean_hitting_time chain ~legitimate = (hitting_stats chain ~legitimate).mean
+let max_hitting_time chain ~legitimate = (hitting_stats chain ~legitimate).max

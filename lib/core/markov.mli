@@ -26,7 +26,12 @@ type t
     configurations are absorbing (probability-1 self-loop). *)
 
 val of_space : 'a Statespace.t -> randomization -> t
-(** Expand the full chain. Row probabilities sum to 1. *)
+(** Expand the full chain. Row probabilities sum to 1. On a quotient
+    space (see {!Statespace.quotient}) this is the strongly lumped
+    chain: hitting times and absorption probabilities per representative
+    equal the full chain's at every orbit member. With
+    {!Symmetry.set_paranoid} on, the lumpability condition is audited
+    against the full chain and violations raise [Invalid_argument]. *)
 
 val of_rows : (int * float) list array -> t
 (** Build a chain from explicit rows (state [i]'s successor
@@ -83,9 +88,29 @@ val mass_in : float array -> bool array -> float
 (** [mass_in dist set] sums the probability mass inside [set] — e.g.
     how much of the space has stabilized after [k] steps. *)
 
+type hitting_stats = {
+  times : float array;  (** {!expected_hitting_times} *)
+  mean : float;  (** average over starting states, weighted if lumped *)
+  max : float;  (** worst-case starting state *)
+}
+
+val hitting_stats :
+  ?method_:hitting_method ->
+  ?weights:int array ->
+  t ->
+  legitimate:bool array ->
+  hitting_stats
+(** All hitting summary statistics from a single solve (callers wanting
+    mean and max used to pay the cubic solve twice). [weights] gives
+    per-state multiplicities for the mean — pass
+    {!Statespace.orbit_sizes} for a lumped chain so the mean matches a
+    uniformly random initial configuration of the {e full} space. *)
+
 val mean_hitting_time : t -> legitimate:bool array -> float
-(** Average of {!expected_hitting_times} over all states — the expected
-    stabilization time from a uniformly random initial configuration. *)
+(** [(hitting_stats chain ~legitimate).mean] — the expected
+    stabilization time from a uniformly random initial configuration.
+    Prefer {!hitting_stats} when also reporting the max. *)
 
 val max_hitting_time : t -> legitimate:bool array -> float
-(** Worst-case starting state. *)
+(** [(hitting_stats chain ~legitimate).max] — worst-case starting
+    state. *)

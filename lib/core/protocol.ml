@@ -28,6 +28,13 @@ let enabled_processes t cfg =
     t.graph []
   |> List.rev
 
+let enabled_with_actions t cfg =
+  Stabgraph.Graph.fold_nodes
+    (fun p acc ->
+      match enabled_action t cfg p with None -> acc | Some a -> (p, a) :: acc)
+    t.graph []
+  |> List.rev
+
 let is_terminal t cfg = enabled_processes t cfg = []
 
 let dist_tolerance = 1e-9

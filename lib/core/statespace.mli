@@ -42,8 +42,52 @@ val plan :
     ({!Montecarlo}) remains, and [reason] says why. *)
 
 val protocol : 'a t -> 'a Protocol.t
+
 val encoding : 'a t -> 'a Encoding.t
+(** The encoding of the *full* configuration space — also for
+    quotients, whose configuration codes index representatives, not
+    encoding codes. Use {!representative} to translate. *)
+
 val count : 'a t -> int
+(** Number of configurations: [|C|] for a full space, the number of
+    symmetry orbits for a quotient. *)
+
+(** {1 Symmetry quotients} *)
+
+val quotient : ?relabel:(perm:int array -> int -> 'a -> 'a) -> 'a t -> 'a t
+(** The orbit quotient of a full space under its validated symmetry
+    group (see {!Symmetry.build}, which receives [relabel]): configs are
+    orbit representatives and transitions are base transitions with
+    canonicalized targets. Returns the space itself when the group is
+    trivial, so callers can request quotients unconditionally. The
+    result is memoized on the base space (the first [relabel] wins);
+    quotienting a quotient is the identity. Runs under a
+    ["checker.quotient"] span and bumps the [symmetry.*] counters. *)
+
+val is_quotient : 'a t -> bool
+
+val base : 'a t -> 'a t
+(** The full space a quotient was built from; the space itself
+    otherwise. *)
+
+val symmetry_order : 'a t -> int
+(** Order of the validated group a quotient divides by; 1 for a full
+    space. *)
+
+val orbit_sizes : 'a t -> int array option
+(** Per-representative orbit sizes of a quotient ([None] for a full
+    space). Summing them yields [count (base t)]. Fresh array. *)
+
+val representative : 'a t -> int -> int
+(** The full-space encoding code behind configuration [c]: the orbit
+    representative for a quotient, [c] itself for a full space. *)
+
+val quotient_view : 'a t -> ('a t * int array * int array * int array) option
+(** [(base, reps, rep_of, sizes)] of a quotient: representative codes,
+    the full-code-to-representative-index map, and orbit sizes. The
+    arrays are the quotient's own — treat them as read-only. [None] for
+    a full space. Intended for consumers that must consult the base
+    relation (e.g. closure checking, lumpability audits). *)
 
 val uid : 'a t -> int
 (** Process-unique identity of this space, assigned at {!build}.

@@ -5,6 +5,9 @@ type entry =
       label : string;
       protocol : 'a Protocol.t;
       spec : 'a Spec.t;
+      relabel : (perm:int array -> int -> 'a -> 'a) option;
+          (* state translation under graph automorphisms, for symmetry
+             quotients; [None] = states carry no neighbor indexes *)
       describe : string;
     }
       -> entry
@@ -42,6 +45,7 @@ let transform (Entry e) =
       label = "trans(" ^ e.label ^ ")";
       protocol = Transformer.randomize e.protocol;
       spec = Transformer.lift_spec e.spec;
+      relabel = None;
       describe = e.describe ^ " [transformed per Section 4]";
     }
 
@@ -54,6 +58,7 @@ let base ~name ~topology =
         label = Printf.sprintf "token-ring(n=%d)" n;
         protocol = Stabalgo.Token_ring.make ~n;
         spec = Stabalgo.Token_ring.spec ~n;
+        relabel = None;
         describe = "Algorithm 1: weak-stabilizing token circulation on anonymous rings";
       }
   | "leader-tree" ->
@@ -63,6 +68,7 @@ let base ~name ~topology =
         label = Printf.sprintf "leader-tree(n=%d)" (Stabgraph.Graph.size g);
         protocol = Stabalgo.Leader_tree.make g;
         spec = Stabalgo.Leader_tree.spec g;
+        relabel = Some (Stabalgo.Leader_tree.relabel g);
         describe = "Algorithm 2: weak-stabilizing leader election on anonymous trees";
       }
   | "two-bool" ->
@@ -71,6 +77,7 @@ let base ~name ~topology =
         label = "two-bool";
         protocol = Stabalgo.Two_bool.make ();
         spec = Stabalgo.Two_bool.spec;
+        relabel = None;
         describe = "Algorithm 3: two-process rendezvous requiring synchrony";
       }
   | "centers" ->
@@ -80,6 +87,7 @@ let base ~name ~topology =
         label = Printf.sprintf "centers(n=%d)" (Stabgraph.Graph.size g);
         protocol = Stabalgo.Centers.make g;
         spec = Stabalgo.Centers.spec g;
+        relabel = None;
         describe = "BGKP self-stabilizing tree center finding";
       }
   | "center-leader" ->
@@ -89,6 +97,7 @@ let base ~name ~topology =
         label = Printf.sprintf "center-leader(n=%d)" (Stabgraph.Graph.size g);
         protocol = Stabalgo.Center_leader.make g;
         spec = Stabalgo.Center_leader.spec g;
+        relabel = None;
         describe = "log N-bit weak-stabilizing leader election via tree centers";
       }
   | "dijkstra" ->
@@ -98,6 +107,7 @@ let base ~name ~topology =
         label = Printf.sprintf "dijkstra(n=%d)" n;
         protocol = Stabalgo.Dijkstra_kstate.make ~n ();
         spec = Stabalgo.Dijkstra_kstate.spec ~n;
+        relabel = None;
         describe = "Dijkstra's K-state self-stabilizing rooted token ring";
       }
   | "herman" ->
@@ -107,6 +117,7 @@ let base ~name ~topology =
         label = Printf.sprintf "herman(n=%d)" n;
         protocol = Stabalgo.Herman.make ~n;
         spec = Stabalgo.Herman.spec ~n;
+        relabel = None;
         describe = "Herman's probabilistic synchronous token ring";
       }
   | "dijkstra-3state" ->
@@ -116,6 +127,7 @@ let base ~name ~topology =
         label = Printf.sprintf "dijkstra-3state(n=%d)" n;
         protocol = Stabalgo.Dijkstra_three.make ~n;
         spec = Stabalgo.Dijkstra_three.spec ~n;
+        relabel = None;
         describe = "Dijkstra's three-state mutual exclusion (two distinguished machines)";
       }
   | "coloring" ->
@@ -125,6 +137,7 @@ let base ~name ~topology =
         label = Printf.sprintf "coloring(n=%d)" (Stabgraph.Graph.size g);
         protocol = Stabalgo.Coloring.make g;
         spec = Stabalgo.Coloring.spec g;
+        relabel = None;
         describe = "greedy (Delta+1)-coloring: self-stabilizing centrally, weak distributed";
       }
   | "matching" ->
@@ -134,6 +147,7 @@ let base ~name ~topology =
         label = Printf.sprintf "matching(n=%d)" (Stabgraph.Graph.size g);
         protocol = Stabalgo.Matching.make g;
         spec = Stabalgo.Matching.spec g;
+        relabel = None;
         describe = "Hsu-Huang maximal matching (determinized)";
       }
   | "bfs-tree" ->
@@ -143,6 +157,7 @@ let base ~name ~topology =
         label = Printf.sprintf "bfs-tree(n=%d)" (Stabgraph.Graph.size g);
         protocol = Stabalgo.Bfs_tree.make g;
         spec = Stabalgo.Bfs_tree.spec g;
+        relabel = None;
         describe = "rooted self-stabilizing BFS spanning tree";
       }
   | "mis" ->
@@ -152,6 +167,7 @@ let base ~name ~topology =
         label = Printf.sprintf "mis(n=%d)" (Stabgraph.Graph.size g);
         protocol = Stabalgo.Mis.make g;
         spec = Stabalgo.Mis.spec g;
+        relabel = None;
         describe = "maximal independent set: self-stabilizing centrally, weak distributed";
       }
   | other -> invalid_arg ("Registry: unknown protocol " ^ other)

@@ -10,6 +10,10 @@ type entry =
       label : string;
       protocol : 'a Stabcore.Protocol.t;
       spec : 'a Stabcore.Spec.t;
+      relabel : (perm:int array -> int -> 'a -> 'a) option;
+          (** state translation under graph automorphisms — pass to
+              {!Stabcore.Statespace.quotient}; [None] means states
+              embed no neighbor indexes and the identity is correct *)
       describe : string;
     }
       -> entry

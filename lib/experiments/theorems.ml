@@ -65,14 +65,15 @@ let theorem1 () =
     rows;
   }
 
-let theorem2 ?(max_n = 7) () =
+let theorem2 ?(max_n = 7) ?(quotient = false) () =
   let rows =
     List.map
       (fun n ->
         let p = Stabalgo.Token_ring.make ~n in
+        let space = Statespace.build p in
+        let space = if quotient then Statespace.quotient space else space in
         let v =
-          Checker.analyze (Statespace.build p) Statespace.Distributed
-            (Stabalgo.Token_ring.spec ~n)
+          Checker.analyze space Statespace.Distributed (Stabalgo.Token_ring.spec ~n)
         in
         let weak = Checker.weak_stabilizing v in
         let self_sf = Checker.self_stabilizing_strongly_fair v in
@@ -82,7 +83,7 @@ let theorem2 ?(max_n = 7) () =
           detail =
             Printf.sprintf "weak=%b self(strongly-fair)=%b divergence-witness=%s" weak
               self_sf
-              (match v.Checker.strongly_fair_diverges with
+              (match Lazy.force v.Checker.strongly_fair_diverges with
               | Some w -> Printf.sprintf "%d states" (List.length w)
               | None -> "none");
         })
@@ -126,16 +127,24 @@ let theorem3 () =
       ];
   }
 
-let theorem4 ?(max_n = 6) () =
+let theorem4 ?(max_n = 6) ?(quotient = false) () =
   let rows =
     List.concat_map
       (fun n ->
         List.mapi
           (fun i g ->
             let p = Stabalgo.Leader_tree.make g in
+            let space = Statespace.build p in
+            let space =
+              (* Sound but typically a no-op: Algorithm 2's A2/A3 do
+                 local-index arithmetic, so the validated group is
+                 trivial on most trees (see docs/symmetry.md). *)
+              if quotient then
+                Statespace.quotient ~relabel:(Stabalgo.Leader_tree.relabel g) space
+              else space
+            in
             let v =
-              Checker.analyze (Statespace.build p) Statespace.Distributed
-                (Stabalgo.Leader_tree.spec g)
+              Checker.analyze space Statespace.Distributed (Stabalgo.Leader_tree.spec g)
             in
             let weak = Checker.weak_stabilizing v in
             let self = Checker.self_stabilizing v in
@@ -166,9 +175,9 @@ let theorem5 () =
     let prob1 = Result.is_ok (Markov.converges_with_prob_one chain ~legitimate) in
     let detail =
       if weak && prob1 then
+        let stats = Markov.hitting_stats chain ~legitimate in
         Printf.sprintf "weak=true prob1=true mean-hit=%.2f max-hit=%.2f"
-          (Markov.mean_hitting_time chain ~legitimate)
-          (Markov.max_hitting_time chain ~legitimate)
+          stats.Markov.mean stats.Markov.max
       else Printf.sprintf "weak=%b prob1=%b" weak prob1
     in
     { label; holds = (not weak) || prob1; detail }

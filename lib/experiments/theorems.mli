@@ -16,17 +16,23 @@ val theorem1 : unit -> result
 (** Weak = self under the synchronous scheduler, for every bundled
     deterministic protocol on small instances. *)
 
-val theorem2 : ?max_n:int -> unit -> result
+val theorem2 : ?max_n:int -> ?quotient:bool -> unit -> result
 (** Algorithm 1 is weak- but not self-stabilizing (nor under strong
-    fairness) on rings of 3..max_n (default 7). *)
+    fairness) on rings of 3..max_n (default 7). With [quotient:true]
+    the verdicts are computed on the rotation-quotient state space
+    (identical by lumpability; roughly n-fold fewer states). *)
 
 val theorem3 : unit -> result
 (** Symmetric-set closure on the adversarially labelled 4-chain, plus
     no symmetric configuration being legitimate or terminal. *)
 
-val theorem4 : ?max_n:int -> unit -> result
+val theorem4 : ?max_n:int -> ?quotient:bool -> unit -> result
 (** Algorithm 2 is weak- but not self-stabilizing on every tree with up
-    to [max_n] (default 6) nodes. *)
+    to [max_n] (default 6) nodes. [quotient:true] routes each instance
+    through {!Stabcore.Statespace.quotient}; Algorithm 2's local-index
+    arithmetic makes the validated group trivial on most trees, so this
+    documents soundness rather than buying speed (see
+    docs/symmetry.md). *)
 
 val theorem5 : unit -> result
 (** Gouda's implication: every finite weak-stabilizing instance

@@ -224,6 +224,125 @@ let tree_canonical g =
 let isomorphic_trees g1 g2 =
   size g1 = size g2 && String.equal (tree_canonical g1) (tree_canonical g2)
 
+(* --- automorphism groups --- *)
+
+exception Too_many_automorphisms
+
+(* Walk the ring once to recover the cyclic order (the adjacency may
+   come from [of_edges] in any edge order), then emit the dihedral
+   group in that order: n rotations followed by n reflections. *)
+let dihedral_elements g =
+  let n = g.n in
+  let order = Array.make n 0 in
+  let pos = Array.make n 0 in
+  let prev = ref (-1) in
+  let cur = ref 0 in
+  for i = 0 to n - 1 do
+    order.(i) <- !cur;
+    pos.(!cur) <- i;
+    let row = g.adj.(!cur) in
+    let next = if row.(0) = !prev then row.(1) else row.(0) in
+    prev := !cur;
+    cur := next
+  done;
+  let rotations =
+    List.init n (fun k -> Array.init n (fun p -> order.((pos.(p) + k) mod n)))
+  in
+  let reflections =
+    List.init n (fun k ->
+        Array.init n (fun p -> order.((((k - pos.(p)) mod n) + n) mod n)))
+  in
+  rotations @ reflections
+
+(* Tree automorphisms by AHU-class backtracking: two rooted subtrees
+   admit a bijection iff their canonical codes agree, in which case the
+   bijections are exactly the code-respecting matchings of children,
+   extended recursively. [budget] caps the number of pair productions so
+   a highly symmetric tree cannot blow up the enumeration. *)
+let tree_automorphisms ~budget g =
+  let codes = Hashtbl.create (4 * g.n) in
+  let rec code parent root =
+    match Hashtbl.find_opt codes (parent, root) with
+    | Some s -> s
+    | None ->
+      let children =
+        Array.to_list g.adj.(root) |> List.filter (fun q -> q <> parent)
+      in
+      let s =
+        "(" ^ String.concat "" (List.sort compare (List.map (code root) children)) ^ ")"
+      in
+      Hashtbl.add codes (parent, root) s;
+      s
+  in
+  let work = ref 0 in
+  let pair r1 r2 m =
+    incr work;
+    if !work > budget then raise Too_many_automorphisms;
+    (r1, r2) :: m
+  in
+  (* All bijections of the subtree (par1 -> r1) onto (par2 -> r2), as
+     association lists of (node, image) pairs. *)
+  let rec subtree_maps par1 r1 par2 r2 =
+    if not (String.equal (code par1 r1) (code par2 r2)) then []
+    else begin
+      let ch1 = Array.to_list g.adj.(r1) |> List.filter (fun q -> q <> par1) in
+      let ch2 = Array.to_list g.adj.(r2) |> List.filter (fun q -> q <> par2) in
+      let rec matchings remaining1 remaining2 =
+        match remaining1 with
+        | [] -> [ [] ]
+        | c1 :: rest1 ->
+          List.concat_map
+            (fun c2 ->
+              match subtree_maps r1 c1 r2 c2 with
+              | [] -> []
+              | subs ->
+                let rest2 = List.filter (fun x -> x <> c2) remaining2 in
+                List.concat_map
+                  (fun rest_map -> List.map (fun sub -> sub @ rest_map) subs)
+                  (matchings rest1 rest2))
+            remaining2
+      in
+      List.map (pair r1 r2) (matchings ch1 ch2)
+    end
+  in
+  let product as_ bs = List.concat_map (fun a -> List.map (fun b -> a @ b) bs) as_ in
+  let maps =
+    match centers g with
+    | [ c ] -> subtree_maps (-1) c (-1) c
+    | [ c1; c2 ] ->
+      let fixing = product (subtree_maps c2 c1 c2 c1) (subtree_maps c1 c2 c1 c2) in
+      let swapping = product (subtree_maps c2 c1 c1 c2) (subtree_maps c1 c2 c2 c1) in
+      fixing @ swapping
+    | _ -> invalid_arg "Graph.tree_automorphisms: trees have one or two centers"
+  in
+  List.map
+    (fun assoc ->
+      let perm = Array.make g.n (-1) in
+      List.iter (fun (p, q) -> perm.(p) <- q) assoc;
+      perm)
+    maps
+
+let automorphisms ?(limit = 10_000) g =
+  let identity = Array.init g.n Fun.id in
+  let found =
+    if is_ring g then Some (dihedral_elements g)
+    else if is_tree g then begin
+      match tree_automorphisms ~budget:(limit * max 4 g.n) g with
+      | elements when List.length elements <= limit -> Some elements
+      | _ -> None
+      | exception Too_many_automorphisms -> None
+    end
+    else None
+  in
+  match found with
+  | None -> [ identity ]
+  | Some elements ->
+    (* Identity first; the rest keep the enumeration order. *)
+    let id_first, rest = List.partition (fun p -> p = identity) elements in
+    (match id_first with
+    | [] -> identity :: rest (* defensive: the enumeration always includes it *)
+    | _ -> identity :: rest)
+
 let all_trees n =
   if n < 1 || n > 8 then invalid_arg "Graph.all_trees: supported for 1 <= n <= 8";
   if n = 1 then [ of_edges ~n [] ]

@@ -115,3 +115,12 @@ val equal_structure : t -> t -> bool
 
 val isomorphic_trees : t -> t -> bool
 (** AHU canonical-form equality. Both arguments must be trees. *)
+
+val automorphisms : ?limit:int -> t -> int array list
+(** The automorphism group of [g] as node permutations, the identity
+    first. Rings yield the dihedral group (2n elements, rotations then
+    reflections); trees are enumerated exactly by AHU-class backtracking
+    rooted at the center(s), including the bicentral swap. Any other
+    graph — or a group larger than [limit] (default 10000) — yields just
+    the identity, which is always a sound under-approximation for
+    symmetry reduction. *)

@@ -128,6 +128,9 @@ let montecarlo_runs = Counter.make "montecarlo_runs"
 let fault_injections = Counter.make "fault_injections"
 let engine_runs = Counter.make "engine_runs"
 let engine_steps = Counter.make "engine_steps"
+let symmetry_orbits = Counter.make "symmetry.orbits"
+let symmetry_canon_hits = Counter.make "symmetry.canon-hit"
+let symmetry_canon_misses = Counter.make "symmetry.canon-miss"
 
 (* --- messages --- *)
 

@@ -94,6 +94,15 @@ val engine_runs : Counter.t
 val engine_steps : Counter.t
 (** Simulated executions and their cumulative daemon steps. *)
 
+val symmetry_orbits : Counter.t
+(** Orbits discovered while canonicalizing a state space
+    ("symmetry.orbits"). *)
+
+val symmetry_canon_hits : Counter.t
+val symmetry_canon_misses : Counter.t
+(** Canon-cache lookups that found / filled an orbit entry
+    ("symmetry.canon-hit" / "symmetry.canon-miss"). *)
+
 (** {1 Spans} *)
 
 val span : ?args:(string * Json.t) list -> string -> (unit -> 'a) -> 'a

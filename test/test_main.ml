@@ -14,6 +14,7 @@ let () =
       ("statespace", Test_statespace.suite);
       ("checker", Test_checker.suite);
       ("differential", Test_differential.suite);
+      ("symmetry", Test_symmetry.suite);
       ("markov", Test_markov.suite);
       ("transformer", Test_transformer.suite);
       ("fairness", Test_fairness.suite);

@@ -1,0 +1,299 @@
+(* Symmetry-quotient engine tests.
+
+   Three layers: unit tests of the validated group computation (cyclic
+   vs dihedral selection, tree group orders, canon idempotence, orbit
+   sizes partitioning the space), a differential suite asserting that
+   quotient verdicts match full-space verdicts for every fixture
+   protocol at every size where both fit, and hitting-time equality of
+   the lumped chain against the full chain within 1e-9. *)
+
+open Stabcore
+open Stabexp
+
+(* --- group computation --- *)
+
+let order ~name ~topology =
+  let (Registry.Entry e) = Registry.find ~name ~topology () in
+  let space = Statespace.build e.protocol in
+  Statespace.symmetry_order (Statespace.quotient ?relabel:e.relabel space)
+
+let test_token_ring_is_cyclic_only () =
+  (* The token ring is oriented (guards read the predecessor), so the
+     dihedral candidates must collapse to the rotation subgroup. *)
+  Alcotest.(check int) "n=4 rotations" 4 (order ~name:"token-ring" ~topology:"ring:4");
+  Alcotest.(check int) "n=5 rotations" 5 (order ~name:"token-ring" ~topology:"ring:5")
+
+let test_coloring_ring_is_dihedral () =
+  (* Coloring reads only the multiset of neighbor colors: reflections
+     survive validation and the full dihedral group acts. *)
+  Alcotest.(check int) "n=4 dihedral" 8 (order ~name:"coloring" ~topology:"ring:4")
+
+let test_tree_group_orders () =
+  (* Coloring reads only the multiset of neighbor colors, so it
+     carries the whole tree automorphism group: star:4 has Aut = S3
+     (the three leaves), chain:4 the end-swap, star:5 Aut = S4. *)
+  Alcotest.(check int) "star:4" 6 (order ~name:"coloring" ~topology:"star:4");
+  Alcotest.(check int) "chain:4" 2 (order ~name:"coloring" ~topology:"chain:4");
+  Alcotest.(check int) "star:5" 24 (order ~name:"coloring" ~topology:"star:5")
+
+let test_leader_tree_is_trivial () =
+  (* Algorithm 2 is labeling-dependent: A2 walks the neighborhood by
+     local index ((Par_p + 1) mod Delta_p) and A3 takes min over local
+     indexes, so a tree automorphism that permutes a vertex's local
+     neighbor order does not commute with the protocol even under the
+     correct pointer relabel. The validation sweep must therefore
+     reject every non-identity candidate — soundness over wishful
+     symmetry. *)
+  Alcotest.(check int) "star:4 with relabel" 1
+    (order ~name:"leader-tree" ~topology:"star:4");
+  Alcotest.(check int) "chain:4 with relabel" 1
+    (order ~name:"leader-tree" ~topology:"chain:4");
+  (* Without the relabel hook the permuted states are not even
+     translated; still trivial, for the cruder reason. *)
+  let g = Stabgraph.Graph.star 4 in
+  let p = Stabalgo.Leader_tree.make g in
+  let sym = Symmetry.build p (Encoding.of_protocol p) in
+  Alcotest.(check int) "star:4 without relabel" 1 (Symmetry.group_order sym)
+
+let test_trivial_group_returns_same_space () =
+  (* dijkstra has a distinguished machine 0: no nontrivial symmetry,
+     and the quotient must be the space itself. *)
+  let (Registry.Entry e) = Registry.find ~name:"dijkstra" ~topology:"ring:3" () in
+  let space = Statespace.build e.protocol in
+  let q = Statespace.quotient space in
+  Alcotest.(check bool) "same space" true (Statespace.uid q = Statespace.uid space);
+  Alcotest.(check bool) "not a quotient" false (Statespace.is_quotient q)
+
+(* --- canonicalization --- *)
+
+let test_canon_idempotent_and_partitions () =
+  let p = Stabalgo.Token_ring.make ~n:5 in
+  let enc = Encoding.of_protocol p in
+  let sym = Symmetry.build p enc in
+  let covered = ref 0 in
+  for c = 0 to Encoding.count enc - 1 do
+    let r = Symmetry.canon sym c in
+    Alcotest.(check int) "canon is idempotent" r (Symmetry.canon sym r);
+    Alcotest.(check bool) "representative is minimal" true (r <= c);
+    if r = c then covered := !covered + Symmetry.orbit_size sym c
+  done;
+  Alcotest.(check int) "orbit sizes partition the space" (Encoding.count enc) !covered
+
+let test_orbit_sizes_sum_to_base_count () =
+  List.iter
+    (fun (name, topology) ->
+      let (Registry.Entry e) = Registry.find ~name ~topology () in
+      let space = Statespace.build e.protocol in
+      let q = Statespace.quotient ?relabel:e.relabel space in
+      match Statespace.orbit_sizes q with
+      | None -> Alcotest.failf "%s@%s: expected a nontrivial quotient" name topology
+      | Some sizes ->
+        Alcotest.(check int)
+          (Printf.sprintf "%s@%s sizes sum" name topology)
+          (Statespace.count space)
+          (Array.fold_left ( + ) 0 sizes))
+    [
+      ("token-ring", "ring:5");
+      ("coloring", "star:4");
+      ("coloring", "chain:5");
+      ("coloring", "ring:4");
+      ("herman", "ring:5");
+    ]
+
+(* --- differential: quotient vs full-space verdicts --- *)
+
+(* Fixture instances: token rings at every N from the overlap of the
+   exact sweeps so the extended E1 ceiling is backed by verdict
+   agreement at all shared sizes. The boolean asserts the validated
+   group is nontrivial; labeling-dependent protocols (leader-tree,
+   matching, two-bool) legitimately quotient to the full space and
+   still exercise the dispatch path. *)
+let differential_specs =
+  [
+    ("token-ring", "ring:3", true);
+    ("token-ring", "ring:4", true);
+    ("token-ring", "ring:5", true);
+    ("token-ring", "ring:6", true);
+    ("token-ring", "ring:7", true);
+    ("leader-tree", "chain:3", false);
+    ("leader-tree", "chain:4", false);
+    ("leader-tree", "chain:5", false);
+    ("leader-tree", "star:4", false);
+    ("leader-tree", "star:5", false);
+    ("two-bool", "ring:3", false);
+    ("coloring", "ring:4", true);
+    ("coloring", "star:4", true);
+    ("coloring", "chain:5", true);
+    ("matching", "chain:4", false);
+    ("mis", "ring:4", true);
+    ("herman", "ring:5", true);
+  ]
+
+let classes = [ Statespace.Central; Statespace.Distributed; Statespace.Synchronous ]
+
+let check_same_verdict label (full : Checker.verdict) (quot : Checker.verdict) =
+  let ok = function Ok () -> true | Error _ -> false in
+  let some = function Some _ -> true | None -> false in
+  Alcotest.(check bool) (label ^ " closure") (ok full.Checker.closure) (ok quot.Checker.closure);
+  Alcotest.(check bool) (label ^ " possible") (ok full.Checker.possible) (ok quot.Checker.possible);
+  Alcotest.(check bool) (label ^ " certain") (ok full.Checker.certain) (ok quot.Checker.certain);
+  Alcotest.(check bool)
+    (label ^ " strong fairness")
+    (some (Lazy.force full.Checker.strongly_fair_diverges))
+    (some (Lazy.force quot.Checker.strongly_fair_diverges));
+  Alcotest.(check bool)
+    (label ^ " weak fairness")
+    (some (Lazy.force full.Checker.weakly_fair_diverges))
+    (some (Lazy.force quot.Checker.weakly_fair_diverges));
+  Alcotest.(check bool)
+    (label ^ " dead ends")
+    (full.Checker.dead_ends = [])
+    (quot.Checker.dead_ends = [])
+
+let test_differential_verdicts () =
+  List.iter
+    (fun (name, topology, nontrivial) ->
+      let (Registry.Entry e) = Registry.find ~name ~topology () in
+      let space = Statespace.build e.protocol in
+      let quot = Statespace.quotient ?relabel:e.relabel space in
+      if nontrivial && not (Statespace.is_quotient quot) then
+        Alcotest.failf "%s@%s: expected a nontrivial quotient" name topology;
+      List.iter
+        (fun cls ->
+          let label =
+            Format.asprintf "%s@%s/%a" name topology Statespace.pp_sched_class cls
+          in
+          let full_v = Checker.analyze space cls e.spec in
+          let quot_v = Checker.analyze quot cls e.spec in
+          check_same_verdict label full_v quot_v;
+          (* Taxonomy entry points share the quotient soundness
+             argument; compare their boolean outcomes too. *)
+          let g_full = Checker.expand space cls in
+          let g_quot = Checker.expand quot cls in
+          let leg_full = Statespace.legitimate_set space e.spec in
+          let leg_quot = Statespace.legitimate_set quot e.spec in
+          let ok = function Ok () -> true | Error _ -> false in
+          Alcotest.(check bool) (label ^ " pseudo")
+            (ok (Checker.pseudo_stabilizing space g_full ~legitimate:leg_full))
+            (ok (Checker.pseudo_stabilizing quot g_quot ~legitimate:leg_quot));
+          Alcotest.(check bool) (label ^ " k=1")
+            (ok (Checker.k_stabilizing space g_full ~legitimate:leg_full ~k:1))
+            (ok (Checker.k_stabilizing quot g_quot ~legitimate:leg_quot ~k:1)))
+        classes)
+    differential_specs
+
+(* --- hitting-time statistics of the lumped chain --- *)
+
+let test_differential_hitting_stats () =
+  List.iter
+    (fun (name, topology) ->
+      let (Registry.Entry e) = Registry.find ~name ~topology () in
+      let space = Statespace.build e.protocol in
+      let quot = Statespace.quotient ?relabel:e.relabel space in
+      List.iter
+        (fun randomization ->
+          let label =
+            Printf.sprintf "%s@%s/%s" name topology
+              (match randomization with
+              | Markov.Central_uniform -> "central"
+              | Markov.Distributed_uniform -> "distributed"
+              | Markov.Sync -> "sync")
+          in
+          let full_chain = Markov.of_space space randomization in
+          let quot_chain = Markov.of_space quot randomization in
+          let leg_full = Statespace.legitimate_set space e.spec in
+          let leg_quot = Statespace.legitimate_set quot e.spec in
+          let full_converges =
+            Result.is_ok (Markov.converges_with_prob_one full_chain ~legitimate:leg_full)
+          in
+          let quot_converges =
+            Result.is_ok (Markov.converges_with_prob_one quot_chain ~legitimate:leg_quot)
+          in
+          Alcotest.(check bool)
+            (label ^ " prob-1 convergence")
+            full_converges quot_converges;
+          if full_converges then begin
+            let full =
+              Markov.hitting_stats ~method_:Markov.Exact full_chain ~legitimate:leg_full
+            in
+            let quot_stats =
+              Markov.hitting_stats ~method_:Markov.Exact
+                ?weights:(Statespace.orbit_sizes quot) quot_chain ~legitimate:leg_quot
+            in
+            Alcotest.(check (float 1e-9)) (label ^ " mean") full.Markov.mean
+              quot_stats.Markov.mean;
+            Alcotest.(check (float 1e-9)) (label ^ " max") full.Markov.max
+              quot_stats.Markov.max
+          end)
+        [ Markov.Central_uniform; Markov.Distributed_uniform ])
+    [
+      ("token-ring", "ring:3");
+      ("token-ring", "ring:4");
+      ("token-ring", "ring:5");
+      ("token-ring", "ring:6");
+      ("token-ring", "ring:7");
+      ("coloring", "chain:4");
+      ("coloring", "star:4");
+      ("coloring", "ring:4");
+    ]
+
+(* Paranoid mode re-derives the lumpability condition and the spec's
+   orbit-invariance from the full space; it must pass silently on a
+   sound quotient. *)
+let test_paranoid_lumpability_audit () =
+  Symmetry.set_paranoid true;
+  Fun.protect ~finally:(fun () -> Symmetry.set_paranoid false) @@ fun () ->
+  let (Registry.Entry e) = Registry.find ~name:"token-ring" ~topology:"ring:5" () in
+  let space = Statespace.build e.protocol in
+  let quot = Statespace.quotient ?relabel:e.relabel space in
+  let legitimate = Statespace.legitimate_set quot e.spec in
+  let chain = Markov.of_space quot Markov.Central_uniform in
+  let stats =
+    Markov.hitting_stats ?weights:(Statespace.orbit_sizes quot) chain ~legitimate
+  in
+  Alcotest.(check bool) "positive mean" true (stats.Markov.mean > 0.0)
+
+(* --- satellite: one solve behind mean/max --- *)
+
+let test_hitting_stats_single_solve () =
+  let p = Stabalgo.Token_ring.make ~n:4 in
+  let space = Statespace.build p in
+  let legitimate = Statespace.legitimate_set space (Stabalgo.Token_ring.spec ~n:4) in
+  let chain = Markov.of_space space Markov.Central_uniform in
+  let stats = Markov.hitting_stats chain ~legitimate in
+  Alcotest.(check (float 1e-12)) "mean agrees with mean_hitting_time"
+    (Markov.mean_hitting_time chain ~legitimate)
+    stats.Markov.mean;
+  Alcotest.(check (float 1e-12)) "max agrees with max_hitting_time"
+    (Markov.max_hitting_time chain ~legitimate)
+    stats.Markov.max;
+  let weighted =
+    Markov.hitting_stats ~weights:(Array.make (Markov.states chain) 3) chain ~legitimate
+  in
+  Alcotest.(check (float 1e-12)) "uniform weights keep the mean" stats.Markov.mean
+    weighted.Markov.mean
+
+let suite =
+  [
+    Alcotest.test_case "token ring validates cyclic only" `Quick
+      test_token_ring_is_cyclic_only;
+    Alcotest.test_case "coloring ring validates dihedral" `Quick
+      test_coloring_ring_is_dihedral;
+    Alcotest.test_case "tree automorphism group orders" `Quick test_tree_group_orders;
+    Alcotest.test_case "labeling-dependent protocols stay trivial" `Quick
+      test_leader_tree_is_trivial;
+    Alcotest.test_case "trivial group quotient is the space" `Quick
+      test_trivial_group_returns_same_space;
+    Alcotest.test_case "canon idempotent, orbits partition" `Quick
+      test_canon_idempotent_and_partitions;
+    Alcotest.test_case "orbit sizes sum to base count" `Quick
+      test_orbit_sizes_sum_to_base_count;
+    Alcotest.test_case "quotient verdicts match full space" `Slow
+      test_differential_verdicts;
+    Alcotest.test_case "lumped hitting stats match full chain" `Slow
+      test_differential_hitting_stats;
+    Alcotest.test_case "paranoid lumpability audit passes" `Quick
+      test_paranoid_lumpability_audit;
+    Alcotest.test_case "hitting stats from one solve" `Quick
+      test_hitting_stats_single_solve;
+  ]
