@@ -306,8 +306,10 @@ let check_cmd =
   in
   let quotient_arg =
     let doc =
-      "Analyze the symmetry quotient: verdicts are computed on one representative per \
-       orbit of the validated automorphism group (identical answers, fewer states)."
+      "Analyze the symmetry quotient: eager verdicts are computed on one representative \
+       per orbit of the validated automorphism group; fairness verdicts are decided \
+       against the full space, since per-process fairness is not orbit-invariant \
+       (identical answers either way, fewer states for the non-fairness checks)."
     in
     Arg.(value & flag & info [ "quotient" ] ~doc)
   in

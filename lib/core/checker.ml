@@ -12,7 +12,18 @@
    Activated subsets are interned: [grp_active.(grp)] indexes
    [active_sets]. [succ_w] carries the outcome probabilities so the
    Markov chain of a randomized daemon can be read off the same
-   packing. *)
+   packing.
+
+   Ordering contract (relied on by [graph_enabled], which reads
+   Enabled(c) off the packing instead of re-evaluating guards): under
+   the distributed and synchronous classes the LAST group of a
+   configuration activates the full enabled set — the union of all its
+   groups — and under the central class every group is an enabled
+   singleton. [Statespace.fold_transitions] establishes this by
+   enumerating activation subsets in ascending-bitmask order;
+   [groups_well_ordered] asserts it at packing time so a future
+   reordering of the subset enumeration cannot silently corrupt the
+   fairness checks. *)
 module Obs = Stabobs.Obs
 
 type graph = {
@@ -128,6 +139,46 @@ let intern_set t active =
 
 let interner_sets t = Array.of_list (List.rev t.sets_rev)
 
+(* Debug check of the ordering contract documented on [graph]: for
+   every configuration with groups, the last group's activation set
+   must equal the union of all its groups (distributed/synchronous) or
+   every group must be a singleton (central). Runs under [assert] so
+   release builds compiled with -noassert skip the pass. *)
+let groups_well_ordered g =
+  let ok = ref true in
+  (match g.cls with
+  | Statespace.Central ->
+    (* [grp_active] is exactly the concatenation of all groups. *)
+    Array.iter
+      (fun id -> match g.active_sets.(id) with [ _ ] -> () | _ -> ok := false)
+      g.grp_active
+  | Statespace.Distributed | Statespace.Synchronous ->
+    (* Every group a subset of its configuration's last group makes the
+       last group the union. Sets are interned, so subset verdicts are
+       memoized per (set id, last set id) pair — an int-keyed lookup
+       per group instead of set algebra per configuration. *)
+    let nsets = Array.length g.active_sets in
+    let memo = Hashtbl.create 64 in
+    let subset a b =
+      let key = (a * nsets) + b in
+      match Hashtbl.find_opt memo key with
+      | Some r -> r
+      | None ->
+        let bs = g.active_sets.(b) in
+        let r = List.for_all (fun p -> List.mem p bs) g.active_sets.(a) in
+        Hashtbl.add memo key r;
+        r
+    in
+    for c = 0 to g.n - 1 do
+      let lo = g.grp_off.(c) and hi = g.grp_off.(c + 1) in
+      if hi > lo then
+        let last = g.grp_active.(hi - 1) in
+        for grp = lo to hi - 1 do
+          if not (subset g.grp_active.(grp) last) then ok := false
+        done
+    done);
+  !ok
+
 (* Single-pass streaming expansion: each configuration's transition
    groups are folded straight into the CSR buffers, in exactly the
    order {!Statespace.transitions} lists them, without materializing
@@ -166,6 +217,7 @@ let expand_serial space cls n nproc =
       rev = None;
     }
   in
+  assert (groups_well_ordered g);
   Obs.Counter.add Obs.configs_expanded n;
   Obs.Counter.add Obs.transitions_emitted (Array.length g.succ);
   g
@@ -231,6 +283,7 @@ let pack n nproc cls rows =
       rev = None;
     }
   in
+  assert (groups_well_ordered g);
   Obs.Counter.add Obs.configs_expanded n;
   Obs.Counter.add Obs.transitions_emitted (Array.length g.succ);
   g
@@ -585,12 +638,12 @@ let has_internal_edge g in_scc members =
     members
 
 (* Enabled set of a configuration, read off the packed graph instead of
-   re-decoding the configuration and re-evaluating guards: groups are
-   emitted in ascending activation-bitmask order, so under the
-   synchronous and distributed classes the last group of [c] is exactly
-   Enabled(c), and under the central class the groups are the enabled
-   singletons in ascending process order. Terminal configurations have
-   no groups. *)
+   re-decoding the configuration and re-evaluating guards, per the
+   ordering contract documented on [graph] (and asserted by
+   [groups_well_ordered] at packing time): under the synchronous and
+   distributed classes the last group of [c] is exactly Enabled(c),
+   and under the central class the groups are the enabled singletons.
+   Terminal configurations have no groups. *)
 let graph_enabled g c =
   let lo = g.grp_off.(c) and hi = g.grp_off.(c + 1) in
   if lo = hi then []
@@ -685,7 +738,33 @@ let alive_outside legitimate =
   done;
   alive
 
-let strongly_fair_divergence _space g ~legitimate =
+(* Per-process fairness is NOT orbit-invariant, so the Streett checks
+   cannot run on the naive symmetry quotient: a validated automorphism
+   maps "p enabled at c" to "sigma(p) enabled at sigma(c)", so
+   "p enabled everywhere in the SCC" can hold at the orbit minima yet
+   fail at other orbit members whenever the group moves p (e.g. the
+   leaf-permuting groups of coloring on stars are not transitive on
+   processes), and a quotient SCC merges the group-translates of
+   distinct full-space SCCs, conflating their enabled/firing sets.
+   Either effect can flip a fairness verdict in either direction. The
+   sound lift is the permutation-annotated quotient of the
+   symmetry-reduction literature; until that exists, fairness mirrors
+   [check_closure] and consults the BASE space: expand the base graph
+   (shared through the expansion cache) and pull the quotient's
+   legitimate set back along [rep_of] (legitimacy is orbit-invariant —
+   see {!Statespace.legitimate_set}). Witnesses are then base-space
+   codes. The quotient still accelerates every non-fairness verdict;
+   forcing a fairness field on a quotient pays the full-space Streett
+   analysis. *)
+let fairness_arena space g ~legitimate =
+  match Statespace.quotient_view space with
+  | None -> (g, legitimate)
+  | Some (base, _, rep_of, _) ->
+    ( expand base g.cls,
+      Array.init (Array.length rep_of) (fun c -> legitimate.(rep_of.(c))) )
+
+let strongly_fair_divergence space g ~legitimate =
+  let g, legitimate = fairness_arena space g ~legitimate in
   strongly_fair_from g (sccs g ~alive:(alive_outside legitimate))
 
 (* Weak fairness needs no refinement: acceptance is monotone in the
@@ -709,7 +788,8 @@ let weakly_fair_from g components =
   in
   List.find_opt accepting components |> Option.map (List.sort compare)
 
-let weakly_fair_divergence _space g ~legitimate =
+let weakly_fair_divergence space g ~legitimate =
+  let g, legitimate = fairness_arena space g ~legitimate in
   weakly_fair_from g (sccs g ~alive:(alive_outside legitimate))
 
 type verdict = {
@@ -732,8 +812,14 @@ let analyze space cls spec =
      (weak/self verdicts) skip the Streett machinery entirely, and
      forcing both fields still decomposes once. *)
   let terminals = Obs.span "checker.terminals" (fun () -> terminals_of g ~legitimate) in
+  (* Fairness runs in the base space when [space] is a quotient (see
+     [fairness_arena]); the arena and the SCC decomposition it feeds
+     are shared by both deferred fairness fields. *)
+  let arena = lazy (fairness_arena space g ~legitimate) in
   let components =
-    lazy (Obs.span "checker.sccs" (fun () -> sccs g ~alive:(alive_outside legitimate)))
+    lazy
+      (let fg, fleg = Lazy.force arena in
+       Obs.span "checker.sccs" (fun () -> sccs fg ~alive:(alive_outside fleg)))
   in
   let closure = Obs.span "checker.closure" (fun () -> check_closure space g spec) in
   let possible =
@@ -743,15 +829,26 @@ let analyze space cls spec =
     Obs.span "checker.certain" (fun () ->
         certain_of_terminals g ~legitimate ~terminals)
   in
+  (* Certain convergence leaves no divergence at all — no cycle and no
+     terminal outside [L], a fact that lifts from a quotient to its
+     base (cycles lift through orbits, terminality is orbit-invariant)
+     — so both fairness verdicts are [None] without any Streett work.
+     This keeps fairness free on self-stabilizing quotients, where the
+     base expansion would otherwise be the dominant cost. *)
+  let divergence_free = Result.is_ok certain in
   let strongly_fair_diverges =
     lazy
-      (Obs.span "checker.fairness.strong" (fun () ->
-           strongly_fair_from g (Lazy.force components)))
+      (if divergence_free then None
+       else
+         Obs.span "checker.fairness.strong" (fun () ->
+             strongly_fair_from (fst (Lazy.force arena)) (Lazy.force components)))
   in
   let weakly_fair_diverges =
     lazy
-      (Obs.span "checker.fairness.weak" (fun () ->
-           weakly_fair_from g (Lazy.force components)))
+      (if divergence_free then None
+       else
+         Obs.span "checker.fairness.weak" (fun () ->
+             weakly_fair_from (fst (Lazy.force arena)) (Lazy.force components)))
   in
   {
     closure;

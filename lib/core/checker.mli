@@ -85,13 +85,20 @@ val strongly_fair_divergence :
     every strongly-fair execution converges — together with closure
     this is deterministic self-stabilization under a strongly fair
     daemon of the class. Terminal dead-ends are NOT reported here; use
-    {!certain_convergence} or {!illegitimate_terminals}. *)
+    {!certain_convergence} or {!illegitimate_terminals}.
+
+    Per-process fairness is not invariant under the symmetry group, so
+    on a quotient space the Streett analysis runs against the BASE
+    space (expanded through the shared cache, with the legitimate set
+    pulled back along the orbit map) and the witness contains
+    base-space codes, not representative indexes. *)
 
 val weakly_fair_divergence :
   'a Statespace.t -> graph -> legitimate:bool array -> int list option
 (** Same for weak fairness: the witness set has, for every process,
     either a configuration where it is disabled or an internal
-    transition firing it. *)
+    transition firing it. On a quotient the analysis likewise runs
+    against the base space. *)
 
 val illegitimate_terminals :
   'a Statespace.t -> legitimate:bool array -> int list
@@ -115,7 +122,11 @@ val analyze : 'a Statespace.t -> Statespace.sched_class -> 'a Spec.t -> verdict
     decomposition of [C \ L] they share), so callers that only need
     weak/self verdicts never pay for the Streett analysis. The
     {!self_stabilizing_strongly_fair} / {!self_stabilizing_weakly_fair}
-    accessors force them. *)
+    accessors force them. On a quotient space the deferred fairness
+    fields are evaluated against the base space (see
+    {!strongly_fair_divergence}): the quotient accelerates every eager
+    verdict, while forcing a fairness field costs the same Streett
+    analysis the full space would. *)
 
 (** {2 Instrumentation}
 

@@ -26,7 +26,16 @@ and 'a t = {
   encoding : 'a Encoding.t;
   uid : int;
   view : 'a view;
-  mutable quot : 'a t option; (* memoized quotient of a full space *)
+  mutable quots : ((perm:int array -> int -> 'a -> 'a) option * 'a t) list;
+      (* Memoized quotients of a full space, keyed by the physical
+         identity of the [relabel] hook: different hooks validate
+         different groups, so a quotient cached under one hook must
+         never be returned for another (omitting the hook of a
+         labeling-dependent protocol yields the trivial group, and
+         returning that stale result for a later call that does pass
+         the hook — or vice versa — would be silently wrong). A
+         freshly allocated but semantically equal closure misses and
+         rebuilds: correct, merely unshared. *)
 }
 
 let default_max_configs = 2_000_000
@@ -47,7 +56,7 @@ let build ?(max_configs = default_max_configs) protocol =
     encoding;
     uid = Atomic.fetch_and_add next_uid 1;
     view = Full;
-    quot = None;
+    quots = [];
   }
 
 let try_build ?max_configs protocol =
@@ -120,12 +129,15 @@ let quotient_view t =
   | Full -> None
   | Quotient q -> Some (q.base, q.reps, q.rep_of, q.sizes)
 
+let same_hook a b =
+  match (a, b) with None, None -> true | Some f, Some g -> f == g | _ -> false
+
 let quotient ?relabel t =
   match t.view with
   | Quotient _ -> t
   | Full -> (
-    match t.quot with
-    | Some q -> q
+    match List.find_opt (fun (hook, _) -> same_hook hook relabel) t.quots with
+    | Some (_, q) -> q
     | None ->
       let q =
         Stabobs.Obs.span "checker.quotient" @@ fun () ->
@@ -159,11 +171,11 @@ let quotient ?relabel t =
             encoding = t.encoding;
             uid = Atomic.fetch_and_add next_uid 1;
             view = Quotient { base = t; sym; reps; rep_of; sizes };
-            quot = None;
+            quots = [];
           }
         end
       in
-      t.quot <- Some q;
+      t.quots <- (relabel, q) :: t.quots;
       q)
 
 let enabled t c = Protocol.enabled_processes t.protocol (config t c)

@@ -60,9 +60,13 @@ val quotient : ?relabel:(perm:int array -> int -> 'a -> 'a) -> 'a t -> 'a t
     orbit representatives and transitions are base transitions with
     canonicalized targets. Returns the space itself when the group is
     trivial, so callers can request quotients unconditionally. The
-    result is memoized on the base space (the first [relabel] wins);
-    quotienting a quotient is the identity. Runs under a
-    ["checker.quotient"] span and bumps the [symmetry.*] counters. *)
+    result is memoized on the base space per [relabel] hook, compared
+    by physical identity: a call with a different hook (or with the
+    hook omitted) rebuilds rather than returning a quotient validated
+    under another hook, and passing a freshly allocated closure simply
+    misses the memo. Quotienting a quotient is the identity. Runs
+    under a ["checker.quotient"] span and bumps the [symmetry.*]
+    counters. *)
 
 val is_quotient : 'a t -> bool
 

@@ -64,6 +64,35 @@ let test_trivial_group_returns_same_space () =
   Alcotest.(check bool) "same space" true (Statespace.uid q = Statespace.uid space);
   Alcotest.(check bool) "not a quotient" false (Statespace.is_quotient q)
 
+(* Bijective on the token ring's m=3 state domain but does not commute
+   with the increment action, so every rotation candidate is rejected
+   under it. Top-level so repeated calls share one closure (the memo
+   compares hooks by physical identity). *)
+let state_reversal ~perm:_ _ s = 2 - s
+
+let test_quotient_memo_keyed_on_relabel () =
+  (* The memo must never return a quotient validated under one relabel
+     hook to a call that supplies another (or none): the bogus hook
+     yields the trivial group, the hookless call the 4 rotations, and
+     each order of the two calls must see its own result. *)
+  let p = Stabalgo.Token_ring.make ~n:4 in
+  let space = Statespace.build p in
+  let with_bogus = Statespace.quotient ~relabel:state_reversal space in
+  Alcotest.(check bool) "bogus hook validates nothing" false
+    (Statespace.is_quotient with_bogus);
+  let plain = Statespace.quotient space in
+  Alcotest.(check bool) "hookless call is not served the stale full space" true
+    (Statespace.is_quotient plain);
+  Alcotest.(check int) "rotations validated" 4 (Statespace.symmetry_order plain);
+  Alcotest.(check int) "same hook is memoized" (Statespace.uid plain)
+    (Statespace.uid (Statespace.quotient space));
+  (* Reverse order on a fresh space. *)
+  let space2 = Statespace.build p in
+  let plain2 = Statespace.quotient space2 in
+  Alcotest.(check bool) "nontrivial first" true (Statespace.is_quotient plain2);
+  Alcotest.(check bool) "bogus hook is not served the stale quotient" false
+    (Statespace.is_quotient (Statespace.quotient ~relabel:state_reversal space2))
+
 (* --- canonicalization --- *)
 
 let test_canon_idempotent_and_partitions () =
@@ -178,7 +207,21 @@ let test_differential_verdicts () =
             (ok (Checker.pseudo_stabilizing quot g_quot ~legitimate:leg_quot));
           Alcotest.(check bool) (label ^ " k=1")
             (ok (Checker.k_stabilizing space g_full ~legitimate:leg_full ~k:1))
-            (ok (Checker.k_stabilizing quot g_quot ~legitimate:leg_quot ~k:1)))
+            (ok (Checker.k_stabilizing quot g_quot ~legitimate:leg_quot ~k:1));
+          (* Per-process fairness is not orbit-invariant, so the
+             standalone fairness entry points route a quotient to its
+             base space; on these fixtures the base IS [space], so the
+             witnesses must come out identical, not just co-present. *)
+          let same_fairness tag f =
+            Alcotest.(check (option (list int)))
+              tag
+              (f space g_full ~legitimate:leg_full)
+              (f quot g_quot ~legitimate:leg_quot)
+          in
+          same_fairness (label ^ " strong fairness witness")
+            Checker.strongly_fair_divergence;
+          same_fairness (label ^ " weak fairness witness")
+            Checker.weakly_fair_divergence)
         classes)
     differential_specs
 
@@ -284,6 +327,8 @@ let suite =
       test_leader_tree_is_trivial;
     Alcotest.test_case "trivial group quotient is the space" `Quick
       test_trivial_group_returns_same_space;
+    Alcotest.test_case "quotient memo keyed on relabel hook" `Quick
+      test_quotient_memo_keyed_on_relabel;
     Alcotest.test_case "canon idempotent, orbits partition" `Quick
       test_canon_idempotent_and_partitions;
     Alcotest.test_case "orbit sizes sum to base count" `Quick
