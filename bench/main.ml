@@ -1,21 +1,64 @@
-(* Benchmark harness: one Bechamel test per reproduced figure/table.
+(* Benchmark harness: one timed entry per reproduced figure/table.
 
-   Part 1 (bechamel) times the computation that regenerates each
-   artifact — figure replays, theorem checks, quantitative sweeps — so
-   regressions in the checker or the Markov engine show up as timing
-   changes here.
+   Part 1 measures the computation that regenerates each artifact —
+   figure replays, theorem checks, quantitative sweeps — as a full
+   distribution, not a point: each entry is sampled in calibrated
+   batches until a time quota is met, and the per-run nanosecond
+   samples yield mean/stddev/ci95/p50/p99 plus per-run allocation
+   (minor words, major collections) read off the GC between batches.
+   The record is written as bench schema v3 (`--json`, default
+   `BENCH_checker.json`), one line is appended to `bench/history.jsonl`
+   so the perf trajectory stays machine-readable, and a markdown
+   report lands in `docs/bench-report.md` (`--report`).
 
-   Part 2 prints the artifacts themselves: the per-theorem verdict
-   tables and the E1-E4 stabilization-time tables recorded in
+   `--compare BASELINE.json --gate-pct P` turns the run into a perf
+   gate: the per-entry delta table is printed (and appended to the
+   markdown report), and the process exits non-zero when any entry's
+   mean slowed by at least P% beyond the pooled ci95 noise band of the
+   two records (`Stabexp.Benchcmp`). `--quick` shrinks the quotas for
+   CI; `--micro-only` skips parts 2-4.
+
+   Parts 2-4 print the artifacts themselves: figures, the per-theorem
+   verdict tables and the E1-E4 stabilization-time tables recorded in
    EXPERIMENTS.md. The run aborts with a non-zero exit code if any
    theorem check fails, so `dune exec bench/main.exe` doubles as a
    repro gate. *)
 
-open Bechamel
 module Json = Stabobs.Json
 module Obs = Stabobs.Obs
+module Dist = Stabobs.Dist
+module Stats = Stabstats.Stats
 
-let stage_unit f = Staged.stage (fun () -> ignore (f ()))
+(* --- command line --- *)
+
+let json_path = ref "BENCH_checker.json"
+let history_path = ref "bench/history.jsonl"
+let report_path = ref "docs/bench-report.md"
+let compare_path = ref ""
+let gate_pct = ref 20.0
+let quick = ref false
+let micro_only = ref false
+
+let speclist =
+  [
+    ("--json", Arg.Set_string json_path, "FILE bench record destination (schema 3)");
+    ( "--history",
+      Arg.Set_string history_path,
+      "FILE history log to append to (\"\" disables)" );
+    ( "--report",
+      Arg.Set_string report_path,
+      "FILE markdown report destination (\"\" disables)" );
+    ( "--compare",
+      Arg.Set_string compare_path,
+      "FILE baseline bench record to gate against" );
+    ( "--gate-pct",
+      Arg.Set_float gate_pct,
+      "P significant regressions under P percent do not gate (default 20)" );
+    ("--quick", Arg.Set quick, " reduced sampling quotas (CI mode)");
+    ("--micro-only", Arg.Set micro_only, " skip figure/theorem/experiment replay");
+  ]
+
+let usage = "bench/main.exe [--json FILE] [--compare BASELINE --gate-pct P] ..."
 
 (* The resilience campaign of ISSUE 2: exact per-k recovery metrics on
    the packed graph (token ring, N = 7, k = 1..3) plus a 500-run
@@ -101,89 +144,175 @@ let analyze_leader_tree ~quotient () =
   Stabcore.Checker.analyze space Stabcore.Statespace.Distributed
     (Stabalgo.Leader_tree.spec g)
 
-let tests =
+(* The dark-telemetry gate: with no sink installed, a span is one
+   atomic load and a branch, a counter add is dropped before touching
+   domain-local state, and a dist record is dropped before its Welford
+   update. Timings here must stay within noise of an empty loop — a
+   regression means instrumentation started taxing the uninstrumented
+   hot path. *)
+let dark_dist = Dist.make "bench.dark"
+
+let ignore_unit f () = ignore (f ())
+
+let tests : (string * (unit -> unit)) list =
   [
-    Test.make ~name:"full-token-ring" (stage_unit (analyze_token_ring ~quotient:false));
-    Test.make ~name:"quotient-token-ring"
-      (stage_unit (analyze_token_ring ~quotient:true));
-    Test.make ~name:"full-leader-tree" (stage_unit (analyze_leader_tree ~quotient:false));
-    Test.make ~name:"quotient-leader-tree"
-      (stage_unit (analyze_leader_tree ~quotient:true));
-    Test.make ~name:"fig1-token-trace" (stage_unit (fun () -> Stabexp.Figures.fig1 ()));
-    Test.make ~name:"fig2-leader-convergence" (stage_unit Stabexp.Figures.fig2);
-    Test.make ~name:"fig3-sync-divergence" (stage_unit Stabexp.Figures.fig3);
-    Test.make ~name:"thm1-sync-equivalence" (stage_unit Stabexp.Theorems.theorem1);
-    Test.make ~name:"thm2-weak-not-self"
-      (stage_unit (fun () -> Stabexp.Theorems.theorem2 ~max_n:5 ~quotient:true ()));
-    Test.make ~name:"thm3-impossibility" (stage_unit Stabexp.Theorems.theorem3);
-    Test.make ~name:"thm4-leader-weak"
-      (stage_unit (fun () -> Stabexp.Theorems.theorem4 ~max_n:5 ~quotient:true ()));
-    Test.make ~name:"thm5-gouda-prob" (stage_unit Stabexp.Theorems.theorem5);
-    Test.make ~name:"thm6-gouda-vs-strong" (stage_unit Stabexp.Theorems.theorem6);
-    Test.make ~name:"thm7-markov-equivalence" (stage_unit Stabexp.Theorems.theorem7);
-    Test.make ~name:"thm8-transformer" (stage_unit Stabexp.Theorems.theorems8_9);
-    Test.make ~name:"e1-token-sweep"
-      (stage_unit (fun () -> Stabexp.Quantitative.e1_token_sweep ~quick:true ()));
-    Test.make ~name:"e2-leader-sweep"
-      (stage_unit (fun () -> Stabexp.Quantitative.e2_leader_sweep ~quick:true ()));
-    Test.make ~name:"e3-transformer-overhead"
-      (stage_unit (fun () -> Stabexp.Quantitative.e3_transformer_overhead ~quick:true ()));
-    Test.make ~name:"e4-scheduler-comparison"
-      (stage_unit (fun () -> Stabexp.Quantitative.e4_scheduler_comparison ~quick:true ()));
-    Test.make ~name:"e5-convergence-radius"
-      (stage_unit (fun () -> Stabexp.Quantitative.e5_convergence_radius ~quick:true ()));
-    Test.make ~name:"e7-convergence-curves"
-      (stage_unit (fun () -> Stabexp.Quantitative.e7_convergence_curves ~quick:true ()));
-    Test.make ~name:"p1-portfolio" (stage_unit Stabexp.Portfolio.classify);
-    Test.make ~name:"p2-taxonomy" (stage_unit Stabexp.Portfolio.taxonomy);
-    Test.make ~name:"e9-sync-orbit-census"
-      (stage_unit (fun () -> Stabexp.Quantitative.e9_sync_orbit_census ~quick:true ()));
-    Test.make ~name:"e8-dijkstra-threshold"
-      (stage_unit (fun () -> Stabexp.Portfolio.dijkstra_k_threshold ~max_n:4 ()));
-    Test.make ~name:"faults-campaign" (stage_unit faults_campaign);
-    (* The dark-telemetry gate: with no sink installed, a span is one
-       atomic load and a branch, and a counter add is dropped before
-       touching domain-local state. Timings here must stay within noise
-       of an empty loop — a regression means instrumentation started
-       taxing the uninstrumented hot path. *)
-    Test.make ~name:"obs-span-disabled"
-      (Staged.stage (fun () -> Obs.span "bench.noop" ignore));
-    Test.make ~name:"obs-counter-disabled"
-      (Staged.stage (fun () -> Obs.Counter.add Obs.configs_expanded 1));
+    ("full-token-ring", ignore_unit (analyze_token_ring ~quotient:false));
+    ("quotient-token-ring", ignore_unit (analyze_token_ring ~quotient:true));
+    ("full-leader-tree", ignore_unit (analyze_leader_tree ~quotient:false));
+    ("quotient-leader-tree", ignore_unit (analyze_leader_tree ~quotient:true));
+    ("fig1-token-trace", ignore_unit (fun () -> Stabexp.Figures.fig1 ()));
+    ("fig2-leader-convergence", ignore_unit Stabexp.Figures.fig2);
+    ("fig3-sync-divergence", ignore_unit Stabexp.Figures.fig3);
+    ("thm1-sync-equivalence", ignore_unit Stabexp.Theorems.theorem1);
+    ( "thm2-weak-not-self",
+      ignore_unit (fun () -> Stabexp.Theorems.theorem2 ~max_n:5 ~quotient:true ()) );
+    ("thm3-impossibility", ignore_unit Stabexp.Theorems.theorem3);
+    ( "thm4-leader-weak",
+      ignore_unit (fun () -> Stabexp.Theorems.theorem4 ~max_n:5 ~quotient:true ()) );
+    ("thm5-gouda-prob", ignore_unit Stabexp.Theorems.theorem5);
+    ("thm6-gouda-vs-strong", ignore_unit Stabexp.Theorems.theorem6);
+    ("thm7-markov-equivalence", ignore_unit Stabexp.Theorems.theorem7);
+    ("thm8-transformer", ignore_unit Stabexp.Theorems.theorems8_9);
+    ( "e1-token-sweep",
+      ignore_unit (fun () -> Stabexp.Quantitative.e1_token_sweep ~quick:true ()) );
+    ( "e2-leader-sweep",
+      ignore_unit (fun () -> Stabexp.Quantitative.e2_leader_sweep ~quick:true ()) );
+    ( "e3-transformer-overhead",
+      ignore_unit (fun () -> Stabexp.Quantitative.e3_transformer_overhead ~quick:true ()) );
+    ( "e4-scheduler-comparison",
+      ignore_unit (fun () -> Stabexp.Quantitative.e4_scheduler_comparison ~quick:true ()) );
+    ( "e5-convergence-radius",
+      ignore_unit (fun () -> Stabexp.Quantitative.e5_convergence_radius ~quick:true ()) );
+    ( "e7-convergence-curves",
+      ignore_unit (fun () -> Stabexp.Quantitative.e7_convergence_curves ~quick:true ()) );
+    ("p1-portfolio", ignore_unit Stabexp.Portfolio.classify);
+    ("p2-taxonomy", ignore_unit Stabexp.Portfolio.taxonomy);
+    ( "e9-sync-orbit-census",
+      ignore_unit (fun () -> Stabexp.Quantitative.e9_sync_orbit_census ~quick:true ()) );
+    ( "e8-dijkstra-threshold",
+      ignore_unit (fun () -> Stabexp.Portfolio.dijkstra_k_threshold ~max_n:4 ()) );
+    ("faults-campaign", ignore_unit faults_campaign);
+    ("obs-span-disabled", fun () -> Obs.span "bench.noop" ignore);
+    ("obs-counter-disabled", fun () -> Obs.Counter.add Obs.configs_expanded 1);
+    ("obs-dist-disabled", fun () -> Dist.record dark_dist 1.0);
   ]
 
-let benchmark () =
-  let instances = Toolkit.Instance.[ monotonic_clock ] in
-  let cfg =
-    Benchmark.cfg ~limit:50 ~quota:(Time.second 0.5) ~kde:None ~stabilize:false ()
-  in
-  let grouped = Test.make_grouped ~name:"repro" tests in
-  let raw = Benchmark.all cfg instances grouped in
-  let ols = Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |] in
-  Analyze.all ols Toolkit.Instance.monotonic_clock raw
+(* --- the sampling harness --- *)
 
-(* Machine-readable timing record (schema 2): run metadata, one entry
-   per artifact, and a per-phase telemetry capture of the reference
-   pipeline, so timing comparisons across revisions can be scripted
-   instead of scraped from the rendered table. *)
-let bench_json_path = "BENCH_checker.json"
+type measured = {
+  summary : Stats.summary;  (* over ns-per-run samples *)
+  p50 : float;
+  p99 : float;
+  total_runs : int;
+  minor_words_per_run : float;
+  major_per_run : float;
+}
+
+(* Each sample is one timed batch; the batch size is calibrated off the
+   warm-up run so a sample covers ~5 ms of work, which keeps clock
+   quantization out of the nanosecond-scale entries without costing the
+   slow entries extra runs. Sampling stops once the quota has elapsed
+   and at least [min_samples] samples exist. *)
+let target_batch_ns = 5_000_000
+
+let measure ~quota_ns ~min_samples f =
+  let t0 = Obs.now_ns () in
+  f ();
+  let once = max 1 (Obs.now_ns () - t0) in
+  let batch = max 1 (target_batch_ns / once) in
+  let samples = ref [] in
+  let nsamples = ref 0 in
+  let total_runs = ref 0 in
+  (* Gc.minor_words reads the allocation pointer (exact in native code,
+     unlike quick_stat's minor_words, which lags until the next minor
+     collection). *)
+  let w0 = Gc.minor_words () in
+  let g0 = Gc.quick_stat () in
+  let started = Obs.now_ns () in
+  let continue () =
+    !nsamples < min_samples || Obs.now_ns () - started < quota_ns
+  in
+  while continue () do
+    let s0 = Obs.now_ns () in
+    for _ = 1 to batch do
+      f ()
+    done;
+    let dur = Obs.now_ns () - s0 in
+    samples := (float_of_int dur /. float_of_int batch) :: !samples;
+    incr nsamples;
+    total_runs := !total_runs + batch
+  done;
+  let w1 = Gc.minor_words () in
+  let g1 = Gc.quick_stat () in
+  let runs = float_of_int !total_runs in
+  let xs = Array.of_list !samples in
+  {
+    summary = Stats.summarize xs;
+    p50 = Stats.quantile xs 0.5;
+    p99 = Stats.quantile xs 0.99;
+    total_runs = !total_runs;
+    minor_words_per_run = (w1 -. w0) /. runs;
+    major_per_run =
+      float_of_int (g1.Gc.major_collections - g0.Gc.major_collections) /. runs;
+  }
+
+let run_benchmarks () =
+  let quota_ns = if !quick then 150_000_000 else 600_000_000 in
+  let min_samples = if !quick then 5 else 8 in
+  List.map
+    (fun (name, f) -> ("repro/" ^ name, measure ~quota_ns ~min_samples f))
+    tests
+  |> List.sort compare
+
+(* --- provenance --- *)
+
+(* Both git probes degrade to the "unknown" / not-dirty fallback when
+   the bench runs outside a repository (a release tarball, a bare
+   container): provenance is best effort, the record is not. *)
+let command_line cmd =
+  match Unix.open_process_in cmd with
+  | exception _ -> None
+  | ic ->
+    let line = try Some (input_line ic) with End_of_file -> None in
+    (match Unix.close_process_in ic with
+    | Unix.WEXITED 0 -> line
+    | _ -> None
+    | exception _ -> None)
 
 let git_commit () =
-  match Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" with
-  | exception _ -> "unknown"
-  | ic ->
-    let line = try input_line ic with End_of_file -> "unknown" in
-    (match Unix.close_process_in ic with Unix.WEXITED 0 -> line | _ -> "unknown")
+  Option.value ~default:"unknown"
+    (command_line "git rev-parse --short HEAD 2>/dev/null")
+
+let git_dirty () =
+  (* porcelain prints one line per changed path; any output means the
+     working tree differs from the stamped commit. *)
+  match command_line "git status --porcelain 2>/dev/null" with
+  | Some line -> String.length line > 0
+  | None -> false
+
+let iso_timestamp () =
+  let t = Unix.gmtime (Unix.gettimeofday ()) in
+  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (t.Unix.tm_year + 1900)
+    (t.Unix.tm_mon + 1) t.Unix.tm_mday t.Unix.tm_hour t.Unix.tm_min t.Unix.tm_sec
+
+(* --- schema v3 emission --- *)
 
 (* One instrumented pass over the reference pipeline (token ring,
    N = 7: exhaustive verdicts, exact hitting times, 200 sampled runs)
-   recorded through the telemetry sinks — the per-phase breakdown that
-   rides along with the OLS timings. *)
+   recorded through the telemetry sinks with GC sampling on — the
+   per-phase time/allocation breakdown and the well-known sample
+   distributions that ride along with the timing entries. *)
 let capture_profile () =
   let profile = Obs.Profile.create () in
   Obs.install (Obs.Profile.sink profile);
+  Obs.set_gc_sampling true;
   Obs.Counter.reset_all ();
-  Fun.protect ~finally:Obs.clear (fun () ->
+  Dist.reset_all ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.set_gc_sampling false;
+      Obs.clear ())
+    (fun () ->
       let n = 7 in
       let p = Stabalgo.Token_ring.make ~n in
       let spec = Stabalgo.Token_ring.spec ~n in
@@ -206,6 +335,8 @@ let capture_profile () =
               ("count", Json.Int r.Obs.Profile.count);
               ("total_ns", Json.Int r.Obs.Profile.total_ns);
               ("max_ns", Json.Int r.Obs.Profile.max_ns);
+              ("minor_words", Json.Int r.Obs.Profile.minor_words);
+              ("major_collections", Json.Int r.Obs.Profile.major_collections);
             ] ))
       (Obs.Profile.rows profile)
   in
@@ -214,69 +345,178 @@ let capture_profile () =
       (fun (name, v) -> if v = 0 then None else Some (name, Json.Int v))
       (Obs.Counter.snapshot ())
   in
-  Json.Obj [ ("phases", Json.Obj phases); ("counters", Json.Obj counters) ]
-
-let emit_json timings =
-  let artifacts =
+  let dists =
     List.map
-      (fun (name, time_ns) ->
+      (fun (name, (s : Dist.summary)) ->
         ( name,
           Json.Obj
             [
-              ( "ns_per_run",
-                if Float.is_nan time_ns then Json.Null else Json.Float time_ns );
+              ("count", Json.Int s.Dist.count);
+              ("mean", Json.Float s.Dist.mean);
+              ("stddev", Json.Float s.Dist.stddev);
+              ("min", Json.Float s.Dist.min);
+              ("max", Json.Float s.Dist.max);
+              ("p50", Json.Float s.Dist.p50);
+              ("p95", Json.Float s.Dist.p95);
+              ("p99", Json.Float s.Dist.p99);
             ] ))
-      timings
+      (Dist.snapshot ())
   in
-  let doc =
+  Json.Obj
+    [
+      ("phases", Json.Obj phases);
+      ("counters", Json.Obj counters);
+      ("dists", Json.Obj dists);
+    ]
+
+let artifact_json (m : measured) =
+  Json.Obj
+    [
+      ( "ns",
+        Json.Obj
+          [
+            ("mean", Json.Float m.summary.Stats.mean);
+            ("stddev", Json.Float m.summary.Stats.stddev);
+            ("ci95", Json.Float (Stats.ci95_halfwidth m.summary));
+            ("p50", Json.Float m.p50);
+            ("p99", Json.Float m.p99);
+            ("samples", Json.Int m.summary.Stats.count);
+            ("runs", Json.Int m.total_runs);
+          ] );
+      ( "mem",
+        Json.Obj
+          [
+            ("minor_words_per_run", Json.Float m.minor_words_per_run);
+            ("major_per_run", Json.Float m.major_per_run);
+          ] );
+    ]
+
+let build_doc measured =
+  let meta =
     Json.Obj
       [
-        ("schema", Json.Int 2);
-        ( "meta",
-          Json.Obj
-            [
-              ("commit", Json.String (git_commit ()));
-              ("ocaml", Json.String Sys.ocaml_version);
-              ("domains", Json.Int (Domain.recommended_domain_count ()));
-            ] );
-        ("artifacts", Json.Obj artifacts);
-        ("profile", capture_profile ());
+        ("commit", Json.String (git_commit ()));
+        ("dirty", Json.Bool (git_dirty ()));
+        ("timestamp", Json.String (iso_timestamp ()));
+        ("ocaml", Json.String Sys.ocaml_version);
+        ("domains", Json.Int (Domain.recommended_domain_count ()));
+        ("quick", Json.Bool !quick);
       ]
   in
-  let oc = open_out bench_json_path in
+  let artifacts = List.map (fun (name, m) -> (name, artifact_json m)) measured in
+  Json.Obj
+    [
+      ("schema", Json.Int 3);
+      ("meta", meta);
+      ("artifacts", Json.Obj artifacts);
+      ("profile", capture_profile ());
+    ]
+
+let write_doc doc =
+  let oc = open_out !json_path in
   output_string oc (Json.to_string ~minify:false doc);
   output_char oc '\n';
   close_out oc;
-  Printf.printf "(wrote per-artifact timings to %s)\n\n%!" bench_json_path
+  Printf.printf "(wrote per-artifact timing distributions to %s)\n%!" !json_path
 
-let print_timings results =
+(* The trajectory log: one compact line per bench run, so regressions
+   can be traced to a commit without diffing committed records. *)
+let append_history doc =
+  if !history_path <> "" then begin
+    let line =
+      Json.Obj
+        (List.filter_map
+           (fun key -> Option.map (fun v -> (key, v)) (Json.member key doc))
+           [ "schema"; "meta"; "artifacts" ])
+    in
+    let oc =
+      open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 !history_path
+    in
+    output_string oc (Json.to_string line);
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "(appended this run to %s)\n\n%!" !history_path
+  end
+
+(* --- rendering --- *)
+
+let pretty_float_ns ns = Obs.pretty_ns (int_of_float ns)
+
+let timing_table measured =
   let table =
     Stabexp.Report.create ~title:"benchmark: time to regenerate each artifact"
-      ~columns:[ "artifact"; "time per run"; "r^2" ]
+      ~columns:[ "artifact"; "mean"; "ci95"; "p50"; "p99"; "minor w/run" ]
   in
-  let rows = ref [] in
-  Hashtbl.iter
-    (fun name ols ->
-      let time_ns =
-        match Analyze.OLS.estimates ols with Some [ t ] -> t | _ -> Float.nan
-      in
-      let pretty =
-        if Float.is_nan time_ns then "n/a"
-        else if time_ns > 1e9 then Printf.sprintf "%.3f s" (time_ns /. 1e9)
-        else if time_ns > 1e6 then Printf.sprintf "%.3f ms" (time_ns /. 1e6)
-        else Printf.sprintf "%.3f us" (time_ns /. 1e3)
-      in
-      let r2 =
-        match Analyze.OLS.r_square ols with
-        | Some r -> Printf.sprintf "%.4f" r
-        | None -> "-"
-      in
-      rows := (name, (time_ns, [ name; pretty; r2 ])) :: !rows)
-    results;
-  let sorted = List.sort compare !rows in
-  List.iter (fun (_, (_, row)) -> Stabexp.Report.add_row table row) sorted;
-  Stabexp.Report.print table;
-  emit_json (List.map (fun (name, (time_ns, _)) -> (name, time_ns)) sorted)
+  List.iter
+    (fun (name, m) ->
+      Stabexp.Report.add_row table
+        [
+          name;
+          pretty_float_ns m.summary.Stats.mean;
+          Printf.sprintf "±%s" (pretty_float_ns (Stats.ci95_halfwidth m.summary));
+          pretty_float_ns m.p50;
+          pretty_float_ns m.p99;
+          Printf.sprintf "%.0f" m.minor_words_per_run;
+        ])
+    measured;
+  table
+
+let write_report measured compare_section =
+  if !report_path <> "" then begin
+    let oc = open_out !report_path in
+    Printf.fprintf oc
+      "# Bench report\n\n\
+       Generated by `bench/main.exe` at %s, commit `%s`%s (quick=%b). Each entry \
+       is a distribution over calibrated-batch samples; `ci95` is the half-width \
+       of the mean's 95%% confidence interval. Regenerate with `dune exec \
+       bench/main.exe` (see docs/observability.md for the schema).\n\n%s\n"
+      (iso_timestamp ()) (git_commit ())
+      (if git_dirty () then " (dirty)" else "")
+      !quick
+      (Stabexp.Report.to_markdown (timing_table measured));
+    (match compare_section with
+    | None -> ()
+    | Some md -> Printf.fprintf oc "\n## Comparison\n\n%s\n" md);
+    close_out oc;
+    Printf.printf "(wrote markdown report to %s)\n\n%!" !report_path
+  end
+
+(* --- the compare gate --- *)
+
+let run_compare doc =
+  if !compare_path = "" then (None, false)
+  else begin
+    match Stabexp.Benchcmp.load !compare_path with
+    | Error e ->
+      Printf.eprintf "bench: cannot load baseline: %s\n%!" e;
+      (None, true)
+    | Ok baseline -> (
+      match Stabexp.Benchcmp.of_json doc with
+      | Error e ->
+        Printf.eprintf "bench: candidate record malformed: %s\n%!" e;
+        (None, true)
+      | Ok candidate ->
+        let deltas =
+          Stabexp.Benchcmp.compare_docs ~gate_pct:!gate_pct ~baseline ~candidate
+        in
+        Stabexp.Report.print (Stabexp.Benchcmp.report deltas);
+        let failures = Stabexp.Benchcmp.gate_failures deltas in
+        let md =
+          Stabexp.Benchcmp.markdown ~gate_pct:!gate_pct ~baseline ~candidate deltas
+        in
+        if failures <> [] then
+          Printf.eprintf
+            "bench: %d significant regression(s) beyond %.0f%%: %s\n%!"
+            (List.length failures) !gate_pct
+            (String.concat ", "
+               (List.map (fun d -> d.Stabexp.Benchcmp.name) failures))
+        else
+          Printf.printf "bench gate: PASS (no significant regression ≥ %.0f%%)\n\n%!"
+            !gate_pct;
+        (Some md, failures <> []))
+  end
+
+(* --- parts 2-4: the reproduced artifacts --- *)
 
 let print_figures () =
   let fig1 = Stabexp.Figures.fig1 () in
@@ -327,15 +567,29 @@ let print_quantitative () =
   print_faults_campaign ()
 
 let () =
-  print_endline "=== Part 1: micro-benchmarks (bechamel, OLS on monotonic clock) ===\n";
-  print_timings (benchmark ());
-  print_endline "=== Part 2: reproduced figures ===\n";
-  print_figures ();
-  print_endline "=== Part 3: theorem verdicts ===\n";
-  let theorems_ok = print_theorems () in
-  print_endline "=== Part 4: quantitative experiments (E1-E4) ===\n";
-  print_quantitative ();
-  if not theorems_ok then begin
-    prerr_endline "bench: some theorem checks FAILED";
-    exit 1
-  end
+  Arg.parse speclist
+    (fun a -> raise (Arg.Bad (Printf.sprintf "unexpected argument %S" a)))
+    usage;
+  print_endline "=== Part 1: micro-benchmarks (calibrated batches, distribution) ===\n";
+  let measured = run_benchmarks () in
+  Stabexp.Report.print (timing_table measured);
+  let doc = build_doc measured in
+  write_doc doc;
+  append_history doc;
+  let compare_md, gate_failed = run_compare doc in
+  write_report measured compare_md;
+  let theorems_ok =
+    if !micro_only then true
+    else begin
+      print_endline "=== Part 2: reproduced figures ===\n";
+      print_figures ();
+      print_endline "=== Part 3: theorem verdicts ===\n";
+      let ok = print_theorems () in
+      print_endline "=== Part 4: quantitative experiments (E1-E4) ===\n";
+      print_quantitative ();
+      ok
+    end
+  in
+  if not theorems_ok then prerr_endline "bench: some theorem checks FAILED";
+  if gate_failed then prerr_endline "bench: perf gate FAILED";
+  if (not theorems_ok) || gate_failed then exit 1

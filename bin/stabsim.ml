@@ -15,20 +15,38 @@ let print_profile profile =
   match Obs.Profile.rows profile with
   | [] -> ()
   | rows ->
-    let table =
-      Stabexp.Report.create ~title:"per-phase timing"
-        ~columns:[ "phase"; "count"; "total"; "mean"; "max" ]
+    (* Allocation columns appear only when GC sampling was on
+       (--gc-stats), so the default table stays narrow. *)
+    let with_gc =
+      List.exists
+        (fun (r : Obs.Profile.row) ->
+          r.Obs.Profile.minor_words > 0 || r.Obs.Profile.major_collections > 0)
+        rows
     in
+    let columns = [ "phase"; "count"; "total"; "mean"; "max" ] in
+    let columns = if with_gc then columns @ [ "minor alloc"; "major gc" ] else columns in
+    let table = Stabexp.Report.create ~title:"per-phase timing" ~columns in
     List.iter
       (fun (r : Obs.Profile.row) ->
-        Stabexp.Report.add_row table
+        let cells =
           [
             r.Obs.Profile.name;
             Stabexp.Report.cell_int r.Obs.Profile.count;
             Obs.pretty_ns r.Obs.Profile.total_ns;
             Obs.pretty_ns (r.Obs.Profile.total_ns / max 1 r.Obs.Profile.count);
             Obs.pretty_ns r.Obs.Profile.max_ns;
-          ])
+          ]
+        in
+        let cells =
+          if with_gc then
+            cells
+            @ [
+                Obs.pretty_words r.Obs.Profile.minor_words;
+                Stabexp.Report.cell_int r.Obs.Profile.major_collections;
+              ]
+          else cells
+        in
+        Stabexp.Report.add_row table cells)
       rows;
     Stabexp.Report.print table;
     Printf.printf "wall clock: %s\n%!" (Obs.pretty_ns (Obs.Profile.wall_ns profile))
@@ -46,12 +64,13 @@ let print_counters () =
 (* Sinks are installed before the subcommand body runs and closed by
    [at_exit Obs.clear], so file-backed sinks flush their trailers even
    when the command errors out. *)
-let setup_obs verbose quiet log_json profile =
+let setup_obs verbose quiet log_json profile gc_stats =
   (match (quiet, List.length verbose) with
   | true, _ -> Obs.set_level Obs.Quiet
   | false, 0 -> ()
   | false, 1 -> Obs.set_level Obs.Info
   | false, _ -> Obs.set_level Obs.Debug);
+  if gc_stats then Obs.set_gc_sampling true;
   at_exit Obs.clear;
   if (not quiet) && verbose <> [] then Obs.install (Obs.stderr_sink ());
   (match log_json with
@@ -85,7 +104,17 @@ let obs_term =
     let doc = "Collect per-phase timings and print profile tables on exit." in
     Arg.(value & flag & info [ "profile" ] ~doc)
   in
-  Term.(const setup_obs $ verbose_arg $ quiet_arg $ log_json_arg $ profile_arg)
+  let gc_stats_arg =
+    let doc =
+      "Sample the GC around every span: spans carry allocation deltas, the \
+       profile table gains allocation columns, and the $(b,gc.minor_words) / \
+       $(b,gc.major_collections) counters tick."
+    in
+    Arg.(value & flag & info [ "gc-stats" ] ~doc)
+  in
+  Term.(
+    const setup_obs $ verbose_arg $ quiet_arg $ log_json_arg $ profile_arg
+    $ gc_stats_arg)
 
 (* --- shared arguments --- *)
 
@@ -903,6 +932,74 @@ let portfolio_cmd =
         "Classify every bundled algorithm under every scheduler class (tables P1, P2, E8).")
     Term.(term_result (const run $ obs_term))
 
+let bench_cmd =
+  let run () baseline candidate gate_pct markdown =
+    wrap (fun () ->
+        let load path =
+          match Stabexp.Benchcmp.load path with
+          | Ok doc -> doc
+          | Error e -> failwith e
+        in
+        let baseline = load baseline in
+        let candidate = load candidate in
+        let deltas = Stabexp.Benchcmp.compare_docs ~gate_pct ~baseline ~candidate in
+        Stabexp.Report.print (Stabexp.Benchcmp.report deltas);
+        (match markdown with
+        | None -> ()
+        | Some path ->
+          let oc = open_out path in
+          output_string oc
+            (Stabexp.Benchcmp.markdown ~gate_pct ~baseline ~candidate deltas);
+          close_out oc);
+        match Stabexp.Benchcmp.gate_failures deltas with
+        | [] -> Printf.printf "gate: PASS (no significant regression >= %.0f%%)\n" gate_pct
+        | failures ->
+          failwith
+            (Printf.sprintf "gate: FAIL — %d significant regression(s): %s"
+               (List.length failures)
+               (String.concat ", "
+                  (List.map (fun d -> d.Stabexp.Benchcmp.name) failures))))
+  in
+  let baseline_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "baseline" ] ~docv:"FILE"
+          ~doc:"Baseline bench record (e.g. the committed BENCH_checker.json).")
+  in
+  let candidate_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "candidate" ] ~docv:"FILE"
+          ~doc:"Candidate bench record (a fresh $(b,bench/main.exe --json) output).")
+  in
+  let gate_pct_arg =
+    Arg.(
+      value
+      & opt float 20.0
+      & info [ "gate-pct" ] ~docv:"P"
+          ~doc:
+            "Fail only on mean slowdowns of at least $(docv) percent that also \
+             exceed the pooled ci95 noise band of the two records.")
+  in
+  let markdown_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "markdown" ] ~docv:"FILE"
+          ~doc:"Also write the delta table as GitHub markdown to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "bench"
+       ~doc:
+         "Compare two bench records and gate on statistically significant \
+          regressions (exit 1 when the gate fails).")
+    Term.(
+      term_result
+        (const run $ obs_term $ baseline_arg $ candidate_arg $ gate_pct_arg
+        $ markdown_arg))
+
 let main =
   let doc = "stabilization laboratory: weak vs. self vs. probabilistic stabilization" in
   let info = Cmd.info "stabsim" ~version:"1.0.0" ~doc in
@@ -920,6 +1017,7 @@ let main =
       orbit_cmd;
       faults_cmd;
       profile_cmd;
+      bench_cmd;
     ]
 
 let () =

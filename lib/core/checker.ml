@@ -56,6 +56,18 @@ let scc_build_count () = !scc_builds
 let succ_lo g c = g.succ_off.(g.grp_off.(c))
 let succ_hi g c = g.succ_off.(g.grp_off.(c + 1))
 
+(* Telemetry shared by both expansion paths: totals as counters plus
+   the per-configuration fan-out distribution. The sweep behind the
+   dist only runs when a sink is installed, so the dark path pays a
+   single branch per graph build. *)
+let record_expansion g =
+  Obs.Counter.add Obs.configs_expanded g.n;
+  Obs.Counter.add Obs.transitions_emitted (Array.length g.succ);
+  if Obs.on () then
+    for c = 0 to g.n - 1 do
+      Stabobs.Dist.record_int Stabobs.Dist.checker_out_degree (succ_hi g c - succ_lo g c)
+    done
+
 (* Growable scratch buffers for the streaming expansion: the group and
    edge counts are unknown until the whole space has been walked, so
    the CSR arrays are accumulated with doubling and trimmed once. *)
@@ -218,8 +230,7 @@ let expand_serial space cls n nproc =
     }
   in
   assert (groups_well_ordered g);
-  Obs.Counter.add Obs.configs_expanded n;
-  Obs.Counter.add Obs.transitions_emitted (Array.length g.succ);
+  record_expansion g;
   g
 
 (* Multi-domain expansion: workers enumerate transition rows for
@@ -284,8 +295,7 @@ let pack n nproc cls rows =
     }
   in
   assert (groups_well_ordered g);
-  Obs.Counter.add Obs.configs_expanded n;
-  Obs.Counter.add Obs.transitions_emitted (Array.length g.succ);
+  record_expansion g;
   g
 
 (* Expansions are cached per (space identity, scheduler class): the

@@ -54,6 +54,7 @@ let run ?(record = true) ?stop_on ?inject ~max_steps rng protocol scheduler ~ini
   let finish cfg steps events stop =
     Stabobs.Obs.Counter.incr Stabobs.Obs.engine_runs;
     Stabobs.Obs.Counter.add Stabobs.Obs.engine_steps steps;
+    Stabobs.Dist.record_int Stabobs.Dist.engine_run_steps steps;
     { trace = { init; events = List.rev events }; final = cfg; steps;
       rounds = tracker.completed; stop; injections = !injections }
   in

@@ -39,6 +39,14 @@ let print t =
   print_newline ();
   print_newline ()
 
+let to_markdown t =
+  let escape cell = String.concat "\\|" (String.split_on_char '|' cell) in
+  let line row = "| " ^ String.concat " | " (List.map escape row) ^ " |" in
+  let rule = "|" ^ String.concat "|" (List.map (fun _ -> "---") t.columns) ^ "|" in
+  String.concat "\n"
+    (("### " ^ t.title) :: "" :: line t.columns :: rule
+    :: List.rev_map line t.rows)
+
 let cell_int = string_of_int
 let cell_float ?(decimals = 3) v = Printf.sprintf "%.*f" decimals v
 let cell_bool b = if b then "yes" else "no"

@@ -18,6 +18,11 @@ val render : t -> string
 val print : t -> unit
 (** [render] to stdout, followed by a blank line. *)
 
+val to_markdown : t -> string
+(** GitHub-flavored markdown: an [###] title heading, a header row and
+    one table row per added row, pipes escaped — pastes cleanly into a
+    PR description. *)
+
 (** {1 Cell formatting helpers} *)
 
 val cell_int : int -> string

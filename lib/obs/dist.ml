@@ -1,0 +1,171 @@
+(* Streaming distributions: Welford moments plus retained samples for
+   exact quantiles, one single-writer cell per (dist, domain) exactly
+   like Obs.Counter. The scalar accumulators live in a floatarray so
+   the lit-path updates store unboxed; the dark path is one atomic
+   load and a branch, shared with the counter/span guard. *)
+
+(* Slots of [scal]: 0 = running mean, 1 = running M2 (sum of squared
+   deviations), per Welford. Min/max/quantiles come from the retained
+   samples at read time. *)
+type cell = {
+  mutable count : int;
+  scal : floatarray;
+  mutable samples : floatarray;
+  mutable len : int;
+}
+
+type t = {
+  dname : string;
+  mu : Mutex.t;
+  cells : cell list ref;
+  key : cell Domain.DLS.key;
+}
+
+let registry_mu = Mutex.create ()
+let registry : t list ref = ref []
+
+let new_cell () =
+  let scal = Float.Array.make 2 0.0 in
+  { count = 0; scal; samples = Float.Array.create 0; len = 0 }
+
+let make dname =
+  let mu = Mutex.create () in
+  let cells = ref [] in
+  let key =
+    Domain.DLS.new_key (fun () ->
+        let cell = new_cell () in
+        Mutex.protect mu (fun () -> cells := cell :: !cells);
+        cell)
+  in
+  let t = { dname; mu; cells; key } in
+  Mutex.protect registry_mu (fun () -> registry := t :: !registry);
+  t
+
+let push cell x =
+  if cell.len = Float.Array.length cell.samples then begin
+    let grown = Float.Array.create (max 16 (2 * cell.len)) in
+    Float.Array.blit cell.samples 0 grown 0 cell.len;
+    cell.samples <- grown
+  end;
+  Float.Array.set cell.samples cell.len x;
+  cell.len <- cell.len + 1
+
+let record t x =
+  if Obs.on () then begin
+    let cell = Domain.DLS.get t.key in
+    let n = cell.count + 1 in
+    cell.count <- n;
+    let mean = Float.Array.get cell.scal 0 in
+    let delta = x -. mean in
+    let mean' = mean +. (delta /. float_of_int n) in
+    Float.Array.set cell.scal 0 mean';
+    Float.Array.set cell.scal 1 (Float.Array.get cell.scal 1 +. (delta *. (x -. mean')));
+    push cell x
+  end
+
+let record_int t k = if Obs.on () then record t (float_of_int k)
+
+let name t = t.dname
+
+let cells_of t = Mutex.protect t.mu (fun () -> !(t.cells))
+
+let count t = List.fold_left (fun acc c -> acc + c.count) 0 (cells_of t)
+
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+}
+
+(* Chan et al.'s pairwise combination of Welford accumulators: exact
+   for the merged stream regardless of how samples were split across
+   domains. *)
+let merge_moments cells =
+  List.fold_left
+    (fun (n, mean, m2) (c : cell) ->
+      if c.count = 0 then (n, mean, m2)
+      else begin
+        let na = float_of_int n and nb = float_of_int c.count in
+        let mb = Float.Array.get c.scal 0 and m2b = Float.Array.get c.scal 1 in
+        let total = na +. nb in
+        let delta = mb -. mean in
+        ( n + c.count,
+          mean +. (delta *. nb /. total),
+          m2 +. m2b +. (delta *. delta *. na *. nb /. total) )
+      end)
+    (0, 0.0, 0.0) cells
+
+let merged_samples cells total =
+  let all = Float.Array.create total in
+  let off = ref 0 in
+  List.iter
+    (fun c ->
+      Float.Array.blit c.samples 0 all !off c.len;
+      off := !off + c.len)
+    cells;
+  Float.Array.sort compare all;
+  all
+
+(* Same interpolation between order statistics as
+   Stabstats.Stats.quantile, so the two agree on shared samples. *)
+let quantile_sorted sorted q =
+  let n = Float.Array.length sorted in
+  let pos = q *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.floor pos) in
+  let hi = int_of_float (Float.ceil pos) in
+  if lo = hi then Float.Array.get sorted lo
+  else begin
+    let frac = pos -. float_of_int lo in
+    (Float.Array.get sorted lo *. (1.0 -. frac)) +. (Float.Array.get sorted hi *. frac)
+  end
+
+let summary t =
+  let cells = cells_of t in
+  let n, mean, m2 = merge_moments cells in
+  if n = 0 then None
+  else begin
+    let sorted = merged_samples cells n in
+    let stddev = if n < 2 then 0.0 else sqrt (m2 /. float_of_int (n - 1)) in
+    Some
+      {
+        count = n;
+        mean;
+        stddev;
+        min = Float.Array.get sorted 0;
+        max = Float.Array.get sorted (n - 1);
+        p50 = quantile_sorted sorted 0.5;
+        p95 = quantile_sorted sorted 0.95;
+        p99 = quantile_sorted sorted 0.99;
+      }
+  end
+
+let quantile t q =
+  if q < 0.0 || q > 1.0 then invalid_arg "Dist.quantile: q out of [0, 1]";
+  let cells = cells_of t in
+  let n = List.fold_left (fun acc (c : cell) -> acc + c.count) 0 cells in
+  if n = 0 then None else Some (quantile_sorted (merged_samples cells n) q)
+
+let all () = List.rev (Mutex.protect registry_mu (fun () -> !registry))
+
+let snapshot () =
+  List.filter_map (fun t -> Option.map (fun s -> (t.dname, s)) (summary t)) (all ())
+
+let reset_all () =
+  List.iter
+    (fun t ->
+      List.iter
+        (fun (c : cell) ->
+          c.count <- 0;
+          c.len <- 0;
+          Float.Array.set c.scal 0 0.0;
+          Float.Array.set c.scal 1 0.0)
+        (cells_of t))
+    (all ())
+
+let engine_run_steps = make "engine.run.steps"
+let checker_out_degree = make "checker.out-degree"

@@ -27,6 +27,13 @@ let would_log l = rank l > 0 && rank l <= Atomic.get current_level
 
 (* --- events and the sink stack --- *)
 
+type gc_delta = {
+  alloc_bytes : int;
+  minor_words : int;
+  minor_collections : int;
+  major_collections : int;
+}
+
 type event =
   | Span_begin of {
       name : string;
@@ -40,6 +47,7 @@ type event =
       dur : int;
       domain : int;
       args : (string * Json.t) list;
+      gc : gc_delta option;
       counters : (string * int) list;
     }
   | Message of { level : level; ts : int; domain : int; text : string }
@@ -131,6 +139,8 @@ let engine_steps = Counter.make "engine_steps"
 let symmetry_orbits = Counter.make "symmetry.orbits"
 let symmetry_canon_hits = Counter.make "symmetry.canon-hit"
 let symmetry_canon_misses = Counter.make "symmetry.canon-miss"
+let gc_minor_words = Counter.make "gc.minor_words"
+let gc_major_collections = Counter.make "gc.major_collections"
 
 (* --- messages --- *)
 
@@ -151,13 +161,60 @@ let debugf fmt = logf Debug fmt
 
 (* --- spans --- *)
 
+(* GC sampling is a global mode on top of the sink guard: spans only
+   pay for the Gc.quick_stat pair when a sink is installed AND the
+   mode is on, so the dark path is untouched and the default lit path
+   stays allocation-light. *)
+let gc_mode = Atomic.make false
+let set_gc_sampling b = Atomic.set gc_mode b
+let gc_sampling () = Atomic.get gc_mode
+
+let word_bytes = Sys.word_size / 8
+
+(* [Gc.quick_stat] only folds the young generation into [minor_words]
+   at a minor collection, so its delta reads 0 across any span that
+   doesn't trigger one; [Gc.minor_words ()] reads the allocation
+   pointer directly and is exact (and noalloc). Pair it with the
+   quick_stat for the collection counts and major-heap words. *)
+type gc_sample = { words : float; stat : Gc.stat }
+
+let gc_sample () = { words = Gc.minor_words (); stat = Gc.quick_stat () }
+
+let gc_delta_of g0 g1 =
+  let minor = int_of_float (g1.words -. g0.words) in
+  let major = int_of_float (g1.stat.Gc.major_words -. g0.stat.Gc.major_words) in
+  let promoted =
+    int_of_float (g1.stat.Gc.promoted_words -. g0.stat.Gc.promoted_words)
+  in
+  {
+    (* total allocation: everything that entered the minor heap plus
+       direct major allocations, minus the doubly-counted promotions *)
+    alloc_bytes = (minor + major - promoted) * word_bytes;
+    minor_words = minor;
+    minor_collections = g1.stat.Gc.minor_collections - g0.stat.Gc.minor_collections;
+    major_collections = g1.stat.Gc.major_collections - g0.stat.Gc.major_collections;
+  }
+
 let span ?(args = []) name f =
   if not (on ()) then f ()
   else begin
     let domain = self_id () in
     let t0 = now_ns () in
     emit (Span_begin { name; ts = t0; domain; args });
+    let g0 = if Atomic.get gc_mode then Some (gc_sample ()) else None in
     Fun.protect f ~finally:(fun () ->
+        (* Deltas are inclusive, like durations: a nested sampled span
+           contributes its allocation to every enclosing span (and the
+           gc.* counters accumulate per-span inclusive deltas). *)
+        let gc =
+          match g0 with
+          | None -> None
+          | Some s0 ->
+            let d = gc_delta_of s0 (gc_sample ()) in
+            Counter.add gc_minor_words d.minor_words;
+            Counter.add gc_major_collections d.major_collections;
+            Some d
+        in
         let t1 = now_ns () in
         emit
           (Span_end
@@ -167,6 +224,7 @@ let span ?(args = []) name f =
                dur = t1 - t0;
                domain;
                args;
+               gc;
                counters = Counter.snapshot ();
              }))
   end
@@ -180,15 +238,26 @@ let pretty_ns ns =
   else if ns < 1_000_000_000 then Printf.sprintf "%.1fms" (f /. 1e6)
   else Printf.sprintf "%.2fs" (f /. 1e9)
 
+let pretty_words w =
+  let f = float_of_int w in
+  if w < 1_000 then Printf.sprintf "%dw" w
+  else if w < 1_000_000 then Printf.sprintf "%.1fkw" (f /. 1e3)
+  else Printf.sprintf "%.1fMw" (f /. 1e6)
+
 (* --- sinks --- *)
 
 let stderr_sink () =
   let mu = Mutex.create () in
   let emit = function
-    | Span_end { name; dur; domain; _ } ->
+    | Span_end { name; dur; domain; gc; _ } ->
+      let mem =
+        match gc with
+        | None -> ""
+        | Some g -> Printf.sprintf ", %s minor" (pretty_words g.minor_words)
+      in
       Mutex.protect mu (fun () ->
-          Printf.eprintf "[obs] %-32s %10s  (domain %d)\n%!" name (pretty_ns dur)
-            domain)
+          Printf.eprintf "[obs] %-32s %10s  (domain %d%s)\n%!" name (pretty_ns dur)
+            domain mem)
     | Span_begin { name; domain; _ } ->
       if rank Debug <= Atomic.get current_level then
         Mutex.protect mu (fun () ->
@@ -202,6 +271,15 @@ let fields_to_json fields = Json.Obj (List.map (fun (k, v) -> (k, v)) fields)
 let counters_to_json counters =
   Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) counters)
 
+let gc_to_json g =
+  Json.Obj
+    [
+      ("alloc_bytes", Json.Int g.alloc_bytes);
+      ("minor_words", Json.Int g.minor_words);
+      ("minor_collections", Json.Int g.minor_collections);
+      ("major_collections", Json.Int g.major_collections);
+    ]
+
 let event_to_json = function
   | Span_begin { name; ts; domain; args } ->
     Json.Obj
@@ -212,7 +290,7 @@ let event_to_json = function
          ("domain", Json.Int domain);
        ]
       @ if args = [] then [] else [ ("args", fields_to_json args) ])
-  | Span_end { name; ts; dur; domain; args; counters } ->
+  | Span_end { name; ts; dur; domain; args; gc; counters } ->
     Json.Obj
       ([
          ("type", Json.String "span_end");
@@ -222,6 +300,7 @@ let event_to_json = function
          ("domain", Json.Int domain);
        ]
       @ (if args = [] then [] else [ ("args", fields_to_json args) ])
+      @ (match gc with None -> [] | Some g -> [ ("gc", gc_to_json g) ])
       @ [ ("counters", counters_to_json counters) ])
   | Message { level; ts; domain; text } ->
     Json.Obj
@@ -263,7 +342,17 @@ let chrome_channel oc =
   let us ns = float_of_int ns /. 1e3 in
   let emit = function
     | Span_begin _ -> () (* complete events carry begin and end at once *)
-    | Span_end { name; ts; dur; domain; args; _ } ->
+    | Span_end { name; ts; dur; domain; args; gc; _ } ->
+      let args =
+        match gc with
+        | None -> args
+        | Some g ->
+          args
+          @ [
+              ("gc.minor_words", Json.Int g.minor_words);
+              ("gc.major_collections", Json.Int g.major_collections);
+            ]
+      in
       put
         (Json.Obj
            ([
@@ -308,7 +397,13 @@ let memory_sink () =
 (* --- per-phase profiling --- *)
 
 module Profile = struct
-  type cell = { mutable count : int; mutable total : int; mutable max : int }
+  type cell = {
+    mutable count : int;
+    mutable total : int;
+    mutable max : int;
+    mutable minor_words : int;
+    mutable major_collections : int;
+  }
 
   type t = {
     mu : Mutex.t;
@@ -327,31 +422,54 @@ module Profile = struct
   let sink t =
     let emit = function
       | Span_begin { ts; _ } -> Mutex.protect t.mu (fun () -> touch t ts)
-      | Span_end { name; ts; dur; _ } ->
+      | Span_end { name; ts; dur; gc; _ } ->
         Mutex.protect t.mu (fun () ->
             touch t ts;
             let cell =
               match Hashtbl.find_opt t.tbl name with
               | Some c -> c
               | None ->
-                let c = { count = 0; total = 0; max = 0 } in
+                let c =
+                  { count = 0; total = 0; max = 0; minor_words = 0;
+                    major_collections = 0 }
+                in
                 Hashtbl.add t.tbl name c;
                 c
             in
             cell.count <- cell.count + 1;
             cell.total <- cell.total + dur;
-            if dur > cell.max then cell.max <- dur)
+            if dur > cell.max then cell.max <- dur;
+            match gc with
+            | None -> ()
+            | Some g ->
+              cell.minor_words <- cell.minor_words + g.minor_words;
+              cell.major_collections <- cell.major_collections + g.major_collections)
       | Message { ts; _ } -> Mutex.protect t.mu (fun () -> touch t ts)
     in
     { emit; close = (fun () -> ()) }
 
-  type row = { name : string; count : int; total_ns : int; max_ns : int }
+  type row = {
+    name : string;
+    count : int;
+    total_ns : int;
+    max_ns : int;
+    minor_words : int;
+    major_collections : int;
+  }
 
   let rows t =
     Mutex.protect t.mu (fun () ->
         Hashtbl.fold
           (fun name (c : cell) acc ->
-            { name; count = c.count; total_ns = c.total; max_ns = c.max } :: acc)
+            {
+              name;
+              count = c.count;
+              total_ns = c.total;
+              max_ns = c.max;
+              minor_words = c.minor_words;
+              major_collections = c.major_collections;
+            }
+            :: acc)
           t.tbl [])
     |> List.sort (fun a b ->
            match compare b.total_ns a.total_ns with

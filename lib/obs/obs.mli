@@ -103,6 +103,14 @@ val symmetry_canon_misses : Counter.t
 (** Canon-cache lookups that found / filled an orbit entry
     ("symmetry.canon-hit" / "symmetry.canon-miss"). *)
 
+val gc_minor_words : Counter.t
+val gc_major_collections : Counter.t
+(** Per-span GC deltas, accumulated at span close when GC sampling is
+    on ("gc.minor_words" / "gc.major_collections"). Inclusive like
+    span durations: a nested sampled span contributes to every
+    enclosing span's delta, so these totals over-count nesting the
+    same way {!Profile} totals do. *)
+
 (** {1 Spans} *)
 
 val span : ?args:(string * Json.t) list -> string -> (unit -> 'a) -> 'a
@@ -110,9 +118,29 @@ val span : ?args:(string * Json.t) list -> string -> (unit -> 'a) -> 'a
     {!Span_end} events carrying monotonic timestamps, the running
     domain, and (at close) a full counter snapshot — so per-Domain
     accumulators are merged at span close. Exceptions still close the
-    span. With no sink installed this is [f ()]. *)
+    span. With no sink installed this is [f ()]. With GC sampling on
+    (see {!set_gc_sampling}) and a sink installed, the end event also
+    carries the span's allocation and collection deltas. *)
+
+val set_gc_sampling : bool -> unit
+(** Off by default. When on, every span brackets its body with a
+    [Gc.quick_stat] pair and reports the deltas ({!gc_delta}) on its
+    end event, bumping {!gc_minor_words} / {!gc_major_collections}.
+    Costs two GC stat reads per span on the lit path only; the dark
+    path (no sink) is unchanged — no stat read, no allocation. *)
+
+val gc_sampling : unit -> bool
 
 (** {1 Events and sinks} *)
+
+type gc_delta = {
+  alloc_bytes : int;
+      (** total bytes allocated during the span (minor + direct major,
+          promotions not double-counted) *)
+  minor_words : int;  (** words allocated in the minor heap *)
+  minor_collections : int;
+  major_collections : int;
+}
 
 type event =
   | Span_begin of {
@@ -127,6 +155,7 @@ type event =
       dur : int;  (** ns *)
       domain : int;
       args : (string * Json.t) list;
+      gc : gc_delta option;  (** present iff GC sampling was on at open *)
       counters : (string * int) list;  (** merged snapshot at close *)
     }
   | Message of { level : level; ts : int; domain : int; text : string }
@@ -185,6 +214,9 @@ module Profile : sig
     count : int;
     total_ns : int;  (** inclusive: nested spans also count in parents *)
     max_ns : int;
+    minor_words : int;
+        (** summed per-span GC deltas; 0 unless GC sampling was on *)
+    major_collections : int;
   }
 
   val rows : t -> row list
@@ -196,3 +228,6 @@ end
 
 val pretty_ns : int -> string
 (** "412ns", "3.2us", "41.7ms", "1.24s". *)
+
+val pretty_words : int -> string
+(** "412w", "3.2kw", "41.7Mw" — GC word counts. *)

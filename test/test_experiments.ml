@@ -30,6 +30,22 @@ let test_report_cells () =
   Alcotest.(check string) "float decimals" "1.5" (Stabexp.Report.cell_float ~decimals:1 1.5);
   Alcotest.(check string) "bool" "yes" (Stabexp.Report.cell_bool true)
 
+let test_report_markdown () =
+  let t = Stabexp.Report.create ~title:"demo" ~columns:[ "a"; "bb" ] in
+  Stabexp.Report.add_row t [ "x"; "has | pipe" ];
+  Stabexp.Report.add_row t [ "second"; "z" ];
+  let md = Stabexp.Report.to_markdown t in
+  (match String.split_on_char '\n' md with
+  | "### demo" :: "" :: header :: rule :: rows ->
+    Alcotest.(check string) "header row" "| a | bb |" header;
+    Alcotest.(check string) "alignment rule" "|---|---|" rule;
+    Alcotest.(check (list string))
+      "data rows in insertion order"
+      [ "| x | has \\| pipe |"; "| second | z |" ]
+      rows
+  | _ -> Alcotest.failf "unexpected markdown shape:\n%s" md);
+  Alcotest.(check bool) "pipes escaped" true (contains ~needle:"\\|" md)
+
 (* --- registry --- *)
 
 let test_registry_topologies () =
@@ -169,6 +185,7 @@ let suite =
     Alcotest.test_case "report rendering" `Quick test_report_rendering;
     Alcotest.test_case "report validation" `Quick test_report_validation;
     Alcotest.test_case "report cells" `Quick test_report_cells;
+    Alcotest.test_case "report markdown" `Quick test_report_markdown;
     Alcotest.test_case "registry topologies" `Quick test_registry_topologies;
     Alcotest.test_case "registry find" `Quick test_registry_find;
     Alcotest.test_case "registry transformed" `Quick test_registry_transformed;

@@ -31,6 +31,7 @@ let () =
       ("resilience", Test_resilience.suite);
       ("structures", Test_structures.suite);
       ("obs", Test_obs.suite);
+      ("benchcmp", Test_benchcmp.suite);
       ("gcp", Test_gcp.suite);
       ("experiments", Test_experiments.suite);
       ("integration", Test_integration.suite);

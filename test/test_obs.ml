@@ -5,6 +5,7 @@
 
 module Obs = Stabobs.Obs
 module Json = Stabobs.Json
+module Dist = Stabobs.Dist
 
 (* Every test leaves the global sink stack empty; telemetry state is
    process-global and the rest of the suite expects it dark. *)
@@ -150,23 +151,34 @@ let test_message_levels () =
   in
   Alcotest.(check (list string)) "only passing levels emit" [ "kept" ] texts
 
+let dark_alloc_dist = Dist.make "test.dark-alloc"
+
 let test_disabled_path_allocates_nothing () =
   Obs.clear ();
-  let body = ignore in
-  (* Warm both paths once so any one-time setup is off the meter. *)
-  Obs.span "warmup" body;
-  Obs.Counter.add Obs.engine_steps 1;
-  let before = Gc.minor_words () in
-  for _ = 1 to 10_000 do
-    Obs.span "dark" body;
-    Obs.Counter.add Obs.engine_steps 1
-  done;
-  let delta = Gc.minor_words () -. before in
-  (* The loop itself must not allocate; leave a few words of slack for
-     the Gc.minor_words probes themselves. *)
-  Alcotest.(check bool)
-    (Printf.sprintf "dark instrumentation allocates nothing (%.0f words)" delta)
-    true (delta < 256.0)
+  (* GC sampling on: the mode flag alone must not light anything up —
+     only a sink does. *)
+  Obs.set_gc_sampling true;
+  Fun.protect ~finally:(fun () -> Obs.set_gc_sampling false) (fun () ->
+      let body = ignore in
+      (* Warm both paths once so any one-time setup is off the meter. *)
+      Obs.span "warmup" body;
+      Obs.Counter.add Obs.engine_steps 1;
+      Dist.record dark_alloc_dist 1.0;
+      Dist.record_int dark_alloc_dist 1;
+      let before = Gc.minor_words () in
+      for _ = 1 to 10_000 do
+        Obs.span "dark" body;
+        Obs.Counter.add Obs.engine_steps 1;
+        Dist.record dark_alloc_dist 1.0;
+        Dist.record_int dark_alloc_dist 1
+      done;
+      let delta = Gc.minor_words () -. before in
+      (* The loop itself must not allocate; leave a few words of slack
+         for the Gc.minor_words probes themselves. *)
+      Alcotest.(check bool)
+        (Printf.sprintf "dark instrumentation allocates nothing (%.0f words)" delta)
+        true (delta < 256.0);
+      Alcotest.(check int) "dark records are dropped" 0 (Dist.count dark_alloc_dist))
 
 let test_profile_aggregates () =
   let p = Obs.Profile.create () in
@@ -184,6 +196,187 @@ let test_profile_aggregates () =
   Alcotest.(check bool) "max <= total" true
     ((row "repeat").Obs.Profile.max_ns <= (row "repeat").Obs.Profile.total_ns);
   Alcotest.(check bool) "wall clock spans the run" true (Obs.Profile.wall_ns p >= 0)
+
+(* --- distribution metrics --- *)
+
+let welford_dist = Dist.make "test.welford"
+let edge_dist_empty = Dist.make "test.edge-empty"
+let edge_dist_single = Dist.make "test.edge-single"
+let edge_dist_const = Dist.make "test.edge-const"
+let merge_dist = Dist.make "test.merge"
+
+let test_dist_matches_stats () =
+  let sink, _ = Obs.memory_sink () in
+  with_sink sink (fun () ->
+      Dist.reset_all ();
+      (* An awkward mix: negatives, duplicates, large spread. *)
+      let xs = [| 3.5; -2.0; 10.0; 3.5; 0.25; 100.0; -2.0; 7.0; 1.0; 42.0 |] in
+      Array.iter (Dist.record welford_dist) xs;
+      let expect = Stabstats.Stats.summarize xs in
+      match Dist.summary welford_dist with
+      | None -> Alcotest.fail "summary after 10 records"
+      | Some s ->
+        Alcotest.(check int) "count" expect.Stabstats.Stats.count s.Dist.count;
+        Alcotest.(check (float 1e-9)) "Welford mean = batch mean"
+          expect.Stabstats.Stats.mean s.Dist.mean;
+        Alcotest.(check (float 1e-9)) "Welford stddev = batch stddev"
+          expect.Stabstats.Stats.stddev s.Dist.stddev;
+        Alcotest.(check (float 0.0)) "min" expect.Stabstats.Stats.min s.Dist.min;
+        Alcotest.(check (float 0.0)) "max" expect.Stabstats.Stats.max s.Dist.max;
+        List.iter
+          (fun q ->
+            Alcotest.(check (option (float 1e-9)))
+              (Printf.sprintf "quantile %.2f matches Stats.quantile" q)
+              (Some (Stabstats.Stats.quantile xs q))
+              (Dist.quantile welford_dist q))
+          [ 0.0; 0.25; 0.5; 0.95; 0.99; 1.0 ]);
+  Dist.reset_all ()
+
+let test_dist_quantile_edges () =
+  let sink, _ = Obs.memory_sink () in
+  with_sink sink (fun () ->
+      Dist.reset_all ();
+      (* Empty: no summary, no quantile. *)
+      Alcotest.(check bool) "empty has no summary" true
+        (Dist.summary edge_dist_empty = None);
+      Alcotest.(check (option (float 0.0))) "empty has no quantile" None
+        (Dist.quantile edge_dist_empty 0.5);
+      Alcotest.(check bool) "empty dist not in snapshot" true
+        (List.assoc_opt "test.edge-empty" (Dist.snapshot ()) = None);
+      (* Singleton: every quantile is the sample, stddev 0. *)
+      Dist.record edge_dist_single 7.5;
+      (match Dist.summary edge_dist_single with
+      | None -> Alcotest.fail "singleton summary"
+      | Some s ->
+        Alcotest.(check (float 0.0)) "singleton p50" 7.5 s.Dist.p50;
+        Alcotest.(check (float 0.0)) "singleton p99" 7.5 s.Dist.p99;
+        Alcotest.(check (float 0.0)) "singleton stddev" 0.0 s.Dist.stddev);
+      (* Constant stream: zero spread, quantiles at the constant. *)
+      for _ = 1 to 100 do
+        Dist.record edge_dist_const 3.0
+      done;
+      match Dist.summary edge_dist_const with
+      | None -> Alcotest.fail "constant summary"
+      | Some s ->
+        Alcotest.(check int) "constant count" 100 s.Dist.count;
+        Alcotest.(check (float 0.0)) "constant stddev" 0.0 s.Dist.stddev;
+        Alcotest.(check (float 0.0)) "constant p95" 3.0 s.Dist.p95);
+  Dist.reset_all ()
+
+let test_dist_merges_across_domains () =
+  let sink, _ = Obs.memory_sink () in
+  with_sink sink (fun () ->
+      Dist.reset_all ();
+      (* Workers record disjoint slices of 1..400; the merged moments
+         and quantiles must equal the single-array reference. *)
+      let worker lo () =
+        for i = lo to lo + 99 do
+          Dist.record_int merge_dist i
+        done
+      in
+      let spawned = List.map (fun lo -> Domain.spawn (worker lo)) [ 101; 201; 301 ] in
+      worker 1 ();
+      List.iter Domain.join spawned;
+      let xs = Array.init 400 (fun i -> float_of_int (i + 1)) in
+      let expect = Stabstats.Stats.summarize xs in
+      match Dist.summary merge_dist with
+      | None -> Alcotest.fail "merged summary"
+      | Some s ->
+        Alcotest.(check int) "all samples merged" 400 s.Dist.count;
+        Alcotest.(check (float 1e-9)) "merged mean" expect.Stabstats.Stats.mean
+          s.Dist.mean;
+        Alcotest.(check (float 1e-9)) "merged stddev (parallel Welford)"
+          expect.Stabstats.Stats.stddev s.Dist.stddev;
+        Alcotest.(check (float 1e-9)) "merged p50"
+          (Stabstats.Stats.quantile xs 0.5)
+          s.Dist.p50);
+  Dist.reset_all ()
+
+(* --- GC observability --- *)
+
+let find_span_end name events =
+  List.find_map
+    (function
+      | Obs.Span_end { name = n; gc; _ } when n = name -> Some gc | _ -> None)
+    events
+
+let test_span_gc_delta () =
+  let sink, events = Obs.memory_sink () in
+  with_sink sink (fun () ->
+      Obs.set_gc_sampling true;
+      Fun.protect ~finally:(fun () -> Obs.set_gc_sampling false) (fun () ->
+          Obs.Counter.reset_all ();
+          Obs.span "alloc" (fun () ->
+              (* ~1.1M minor words of garbage: small blocks, so they
+                 stay under Max_young_wosize and hit the minor heap. *)
+              for _ = 1 to 100_000 do
+                ignore (Sys.opaque_identity (Array.make 10 0.0))
+              done);
+          Obs.span "lean" ignore));
+  (match find_span_end "alloc" (events ()) with
+  | Some (Some g) ->
+    Alcotest.(check bool)
+      (Printf.sprintf "allocating span reports minor words (%d)" g.Obs.minor_words)
+      true
+      (g.Obs.minor_words > 900_000);
+    Alcotest.(check bool) "alloc_bytes positive" true (g.Obs.alloc_bytes > 0)
+  | Some None -> Alcotest.fail "gc sampling on but span carries no delta"
+  | None -> Alcotest.fail "alloc span not captured");
+  (match find_span_end "lean" (events ()) with
+  | Some (Some g) ->
+    Alcotest.(check bool)
+      (Printf.sprintf "lean span reports almost nothing (%d words)" g.Obs.minor_words)
+      true
+      (g.Obs.minor_words < 10_000)
+  | Some None -> Alcotest.fail "gc sampling on but lean span carries no delta"
+  | None -> Alcotest.fail "lean span not captured");
+  Obs.Counter.reset_all ()
+
+let test_span_gc_off_by_default () =
+  let sink, events = Obs.memory_sink () in
+  with_sink sink (fun () ->
+      Obs.span "plain" (fun () -> ignore (Sys.opaque_identity (Array.make 100 0.0))));
+  match find_span_end "plain" (events ()) with
+  | Some None -> ()
+  | Some (Some _) -> Alcotest.fail "span sampled the GC without set_gc_sampling"
+  | None -> Alcotest.fail "plain span not captured"
+
+let test_gc_counters_accumulate () =
+  let sink, _ = Obs.memory_sink () in
+  with_sink sink (fun () ->
+      Obs.set_gc_sampling true;
+      Fun.protect ~finally:(fun () -> Obs.set_gc_sampling false) (fun () ->
+          Obs.Counter.reset_all ();
+          Obs.span "alloc" (fun () ->
+              for _ = 1 to 100_000 do
+                ignore (Sys.opaque_identity (Array.make 10 0.0))
+              done);
+          Alcotest.(check bool)
+            "gc.minor_words counter ticks" true
+            (Obs.Counter.value Obs.gc_minor_words > 900_000)));
+  Obs.Counter.reset_all ()
+
+let test_dist_profile_capture_in_pipeline () =
+  (* The wired-in recorders: running the engine under a sink must
+     populate engine.run.steps with exactly one sample per run. *)
+  let sink, _ = Obs.memory_sink () in
+  with_sink sink (fun () ->
+      Dist.reset_all ();
+      let p = Stabalgo.Token_ring.make ~n:5 in
+      let spec = Stabalgo.Token_ring.spec ~n:5 in
+      ignore
+        (Stabcore.Montecarlo.estimate ~runs:20 ~max_steps:100_000
+           (Stabrng.Rng.create 7) p
+           (Stabcore.Scheduler.central_random ())
+           spec);
+      Alcotest.(check int) "one sample per run" 20 (Dist.count Dist.engine_run_steps);
+      let space = Stabcore.Statespace.build p in
+      ignore (Stabcore.Checker.analyze space Stabcore.Statespace.Central spec);
+      Alcotest.(check int)
+        "one out-degree sample per packed configuration"
+        (Stabcore.Statespace.count space)
+        (Dist.count Dist.checker_out_degree));
+  Dist.reset_all ()
 
 let test_json_parser () =
   let ok s = match Json.of_string s with Ok v -> v | Error e -> Alcotest.failf "%s" e in
@@ -221,5 +414,14 @@ let suite =
     Alcotest.test_case "disabled path allocates nothing" `Quick
       test_disabled_path_allocates_nothing;
     Alcotest.test_case "profile aggregates spans" `Quick test_profile_aggregates;
+    Alcotest.test_case "dist matches batch statistics" `Quick test_dist_matches_stats;
+    Alcotest.test_case "dist quantile edge cases" `Quick test_dist_quantile_edges;
+    Alcotest.test_case "dist merges across domains" `Quick
+      test_dist_merges_across_domains;
+    Alcotest.test_case "span gc delta when sampling" `Quick test_span_gc_delta;
+    Alcotest.test_case "span gc off by default" `Quick test_span_gc_off_by_default;
+    Alcotest.test_case "gc counters accumulate" `Quick test_gc_counters_accumulate;
+    Alcotest.test_case "pipeline dists populate" `Quick
+      test_dist_profile_capture_in_pipeline;
     Alcotest.test_case "json parser" `Quick test_json_parser;
   ]
