@@ -498,6 +498,7 @@ let run_compare doc =
       | Ok candidate ->
         let deltas =
           Stabexp.Benchcmp.compare_docs ~gate_pct:!gate_pct ~baseline ~candidate
+            ()
         in
         Stabexp.Report.print (Stabexp.Benchcmp.report deltas);
         let failures = Stabexp.Benchcmp.gate_failures deltas in

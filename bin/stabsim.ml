@@ -942,7 +942,9 @@ let bench_cmd =
         in
         let baseline = load baseline in
         let candidate = load candidate in
-        let deltas = Stabexp.Benchcmp.compare_docs ~gate_pct ~baseline ~candidate in
+        let deltas =
+          Stabexp.Benchcmp.compare_docs ~gate_pct ~baseline ~candidate ()
+        in
         Stabexp.Report.print (Stabexp.Benchcmp.report deltas);
         (match markdown with
         | None -> ()

@@ -111,12 +111,21 @@ type delta = {
   status : status;
 }
 
-let compare_entries ~gate_pct name (b : entry) (c : entry) =
+(* Nanosecond-scale entries (the dark-path probes) drift by 1-2 ns
+   between processes — code layout, frequency state — which is 30%+ in
+   relative terms while meaning nothing. The absolute floor keeps such
+   drift out of the gate; a real dark-path regression (say, an
+   accidental allocation) costs tens of ns and sails over it. *)
+let default_noise_floor_ns = 5.0
+
+let compare_entries ~gate_pct ~noise_floor_ns name (b : entry) (c : entry) =
   let diff = c.mean_ns -. b.mean_ns in
-  let pooled = Stats.pooled_halfwidth b.ci95_ns c.ci95_ns in
+  let pooled =
+    Float.max (Stats.pooled_halfwidth b.ci95_ns c.ci95_ns) noise_floor_ns
+  in
   let significant =
-    Stats.means_differ ~mean_a:b.mean_ns ~half_a:b.ci95_ns ~mean_b:c.mean_ns
-      ~half_b:c.ci95_ns
+    Stats.means_differ ~mean_a:b.mean_ns ~half_a:pooled ~mean_b:c.mean_ns
+      ~half_b:0.0
   in
   let pct = if b.mean_ns > 0.0 then Some (100.0 *. diff /. b.mean_ns) else None in
   let noise_pct =
@@ -132,12 +141,13 @@ let compare_entries ~gate_pct name (b : entry) (c : entry) =
   in
   { name; base = Some b; cand = Some c; pct; noise_pct; significant; status }
 
-let compare_docs ~gate_pct ~baseline ~candidate =
+let compare_docs ?(noise_floor_ns = default_noise_floor_ns) ~gate_pct ~baseline
+    ~candidate () =
   let in_base =
     List.map
       (fun (name, b) ->
         match List.assoc_opt name candidate.entries with
-        | Some c -> compare_entries ~gate_pct name b c
+        | Some c -> compare_entries ~gate_pct ~noise_floor_ns name b c
         | None ->
           { name; base = Some b; cand = None; pct = None; noise_pct = None;
             significant = false; status = Removed })

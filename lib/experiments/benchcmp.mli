@@ -64,9 +64,23 @@ type delta = {
   status : status;
 }
 
-val compare_docs : gate_pct:float -> baseline:doc -> candidate:doc -> delta list
+val default_noise_floor_ns : float
+(** 5 ns: nanosecond-scale entries drift by 1-2 ns between processes
+    (code layout, CPU frequency state), which is 30%+ in relative
+    terms while meaning nothing; a real dark-path regression costs
+    tens of ns and clears the floor easily. *)
+
+val compare_docs :
+  ?noise_floor_ns:float ->
+  gate_pct:float ->
+  baseline:doc ->
+  candidate:doc ->
+  unit ->
+  delta list
 (** One delta per artifact in either document, baseline order first,
-    candidate-only entries appended. *)
+    candidate-only entries appended. The significance band of each
+    entry is the pooled ci95 half-width or [noise_floor_ns], whichever
+    is larger. *)
 
 val gate_failures : delta list -> delta list
 (** The deltas that should fail CI: status {!Regression}. *)

@@ -85,16 +85,16 @@ let test_parse_legacy_v2 () =
     Alcotest.(check (float 1e-9)) "legacy ci95 is zero" 0.0 e.Benchcmp.ci95_ns
   | es -> Alcotest.failf "expected one entry, got %d" (List.length es)
 
-let statuses ~gate_pct baseline candidate =
-  Benchcmp.compare_docs ~gate_pct ~baseline:(parse baseline)
-    ~candidate:(parse candidate)
+let statuses ?noise_floor_ns ~gate_pct baseline candidate =
+  Benchcmp.compare_docs ?noise_floor_ns ~gate_pct ~baseline:(parse baseline)
+    ~candidate:(parse candidate) ()
   |> List.map (fun d -> (d.Benchcmp.name, d.Benchcmp.status))
 
 let test_identical_docs_pass () =
   let doc = v3_doc [ ("a", 100.0, 5.0); ("b", 2000.0, 40.0) ] in
   let deltas =
     Benchcmp.compare_docs ~gate_pct:20.0 ~baseline:(parse doc)
-      ~candidate:(parse doc)
+      ~candidate:(parse doc) ()
   in
   Alcotest.(check int) "no gate failures" 0
     (List.length (Benchcmp.gate_failures deltas));
@@ -117,7 +117,7 @@ let test_injected_slowdown_gates () =
     (List.assoc "cold" s = Benchcmp.Unchanged);
   let deltas =
     Benchcmp.compare_docs ~gate_pct:20.0 ~baseline:(parse baseline)
-      ~candidate:(parse candidate)
+      ~candidate:(parse candidate) ()
   in
   match Benchcmp.gate_failures deltas with
   | [ d ] ->
@@ -151,6 +151,28 @@ let test_significant_but_small_does_not_gate () =
   Alcotest.(check bool) "gates under a 5% tolerance" true
     (List.assoc "drift" s = Benchcmp.Regression)
 
+let test_absolute_noise_floor () =
+  (* The dark-path probes sit at a handful of ns; 1-2 ns of
+     between-process drift is 30%+ in relative terms yet means
+     nothing. The absolute floor keeps it out of the gate even with
+     implausibly tight ci95 bands... *)
+  let baseline = v3_doc [ ("dark", 3.5, 0.1) ] in
+  let candidate = v3_doc [ ("dark", 5.0, 0.1) ] in
+  let s = statuses ~gate_pct:20.0 baseline candidate in
+  Alcotest.(check bool) "+43% of 3.5ns is below the floor: unchanged" true
+    (List.assoc "dark" s = Benchcmp.Unchanged);
+  (* ... while a real dark-path regression (an accidental allocation
+     costs tens of ns) clears it easily. *)
+  let slow = v3_doc [ ("dark", 50.0, 0.1) ] in
+  let s = statuses ~gate_pct:20.0 baseline slow in
+  Alcotest.(check bool) "3.5ns -> 50ns still gates" true
+    (List.assoc "dark" s = Benchcmp.Regression);
+  (* The floor is a parameter: with it off, the tight bands make the
+     small drift significant again. *)
+  let s = statuses ~noise_floor_ns:0.0 ~gate_pct:20.0 baseline candidate in
+  Alcotest.(check bool) "floor disabled: drift gates" true
+    (List.assoc "dark" s = Benchcmp.Regression)
+
 let test_speedup_and_membership () =
   let baseline = v3_doc [ ("fast", 100.0, 2.0); ("gone", 50.0, 1.0) ] in
   let candidate = v3_doc [ ("fast", 50.0, 2.0); ("fresh", 70.0, 1.0) ] in
@@ -165,7 +187,7 @@ let test_speedup_and_membership () =
     (List.length
        (Benchcmp.gate_failures
           (Benchcmp.compare_docs ~gate_pct:20.0 ~baseline:(parse baseline)
-             ~candidate:(parse candidate))))
+             ~candidate:(parse candidate) ())))
 
 let test_legacy_baseline_degenerates_to_point_compare () =
   (* Gating a v3 candidate against a v2 baseline: both half-widths on
@@ -190,7 +212,7 @@ let test_markdown_rendering () =
   let candidate =
     parse (v3_doc ~commit:"bbbbbbb" ~dirty:true [ ("hot", 200.0, 3.0) ])
   in
-  let deltas = Benchcmp.compare_docs ~gate_pct:20.0 ~baseline ~candidate in
+  let deltas = Benchcmp.compare_docs ~gate_pct:20.0 ~baseline ~candidate () in
   let md = Benchcmp.markdown ~gate_pct:20.0 ~baseline ~candidate deltas in
   let contains needle =
     let n = String.length needle and m = String.length md in
@@ -204,7 +226,7 @@ let test_markdown_rendering () =
   Alcotest.(check bool) "table row present" true (contains "| hot |");
   let passing =
     Benchcmp.markdown ~gate_pct:20.0 ~baseline ~candidate:baseline
-      (Benchcmp.compare_docs ~gate_pct:20.0 ~baseline ~candidate:baseline)
+      (Benchcmp.compare_docs ~gate_pct:20.0 ~baseline ~candidate:baseline ())
   in
   let contains_pass =
     let needle = "**Gate: PASS**" in
@@ -232,6 +254,7 @@ let suite =
       test_noise_inside_band_passes;
     Alcotest.test_case "significant small drift does not gate" `Quick
       test_significant_but_small_does_not_gate;
+    Alcotest.test_case "absolute ns noise floor" `Quick test_absolute_noise_floor;
     Alcotest.test_case "speedups, added and removed entries" `Quick
       test_speedup_and_membership;
     Alcotest.test_case "legacy baseline point compare" `Quick
