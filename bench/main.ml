@@ -144,6 +144,27 @@ let analyze_leader_tree ~quotient () =
   Stabcore.Checker.analyze space Stabcore.Statespace.Distributed
     (Stabalgo.Leader_tree.spec g)
 
+(* The sparse-solver entries time one BSCC-blocked solve of the
+   orbit-lumped token-ring chain at N = 10 (5934 states, 85 blocks) —
+   the weak-stabilizing shape where the iterative sweeps actually
+   iterate. The chain is built once, outside the timed region, by the
+   harness's calibration call forcing the lazy cell. *)
+let sparse_fixture =
+  lazy
+    (let n = 10 in
+     let p = Stabalgo.Token_ring.make ~n in
+     let spec = Stabalgo.Token_ring.spec ~n in
+     let space = Stabcore.Statespace.quotient (Stabcore.Statespace.build p) in
+     let legitimate = Stabcore.Statespace.legitimate_set space spec in
+     let chain = Stabcore.Markov.of_space space Stabcore.Markov.Distributed_uniform in
+     (chain, legitimate))
+
+let markov_sparse kind () =
+  let chain, legitimate = Lazy.force sparse_fixture in
+  match Stabcore.Markov.sparse_hitting_times ~kind chain ~legitimate with
+  | _, Stabcore.Markov.Converged _ -> ()
+  | _, Stabcore.Markov.Max_sweeps _ -> failwith "bench: sparse solve did not converge"
+
 (* The dark-telemetry gate: with no sink installed, a span is one
    atomic load and a branch, a counter add is dropped before touching
    domain-local state, and a dist record is dropped before its Welford
@@ -192,6 +213,8 @@ let tests : (string * (unit -> unit)) list =
     ( "e8-dijkstra-threshold",
       ignore_unit (fun () -> Stabexp.Portfolio.dijkstra_k_threshold ~max_n:4 ()) );
     ("faults-campaign", ignore_unit faults_campaign);
+    ("markov-sparse-gs", markov_sparse Stabcore.Markov.Gauss_seidel);
+    ("markov-sparse-jacobi", markov_sparse Stabcore.Markov.Jacobi);
     ("obs-span-disabled", fun () -> Obs.span "bench.noop" ignore);
     ("obs-counter-disabled", fun () -> Obs.Counter.add Obs.configs_expanded 1);
     ("obs-dist-disabled", fun () -> Dist.record dark_dist 1.0);
@@ -321,6 +344,10 @@ let capture_profile () =
       let legitimate = Stabcore.Statespace.legitimate_set space spec in
       let chain = Stabcore.Markov.of_space space Stabcore.Markov.Distributed_uniform in
       ignore (Stabcore.Markov.expected_hitting_times chain ~legitimate);
+      (* The sparse backend on the same chain, so the recorded profile
+         carries its block spans, sweep counter, and residual
+         distribution alongside the dense solve. *)
+      ignore (Stabcore.Markov.sparse_hitting_times chain ~legitimate);
       ignore
         (Stabcore.Montecarlo.estimate ~runs:200 ~max_steps:1_000_000
            (Stabrng.Rng.create 42) p

@@ -61,6 +61,28 @@ let print_counters () =
       nonzero;
     Stabexp.Report.print table
 
+let print_dists () =
+  match Stabobs.Dist.snapshot () with
+  | [] -> ()
+  | dists ->
+    let table =
+      Stabexp.Report.create ~title:"distributions"
+        ~columns:[ "distribution"; "count"; "mean"; "p50"; "p95"; "max" ]
+    in
+    List.iter
+      (fun (name, (s : Stabobs.Dist.summary)) ->
+        Stabexp.Report.add_row table
+          [
+            name;
+            Stabexp.Report.cell_int s.Stabobs.Dist.count;
+            Printf.sprintf "%.3g" s.Stabobs.Dist.mean;
+            Printf.sprintf "%.3g" s.Stabobs.Dist.p50;
+            Printf.sprintf "%.3g" s.Stabobs.Dist.p95;
+            Printf.sprintf "%.3g" s.Stabobs.Dist.max;
+          ])
+      dists;
+    Stabexp.Report.print table
+
 (* Sinks are installed before the subcommand body runs and closed by
    [at_exit Obs.clear], so file-backed sinks flush their trailers even
    when the command errors out. *)
@@ -81,7 +103,8 @@ let setup_obs verbose quiet log_json profile gc_stats =
     Obs.install (Obs.Profile.sink p);
     at_exit (fun () ->
         print_profile p;
-        print_counters ())
+        print_counters ();
+        print_dists ())
   end
 
 let obs_term =
@@ -200,6 +223,45 @@ let class_scheduler : type a. Stabcore.Statespace.sched_class -> a Stabcore.Sche
 let quick_arg =
   let doc = "Keep experiment instance sizes small (fast); disable for the full sweep." in
   Arg.(value & opt bool true & info [ "quick" ] ~docv:"BOOL" ~doc)
+
+(* Hitting-time solver selection, shared by `markov` and
+   `experiments`. [None] keeps the library's size-based default (dense
+   below 1200 transient states, sparse Gauss-Seidel above). *)
+let solver_term =
+  let solver_arg =
+    let doc =
+      "Hitting-time solver: auto (dense below 1200 transient states, sparse above), \
+       exact (dense Gaussian elimination), gs (BSCC-blocked sparse Gauss-Seidel), \
+       jacobi (BSCC-blocked sparse Jacobi)."
+    in
+    Arg.(
+      value
+      & opt (enum [ ("auto", `Auto); ("exact", `Exact); ("gs", `Gs); ("jacobi", `Jacobi) ]) `Auto
+      & info [ "solver" ] ~docv:"SOLVER" ~doc)
+  in
+  let tol_arg =
+    let doc =
+      "Relative-residual stopping tolerance of the sparse solvers \
+       (ignored by $(b,exact))."
+    in
+    Arg.(value & opt float 1e-10 & info [ "tol" ] ~docv:"TOL" ~doc)
+  in
+  let max_sweeps_arg =
+    let doc = "Sweep budget per strongly connected block of the sparse solvers." in
+    Arg.(value & opt int 1_000_000 & info [ "max-sweeps" ] ~docv:"N" ~doc)
+  in
+  let make solver tolerance max_sweeps =
+    match solver with
+    | `Auto -> None
+    | `Exact -> Some Stabcore.Markov.Exact
+    | `Gs ->
+      Some
+        (Stabcore.Markov.Sparse
+           { kind = Stabcore.Markov.Gauss_seidel; tolerance; max_sweeps })
+    | `Jacobi ->
+      Some (Stabcore.Markov.Sparse { kind = Stabcore.Markov.Jacobi; tolerance; max_sweeps })
+  in
+  Term.(const make $ solver_arg $ tol_arg $ max_sweeps_arg)
 
 let crash_arg =
   let doc = "Crash-fault the listed processes (comma-separated ids)." in
@@ -355,7 +417,7 @@ let check_cmd =
 (* --- markov --- *)
 
 let markov_cmd =
-  let run () protocol topology transformed file r quotient =
+  let run () protocol topology transformed file r quotient method_ =
     wrap (fun () ->
         let (Stabexp.Registry.Entry e) = resolve ~protocol ~topology ~transformed ~file in
         let randomization =
@@ -377,10 +439,31 @@ let markov_cmd =
             (Stabcore.Statespace.count (Stabcore.Statespace.base space));
         (match Stabcore.Markov.converges_with_prob_one chain ~legitimate with
         | Ok () ->
+          let weights = Stabcore.Statespace.orbit_sizes space in
           let stats =
-            Stabcore.Markov.hitting_stats
-              ?weights:(Stabcore.Statespace.orbit_sizes space)
-              chain ~legitimate
+            match method_ with
+            | Some (Stabcore.Markov.Sparse { kind; tolerance; max_sweeps }) ->
+              (* Going through the typed sparse entry point keeps the
+                 solve statistics available for reporting. *)
+              let times, outcome =
+                Stabcore.Markov.sparse_hitting_times ~kind ~tolerance ~max_sweeps chain
+                  ~legitimate
+              in
+              (match outcome with
+              | Stabcore.Markov.Converged s ->
+                Format.printf
+                  "sparse solve: %d blocks, %d sweeps, final relative residual %g@."
+                  s.Stabcore.Markov.blocks s.Stabcore.Markov.sweeps
+                  s.Stabcore.Markov.residual
+              | Stabcore.Markov.Max_sweeps s ->
+                failwith
+                  (Printf.sprintf
+                     "sparse solver did not converge: %d sweeps across %d blocks \
+                      exhausted (tolerance %g); retry with a larger --max-sweeps or \
+                      --solver exact"
+                     s.Stabcore.Markov.sweeps s.Stabcore.Markov.blocks tolerance));
+              Stabcore.Markov.stats_of_times ?weights times
+            | _ -> Stabcore.Markov.hitting_stats ?method_ ?weights chain ~legitimate
           in
           Format.printf
             "%s: converges with probability 1 under %s@.expected stabilization time: \
@@ -419,11 +502,13 @@ let markov_cmd =
     Term.(
       term_result
         (const run $ obs_term $ protocol_arg $ topology_arg $ transformed_arg $ file_arg
-       $ randomization_arg $ quotient_arg))
+       $ randomization_arg $ quotient_arg $ solver_term))
   in
   Cmd.v
     (Cmd.info "markov"
-       ~doc:"Probability-1 convergence and exact expected stabilization times.")
+       ~doc:
+         "Probability-1 convergence and expected stabilization times (dense or sparse \
+          BSCC-blocked solvers).")
     term
 
 (* --- montecarlo --- *)
@@ -803,7 +888,8 @@ let profile_cmd =
         | None -> ());
         Format.printf "montecarlo (%d runs): %a@.@." runs Stabcore.Montecarlo.pp_result mc;
         print_profile profile;
-        print_counters ())
+        print_counters ();
+        print_dists ())
   in
   let protocol_pos_arg =
     let doc =
@@ -889,15 +975,17 @@ let theorems_cmd =
     Term.(term_result (const run $ obs_term $ id_arg))
 
 let experiments_cmd =
-  let run () quick seed =
+  let run () quick seed method_ =
     wrap (fun () ->
-        let _, t1 = Stabexp.Quantitative.e1_token_sweep ~seed ~quick () in
+        let _, t1 = Stabexp.Quantitative.e1_token_sweep ?method_ ~seed ~quick () in
         Stabexp.Report.print t1;
-        let _, t2 = Stabexp.Quantitative.e2_leader_sweep ~seed:(seed + 1) ~quick () in
+        let _, t2 =
+          Stabexp.Quantitative.e2_leader_sweep ?method_ ~seed:(seed + 1) ~quick ()
+        in
         Stabexp.Report.print t2;
-        let _, t3 = Stabexp.Quantitative.e3_transformer_overhead ~quick () in
+        let _, t3 = Stabexp.Quantitative.e3_transformer_overhead ?method_ ~quick () in
         Stabexp.Report.print t3;
-        let _, t4 = Stabexp.Quantitative.e4_scheduler_comparison ~quick () in
+        let _, t4 = Stabexp.Quantitative.e4_scheduler_comparison ?method_ ~quick () in
         Stabexp.Report.print t4;
         Stabexp.Report.print (Stabexp.Quantitative.e5_convergence_radius ~quick ());
         Stabexp.Report.print (Stabexp.Quantitative.e6_steps_vs_rounds ~seed:(seed + 2) ~quick ());
@@ -911,7 +999,7 @@ let experiments_cmd =
   Cmd.v
     (Cmd.info "experiments"
        ~doc:"Run the quantitative experiments E1-E7 (expected stabilization times).")
-    Term.(term_result (const run $ obs_term $ quick_arg $ seed_arg))
+    Term.(term_result (const run $ obs_term $ quick_arg $ seed_arg $ solver_term))
 
 let portfolio_cmd =
   let run () =

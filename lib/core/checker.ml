@@ -378,6 +378,16 @@ let weighted_row g c =
     !out
   end
 
+let iter_weighted_row g c f =
+  let glo = g.grp_off.(c) in
+  let ghi = g.grp_off.(c + 1) in
+  if ghi > glo then begin
+    let subset_weight = 1.0 /. float_of_int (ghi - glo) in
+    for i = succ_lo g c to succ_hi g c - 1 do
+      f g.succ.(i) (g.succ_w.(i) *. subset_weight)
+    done
+  end
+
 type closure_violation =
   | Empty_legitimate_set
   | Escape of { config : int; active : int list; successor : int }

@@ -42,8 +42,15 @@ val weighted_row : graph -> int -> (int * float) list
 (** [weighted_row g c] reads off the Markov row of [c] under the
     uniform randomized daemon of the graph's class: each outcome's
     probability times [1/#groups]. Entries are unmerged, in transition
-    order; terminal configurations give []. Consumed by
-    {!Markov.of_space}. *)
+    order; terminal configurations give []. Consumed by the
+    lumpability audit of {!Markov.of_space}. *)
+
+val iter_weighted_row : graph -> int -> (int -> float -> unit) -> unit
+(** [iter_weighted_row g c f] is [weighted_row] without the list:
+    [f target weight] is called once per packed transition of [c], in
+    transition order, straight off the packed arrays. This is the
+    allocation-free handoff {!Markov.of_space} packs its CSR rows
+    from. *)
 
 type closure_violation =
   | Empty_legitimate_set

@@ -1,6 +1,26 @@
 type randomization = Central_uniform | Distributed_uniform | Sync
 
-type t = { rows : (int * float) list array }
+(* The chain lives in compressed-sparse-row form, packed straight off
+   the checker's flat successor arrays: row [c] occupies
+   [off.(c) .. off.(c + 1) - 1] of [cols]/[w], targets merged and
+   sorted ascending, weights summing to 1. Terminal configurations are
+   stored as probability-1 self-loops, so every row is non-empty and
+   the solvers never special-case absorption. *)
+type t = { n : int; off : int array; cols : int array; w : float array }
+
+let states chain = chain.n
+
+let row chain c =
+  let out = ref [] in
+  for i = chain.off.(c + 1) - 1 downto chain.off.(c) do
+    out := (chain.cols.(i), chain.w.(i)) :: !out
+  done;
+  !out
+
+let iter_row chain c f =
+  for i = chain.off.(c) to chain.off.(c + 1) - 1 do
+    f chain.cols.(i) chain.w.(i)
+  done
 
 let merge_row entries =
   let tbl = Hashtbl.create 16 in
@@ -12,13 +32,76 @@ let merge_row entries =
   Hashtbl.fold (fun c w acc -> (c, w) :: acc) tbl []
   |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
 
+(* Shared CSR packing. [each_row c add] must call [add target weight]
+   once per transition of [c]; duplicates are merged with a stamp
+   array (no per-row hash table), the merged targets are
+   insertion-sorted (rows are short and arrive nearly sorted off the
+   packed graph), and empty rows become absorbing self-loops. *)
+let pack n ~each_row =
+  let off = Array.make (n + 1) 0 in
+  let cap = ref (max 16 (2 * n)) in
+  let cols = ref (Array.make !cap 0) in
+  let wbuf = ref (Array.make !cap 0.0) in
+  let len = ref 0 in
+  let push c w =
+    if !len = !cap then begin
+      cap := 2 * !cap;
+      let cols' = Array.make !cap 0 and wbuf' = Array.make !cap 0.0 in
+      Array.blit !cols 0 cols' 0 !len;
+      Array.blit !wbuf 0 wbuf' 0 !len;
+      cols := cols';
+      wbuf := wbuf'
+    end;
+    !cols.(!len) <- c;
+    !wbuf.(!len) <- w;
+    incr len
+  in
+  let stamp = Array.make n (-1) in
+  let acc = Array.make n 0.0 in
+  let targets = ref (Array.make 16 0) in
+  let ntargets = ref 0 in
+  for c = 0 to n - 1 do
+    ntargets := 0;
+    each_row c (fun c' wgt ->
+        if stamp.(c') = c then acc.(c') <- acc.(c') +. wgt
+        else begin
+          stamp.(c') <- c;
+          acc.(c') <- wgt;
+          if !ntargets = Array.length !targets then begin
+            let grown = Array.make (2 * !ntargets) 0 in
+            Array.blit !targets 0 grown 0 !ntargets;
+            targets := grown
+          end;
+          !targets.(!ntargets) <- c';
+          incr ntargets
+        end);
+    if !ntargets = 0 then push c 1.0 (* terminal: absorbing *)
+    else begin
+      let t = !targets in
+      for i = 1 to !ntargets - 1 do
+        let v = t.(i) in
+        let j = ref (i - 1) in
+        while !j >= 0 && t.(!j) > v do
+          t.(!j + 1) <- t.(!j);
+          decr j
+        done;
+        t.(!j + 1) <- v
+      done;
+      for i = 0 to !ntargets - 1 do
+        push t.(i) acc.(t.(i))
+      done
+    end;
+    off.(c + 1) <- !len
+  done;
+  { n; off; cols = Array.sub !cols 0 !len; w = Array.sub !wbuf 0 !len }
+
 (* Strong-lumpability audit of a quotient chain, enabled by paranoid
    mode: every orbit member of the *full* space must project (through
    rep_of) onto exactly the lumped row its representative got. This is
    the condition making quotient hitting times and absorption
    probabilities equal to the full chain's. Expensive — it expands the
    base space — and therefore gated. *)
-let check_lumpability quotient_rows space base reps rep_of cls =
+let check_lumpability chain space base reps rep_of cls =
   let g = Checker.expand base cls in
   let project entries =
     match entries with
@@ -33,7 +116,7 @@ let check_lumpability quotient_rows space base reps rep_of cls =
          c (Statespace.uid space))
   in
   for c = 0 to Statespace.count base - 1 do
-    let expected = quotient_rows.(rep_of.(c)) in
+    let expected = row chain rep_of.(c) in
     match project (Checker.weighted_row g c) with
     | None ->
       (* Terminal in the base: its representative must be absorbing. *)
@@ -65,74 +148,69 @@ let of_space space randomization =
   in
   let g = Checker.expand space cls in
   let n = Statespace.count space in
-  let rows = Array.make n [] in
-  for c = 0 to n - 1 do
-    match Checker.weighted_row g c with
-    | [] -> rows.(c) <- [ (c, 1.0) ] (* terminal: absorbing *)
-    | entries -> rows.(c) <- merge_row entries
-  done;
+  let chain = pack n ~each_row:(fun c add -> Checker.iter_weighted_row g c add) in
   (if Symmetry.paranoid_enabled () then
      match Statespace.quotient_view space with
      | None -> ()
      | Some (base, reps, rep_of, _) ->
-       check_lumpability rows space base reps rep_of cls);
-  { rows }
+       check_lumpability chain space base reps rep_of cls);
+  chain
 
 let of_rows rows =
   let n = Array.length rows in
-  let check_row i entries =
-    match entries with
-    | [] -> [ (i, 1.0) ]
-    | _ ->
-      let total = List.fold_left (fun acc (_, w) -> acc +. w) 0.0 entries in
-      List.iter
-        (fun (c, w) ->
-          if c < 0 || c >= n then invalid_arg "Markov.of_rows: target out of range";
-          if w <= 0.0 then invalid_arg "Markov.of_rows: non-positive weight")
-        entries;
-      if Float.abs (total -. 1.0) > 1e-9 then
-        invalid_arg "Markov.of_rows: row does not sum to 1";
-      merge_row entries
-  in
-  { rows = Array.mapi check_row rows }
+  Array.iter
+    (fun entries ->
+      match entries with
+      | [] -> ()
+      | _ ->
+        let total = List.fold_left (fun acc (_, w) -> acc +. w) 0.0 entries in
+        List.iter
+          (fun (c, w) ->
+            if c < 0 || c >= n then invalid_arg "Markov.of_rows: target out of range";
+            if w <= 0.0 then invalid_arg "Markov.of_rows: non-positive weight")
+          entries;
+        if Float.abs (total -. 1.0) > 1e-9 then
+          invalid_arg "Markov.of_rows: row does not sum to 1")
+    rows;
+  pack n ~each_row:(fun c add -> List.iter (fun (c', w) -> add c' w) rows.(c))
 
-let states chain = Array.length chain.rows
-let row chain c = chain.rows.(c)
-
-(* Tarjan over the positive-probability graph; a BSCC has no edge
-   leaving it. *)
-let sccs chain =
-  let n = states chain in
+(* Iterative Tarjan over the positive-probability graph restricted to
+   the states [keep] accepts. Components are returned in emission
+   order — every edge out of a component lands inside it, in an
+   earlier component, or outside the kept set — i.e. sinks-first
+   (reverse topological order of the condensation), which is exactly
+   the order in which per-block solves can run. Members come out
+   sorted ascending. *)
+let components ?keep chain =
+  let n = chain.n in
+  let kept = match keep with None -> fun _ -> true | Some mask -> fun c -> mask.(c) in
   let index = Array.make n (-1) in
   let low = Array.make n 0 in
   let on_stack = Array.make n false in
   let scc_stack = Stack.create () in
   let next_index = ref 0 in
   let out = ref [] in
-  let successors c = List.map fst chain.rows.(c) in
   let visit root =
     let work = Stack.create () in
-    Stack.push (root, ref (successors root)) work;
-    index.(root) <- !next_index;
-    low.(root) <- !next_index;
-    incr next_index;
-    Stack.push root scc_stack;
-    on_stack.(root) <- true;
+    let push_node v =
+      index.(v) <- !next_index;
+      low.(v) <- !next_index;
+      incr next_index;
+      Stack.push v scc_stack;
+      on_stack.(v) <- true;
+      Stack.push (v, ref chain.off.(v)) work
+    in
+    push_node root;
     while not (Stack.is_empty work) do
-      let node, remaining = Stack.top work in
-      match !remaining with
-      | next :: rest ->
-        remaining := rest;
-        if index.(next) < 0 then begin
-          index.(next) <- !next_index;
-          low.(next) <- !next_index;
-          incr next_index;
-          Stack.push next scc_stack;
-          on_stack.(next) <- true;
-          Stack.push (next, ref (successors next)) work
-        end
-        else if on_stack.(next) then low.(node) <- min low.(node) index.(next)
-      | [] ->
+      let node, cursor = Stack.top work in
+      if !cursor < chain.off.(node + 1) then begin
+        let next = chain.cols.(!cursor) in
+        incr cursor;
+        if kept next then
+          if index.(next) < 0 then push_node next
+          else if on_stack.(next) then low.(node) <- min low.(node) index.(next)
+      end
+      else begin
         ignore (Stack.pop work);
         if low.(node) = index.(node) then begin
           let rec pop acc =
@@ -140,49 +218,66 @@ let sccs chain =
             on_stack.(v) <- false;
             if v = node then v :: acc else pop (v :: acc)
           in
-          out := pop [] :: !out
+          out := Array.of_list (List.sort Int.compare (pop [])) :: !out
         end;
-        (match Stack.top work with
+        match Stack.top work with
         | parent, _ -> low.(parent) <- min low.(parent) low.(node)
-        | exception Stack.Empty -> ())
+        | exception Stack.Empty -> ()
+      end
     done
   in
   for c = 0 to n - 1 do
-    if index.(c) < 0 then visit c
+    if kept c && index.(c) < 0 then visit c
   done;
-  !out
+  List.rev !out
 
 let bsccs chain =
-  let n = states chain in
-  let component = Array.make n (-1) in
-  let all = sccs chain in
-  List.iteri (fun i members -> List.iter (fun c -> component.(c) <- i) members) all;
+  let comps = components chain in
+  let component = Array.make chain.n (-1) in
+  List.iteri (fun i members -> Array.iter (fun c -> component.(c) <- i) members) comps;
   List.filteri
     (fun i members ->
-      List.for_all
-        (fun c -> List.for_all (fun (c', _) -> component.(c') = i) chain.rows.(c))
+      Array.for_all
+        (fun c ->
+          let inside = ref true in
+          iter_row chain c (fun c' _ -> if component.(c') <> i then inside := false);
+          !inside)
         members)
-    (List.mapi (fun i m -> (i, m)) all |> List.map snd)
-  |> List.map (List.sort Int.compare)
+    comps
+  |> List.map Array.to_list
+
+let transient_blocks chain ~transient = components ~keep:transient chain
 
 let reaches chain ~target =
-  let n = states chain in
-  let rev = Array.make n [] in
-  Array.iteri
-    (fun c row -> List.iter (fun (c', _) -> rev.(c') <- c :: rev.(c')) row)
-    chain.rows;
+  let n = chain.n in
+  (* Counting-sort reverse adjacency over the CSR edges, then BFS. *)
+  let nedges = Array.length chain.cols in
+  let roff = Array.make (n + 1) 0 in
+  Array.iter (fun c' -> roff.(c' + 1) <- roff.(c' + 1) + 1) chain.cols;
+  for i = 0 to n - 1 do
+    roff.(i + 1) <- roff.(i + 1) + roff.(i)
+  done;
+  let rev = Array.make nedges 0 in
+  let cursor = Array.copy roff in
+  for c = 0 to n - 1 do
+    for i = chain.off.(c) to chain.off.(c + 1) - 1 do
+      let c' = chain.cols.(i) in
+      rev.(cursor.(c')) <- c;
+      cursor.(c') <- cursor.(c') + 1
+    done
+  done;
   let ok = Array.copy target in
   let queue = Queue.create () in
   Array.iteri (fun c t -> if t then Queue.add c queue) target;
   while not (Queue.is_empty queue) do
     let c = Queue.pop queue in
-    List.iter
-      (fun pred ->
-        if not ok.(pred) then begin
-          ok.(pred) <- true;
-          Queue.add pred queue
-        end)
-      rev.(c)
+    for i = roff.(c) to roff.(c + 1) - 1 do
+      let pred = rev.(i) in
+      if not ok.(pred) then begin
+        ok.(pred) <- true;
+        Queue.add pred queue
+      end
+    done
   done;
   ok
 
@@ -192,9 +287,146 @@ let converges_with_prob_one chain ~legitimate =
   let rec find c = if c >= n then None else if ok.(c) then find (c + 1) else Some c in
   match find 0 with None -> Ok () | Some c -> Error c
 
+type sparse_kind = Gauss_seidel | Jacobi
+
 type hitting_method =
   | Exact
   | Iterative of { tolerance : float; max_sweeps : int }
+  | Sparse of { kind : sparse_kind; tolerance : float; max_sweeps : int }
+
+type solve_stats = { sweeps : int; residual : float; blocks : int }
+type solve_outcome = Converged of solve_stats | Max_sweeps of solve_stats
+
+(* Blocked substochastic solve of x = base + P x over the [transient]
+   states, in place in [x]; entries outside [transient] are boundary
+   values and never written. The transient subgraph is decomposed into
+   SCCs and solved block by block in reverse topological order, so
+   every out-of-block target read during a block's sweeps is already
+   final — acyclic transient parts (self-stabilizing protocols) reduce
+   to exact back-substitution, and iteration cost concentrates on the
+   recurrent-looking blocks that need it. Each equation is
+   diagonal-solved: x(c) = (base + sum_{c' <> c} w x(c')) / (1 - w_cc),
+   which makes singleton blocks exact in one evaluation. Stops on the
+   relative residual ||x_{k+1} - x_k||_inf / max(1, ||x||_inf) <= tol;
+   a block exceeding [max_sweeps] aborts the remaining blocks and
+   reports [Max_sweeps] with the partial iterate left in [x]. *)
+let solve_transient ~kind ~tolerance ~max_sweeps chain ~transient ~base x =
+  let blocks = transient_blocks chain ~transient in
+  let nblocks = List.length blocks in
+  let x_old = match kind with Jacobi -> Array.make chain.n 0.0 | Gauss_seidel -> [||] in
+  let block_of = Array.make chain.n (-1) in
+  Stabobs.Obs.span "markov.solve.sparse"
+    ~args:[ ("blocks", Stabobs.Json.Int nblocks) ]
+  @@ fun () ->
+  let total_sweeps = ref 0 in
+  let worst = ref 0.0 in
+  let failed = ref false in
+  let value c read_in read_self =
+    (* One diagonal-solved evaluation of state [c]'s equation;
+       [read_in] resolves targets inside the current block. *)
+    let acc = ref base in
+    let self = ref 0.0 in
+    for i = chain.off.(c) to chain.off.(c + 1) - 1 do
+      let c' = chain.cols.(i) in
+      let wv = chain.w.(i) in
+      if c' = c then self := !self +. wv
+      else if block_of.(c') = block_of.(c) then acc := !acc +. (wv *. read_in c')
+      else acc := !acc +. (wv *. x.(c'))
+    done;
+    let d = 1.0 -. !self in
+    if d > 1e-12 then !acc /. d
+    else
+      (* No leak through the diagonal: the plain fixed-point update.
+         A transient state with w_cc = 1 violates the solvability
+         precondition; this keeps the sweep finite so the block times
+         out instead of dividing by zero. *)
+      !acc +. (!self *. read_self c)
+  in
+  let solve_block bid block =
+    let bsize = Array.length block in
+    Array.iter (fun c -> block_of.(c) <- bid) block;
+    if bsize = 1 then begin
+      let c = block.(0) in
+      let d =
+        let self = ref 0.0 in
+        iter_row chain c (fun c' wv -> if c' = c then self := !self +. wv);
+        1.0 -. !self
+      in
+      if d > 1e-12 then x.(c) <- value c (fun c' -> x.(c')) (fun c' -> x.(c'))
+      else failed := true (* absorbing-in-transient: no finite solution *)
+    end
+    else
+      Stabobs.Obs.span "markov.solve.block"
+        ~args:[ ("size", Stabobs.Json.Int bsize) ]
+      @@ fun () ->
+      let sweeps = ref 0 in
+      let residual = ref infinity in
+      let continue = ref true in
+      while !continue do
+        if !sweeps >= max_sweeps then begin
+          failed := true;
+          continue := false
+        end
+        else begin
+          incr sweeps;
+          let delta = ref 0.0 in
+          (* max(1, ||x||_inf) folded into the starting norm. *)
+          let norm = ref 1.0 in
+          (match kind with
+          | Gauss_seidel ->
+            Array.iter
+              (fun c ->
+                let v = value c (fun c' -> x.(c')) (fun c' -> x.(c')) in
+                delta := Float.max !delta (Float.abs (v -. x.(c)));
+                norm := Float.max !norm (Float.abs v);
+                x.(c) <- v)
+              block
+          | Jacobi ->
+            Array.iter (fun c -> x_old.(c) <- x.(c)) block;
+            Array.iter
+              (fun c ->
+                let v = value c (fun c' -> x_old.(c')) (fun c' -> x_old.(c')) in
+                delta := Float.max !delta (Float.abs (v -. x.(c)));
+                norm := Float.max !norm (Float.abs v);
+                x.(c) <- v)
+              block);
+          let rel = !delta /. !norm in
+          residual := rel;
+          Stabobs.Dist.record Stabobs.Dist.markov_solve_residual rel;
+          if rel <= tolerance then continue := false
+        end
+      done;
+      Stabobs.Obs.Counter.add Stabobs.Obs.markov_solve_sweeps !sweeps;
+      total_sweeps := !total_sweeps + !sweeps;
+      worst := Float.max !worst !residual
+  in
+  List.iteri (fun bid block -> if not !failed then solve_block bid block) blocks;
+  let stats = { sweeps = !total_sweeps; residual = !worst; blocks = nblocks } in
+  if !failed then Max_sweeps { stats with residual = infinity } else Converged stats
+
+let sparse_hitting_times ?(kind = Gauss_seidel) ?(tolerance = 1e-10)
+    ?(max_sweeps = 1_000_000) chain ~legitimate =
+  let n = chain.n in
+  let transient = Array.map not legitimate in
+  let x = Array.make n 0.0 in
+  let outcome = solve_transient ~kind ~tolerance ~max_sweeps chain ~transient ~base:1.0 x in
+  (x, outcome)
+
+let sparse_absorption ?(kind = Gauss_seidel) ?(tolerance = 1e-12)
+    ?(max_sweeps = 1_000_000) chain ~legitimate =
+  let n = chain.n in
+  let can_reach = reaches chain ~target:legitimate in
+  let transient = Array.init n (fun c -> can_reach.(c) && not legitimate.(c)) in
+  let x = Array.init n (fun c -> if legitimate.(c) then 1.0 else 0.0) in
+  let outcome = solve_transient ~kind ~tolerance ~max_sweeps chain ~transient ~base:0.0 x in
+  (x, outcome)
+
+let no_convergence fn ~tolerance (stats : solve_stats) =
+  failwith
+    (Printf.sprintf
+       "Markov.%s: no convergence after %d sweeps across %d blocks (relative \
+        residual %g, tolerance %g)"
+       fn stats.sweeps stats.blocks stats.residual tolerance)
 
 let exact_hitting chain ~legitimate ~transient =
   Stabobs.Obs.span "markov.solve.exact" @@ fun () ->
@@ -204,40 +436,13 @@ let exact_hitting chain ~legitimate ~transient =
   let a = Stablinalg.Matrix.identity t_count in
   Array.iteri
     (fun i c ->
-      List.iter
-        (fun (c', w) ->
+      iter_row chain c (fun c' w ->
           if not legitimate.(c') then begin
             let j = pos.(c') in
             Stablinalg.Matrix.set a i j (Stablinalg.Matrix.get a i j -. w)
-          end)
-        chain.rows.(c))
+          end))
     transient;
   Stablinalg.Matrix.solve a (Array.make t_count 1.0)
-
-let iterative_hitting chain ~legitimate ~transient ~tolerance ~max_sweeps =
-  Stabobs.Obs.span "markov.solve.iterative" @@ fun () ->
-  let n = states chain in
-  let h = Array.make n 0.0 in
-  let sweep () =
-    let delta = ref 0.0 in
-    Array.iter
-      (fun c ->
-        let acc = ref 1.0 in
-        List.iter
-          (fun (c', w) -> if not legitimate.(c') then acc := !acc +. (w *. h.(c')))
-          chain.rows.(c);
-        delta := Float.max !delta (Float.abs (!acc -. h.(c)));
-        h.(c) <- !acc)
-      transient;
-    !delta
-  in
-  let rec go sweeps =
-    if sweeps >= max_sweeps then
-      failwith "Markov.expected_hitting_times: iteration did not converge"
-    else if sweep () > tolerance then go (sweeps + 1)
-  in
-  go 0;
-  Array.init n (fun c -> if legitimate.(c) then 0.0 else h.(c))
 
 let expected_hitting_times ?method_ chain ~legitimate =
   (match converges_with_prob_one chain ~legitimate with
@@ -248,8 +453,7 @@ let expected_hitting_times ?method_ chain ~legitimate =
          "Markov.expected_hitting_times: state %d cannot reach the legitimate set" c));
   let n = states chain in
   let transient =
-    Array.of_list
-      (List.filter (fun c -> not legitimate.(c)) (List.init n Fun.id))
+    Array.of_list (List.filter (fun c -> not legitimate.(c)) (List.init n Fun.id))
   in
   if Array.length transient = 0 then Array.make n 0.0
   else begin
@@ -258,7 +462,7 @@ let expected_hitting_times ?method_ chain ~legitimate =
       | Some m -> m
       | None ->
         if Array.length transient <= 1200 then Exact
-        else Iterative { tolerance = 1e-10; max_sweeps = 1_000_000 }
+        else Sparse { kind = Gauss_seidel; tolerance = 1e-10; max_sweeps = 1_000_000 }
     in
     match method_ with
     | Exact ->
@@ -266,48 +470,74 @@ let expected_hitting_times ?method_ chain ~legitimate =
       let out = Array.make n 0.0 in
       Array.iteri (fun i c -> out.(c) <- solved.(i)) transient;
       out
-    | Iterative { tolerance; max_sweeps } ->
-      iterative_hitting chain ~legitimate ~transient ~tolerance ~max_sweeps
+    | Iterative { tolerance; max_sweeps }
+    | Sparse { kind = Gauss_seidel; tolerance; max_sweeps } -> (
+      let times, outcome = sparse_hitting_times ~tolerance ~max_sweeps chain ~legitimate in
+      match outcome with
+      | Converged _ -> times
+      | Max_sweeps stats -> no_convergence "sparse_hitting_times" ~tolerance stats)
+    | Sparse { kind = Jacobi; tolerance; max_sweeps } -> (
+      let times, outcome =
+        sparse_hitting_times ~kind:Jacobi ~tolerance ~max_sweeps chain ~legitimate
+      in
+      match outcome with
+      | Converged _ -> times
+      | Max_sweeps stats -> no_convergence "sparse_hitting_times" ~tolerance stats)
   end
 
-let absorption_probabilities chain ~legitimate =
-  Stabobs.Obs.span "markov.absorption" @@ fun () ->
+(* Dense oracle for absorption: solve (I - Q) p = (one-step mass into
+   L) on the transient states that can reach L; everything else is
+   pinned at 0 (doomed) or 1 (inside L). *)
+let exact_absorption chain ~legitimate =
   let n = states chain in
   let can_reach = reaches chain ~target:legitimate in
-  let p = Array.init n (fun c -> if legitimate.(c) then 1.0 else 0.0) in
-  (* Gauss-Seidel on p(c) = sum_{c'} P(c,c') p(c') for transient states
-     that can reach L; states that cannot stay at 0. Convergence is
-     geometric because every such state leaks mass toward absorbing
-     sets. *)
   let transient =
-    List.filter (fun c -> can_reach.(c) && not legitimate.(c)) (List.init n Fun.id)
+    Array.of_list
+      (List.filter (fun c -> can_reach.(c) && not legitimate.(c)) (List.init n Fun.id))
   in
-  let sweep () =
-    let delta = ref 0.0 in
-    List.iter
-      (fun c ->
-        let acc = ref 0.0 in
-        List.iter (fun (c', w) -> acc := !acc +. (w *. p.(c'))) chain.rows.(c);
-        delta := Float.max !delta (Float.abs (!acc -. p.(c)));
-        p.(c) <- !acc)
+  let p = Array.init n (fun c -> if legitimate.(c) then 1.0 else 0.0) in
+  let t_count = Array.length transient in
+  if t_count = 0 then p
+  else begin
+    Stabobs.Obs.span "markov.solve.exact" @@ fun () ->
+    let pos = Array.make n (-1) in
+    Array.iteri (fun i c -> pos.(c) <- i) transient;
+    let a = Stablinalg.Matrix.identity t_count in
+    let b = Array.make t_count 0.0 in
+    Array.iteri
+      (fun i c ->
+        iter_row chain c (fun c' w ->
+            if legitimate.(c') then b.(i) <- b.(i) +. w
+            else if pos.(c') >= 0 then
+              Stablinalg.Matrix.set a i (pos.(c'))
+                (Stablinalg.Matrix.get a i (pos.(c')) -. w)))
       transient;
-    !delta
+    let solved = Stablinalg.Matrix.solve a b in
+    Array.iteri (fun i c -> p.(c) <- solved.(i)) transient;
+    p
+  end
+
+let absorption_probabilities ?method_ chain ~legitimate =
+  Stabobs.Obs.span "markov.absorption" @@ fun () ->
+  let method_ =
+    Option.value method_
+      ~default:(Sparse { kind = Gauss_seidel; tolerance = 1e-12; max_sweeps = 1_000_000 })
   in
-  let rec go sweeps =
-    if sweeps > 1_000_000 then
-      failwith "Markov.absorption_probabilities: iteration did not converge"
-    else if sweep () > 1e-12 then go (sweeps + 1)
-  in
-  (* Seed the iteration away from the all-zero fixed point: initialize
-     transient states with their one-step mass into L, then iterate. *)
-  List.iter
-    (fun c ->
-      let acc = ref 0.0 in
-      List.iter (fun (c', w) -> if legitimate.(c') then acc := !acc +. w) chain.rows.(c);
-      p.(c) <- !acc)
-    transient;
-  go 0;
-  p
+  match method_ with
+  | Exact -> exact_absorption chain ~legitimate
+  | Iterative { tolerance; max_sweeps }
+  | Sparse { kind = Gauss_seidel; tolerance; max_sweeps } -> (
+    let p, outcome = sparse_absorption ~tolerance ~max_sweeps chain ~legitimate in
+    match outcome with
+    | Converged _ -> p
+    | Max_sweeps stats -> no_convergence "sparse_absorption" ~tolerance stats)
+  | Sparse { kind = Jacobi; tolerance; max_sweeps } -> (
+    let p, outcome =
+      sparse_absorption ~kind:Jacobi ~tolerance ~max_sweeps chain ~legitimate
+    in
+    match outcome with
+    | Converged _ -> p
+    | Max_sweeps stats -> no_convergence "sparse_absorption" ~tolerance stats)
 
 let transient_distribution chain ~init ~steps =
   let n = states chain in
@@ -322,7 +552,7 @@ let transient_distribution chain ~init ~steps =
     Array.iteri
       (fun c mass ->
         if mass > 0.0 then
-          List.iter (fun (c', w) -> next.(c') <- next.(c') +. (mass *. w)) chain.rows.(c))
+          iter_row chain c (fun c' w -> next.(c') <- next.(c') +. (mass *. w)))
       !current;
     current := next
   done;
@@ -335,13 +565,11 @@ let mass_in dist set =
 
 type hitting_stats = { times : float array; mean : float; max : float }
 
-(* One solve for all summary statistics. [weights] are per-state
-   multiplicities (orbit sizes of a lumped chain): the weighted mean
-   over representatives equals the plain mean over the full space,
-   because hitting times are constant on orbits. The max needs no
-   weighting. *)
-let hitting_stats ?method_ ?weights chain ~legitimate =
-  let times = expected_hitting_times ?method_ chain ~legitimate in
+(* [weights] are per-state multiplicities (orbit sizes of a lumped
+   chain): the weighted mean over representatives equals the plain
+   mean over the full space, because hitting times are constant on
+   orbits. The max needs no weighting. *)
+let stats_of_times ?weights times =
   let n = Array.length times in
   let mean =
     match weights with
@@ -359,6 +587,10 @@ let hitting_stats ?method_ ?weights chain ~legitimate =
       !num /. !den
   in
   { times; mean; max = Array.fold_left Float.max 0.0 times }
+
+(* One solve for all summary statistics. *)
+let hitting_stats ?method_ ?weights chain ~legitimate =
+  stats_of_times ?weights (expected_hitting_times ?method_ chain ~legitimate)
 
 let mean_hitting_time chain ~legitimate = (hitting_stats chain ~legitimate).mean
 let max_hitting_time chain ~legitimate = (hitting_stats chain ~legitimate).max

@@ -8,9 +8,16 @@
     iff the chain reaches [L] with probability 1 from every state —
     which, for finite chains, is equivalent to [L] being reachable from
     every state, and to every bottom SCC intersecting [L]. This module
-    implements all three views plus exact and iterative expected
+    implements all three views plus exact and sparse iterative expected
     hitting times (the quantitative study the paper leaves as future
-    work). *)
+    work).
+
+    The chain itself is compressed-sparse-row data packed directly off
+    the checker's flat successor arrays, and the iterative solvers are
+    BSCC-aware: the transient subgraph is decomposed into strongly
+    connected blocks solved in reverse topological order, so acyclic
+    parts cost one back-substitution pass and iteration is confined to
+    the blocks that actually need it. See [docs/markov-solvers.md]. *)
 
 type randomization =
   | Central_uniform
@@ -56,27 +63,90 @@ val converges_with_prob_one : t -> legitimate:bool array -> (unit, int) result
     Definition 2's probabilistic convergence with [I = C]. On failure,
     returns a state from which [L] is unreachable. *)
 
+type sparse_kind =
+  | Gauss_seidel  (** in-place sweeps; typically converges in fewer *)
+  | Jacobi  (** two-buffer sweeps; order-independent within a block *)
+
 type hitting_method =
   | Exact  (** dense Gaussian elimination; O(t^3) in transient count *)
   | Iterative of { tolerance : float; max_sweeps : int }
-      (** Gauss-Seidel sweeps of [h = 1 + Q h] *)
+      (** legacy alias: identical to [Sparse] with [Gauss_seidel] *)
+  | Sparse of { kind : sparse_kind; tolerance : float; max_sweeps : int }
+      (** BSCC-blocked sweeps with relative-residual stopping:
+          [||x_{k+1} - x_k||_inf / max(1, ||x||_inf) <= tolerance],
+          [max_sweeps] per block *)
+
+type solve_stats = {
+  sweeps : int;  (** iterative sweeps over every multi-state block *)
+  residual : float;  (** worst final relative residual over blocks *)
+  blocks : int;  (** strongly connected blocks of the transient part *)
+}
+
+type solve_outcome =
+  | Converged of solve_stats
+  | Max_sweeps of solve_stats
+      (** some block hit its sweep budget (or a transient state had no
+          probability of ever leaving itself); [residual] is
+          [infinity] and the partial iterate is what the accompanying
+          array holds *)
+
+val transient_blocks : t -> transient:bool array -> int array list
+(** Strongly connected components of the chain restricted to
+    [transient], in reverse topological order of the condensation:
+    every positive-probability edge out of a block lands inside it, in
+    an {e earlier} block, or outside [transient]. This is the order the
+    sparse solvers process blocks in. Members are sorted ascending. *)
+
+val sparse_hitting_times :
+  ?kind:sparse_kind ->
+  ?tolerance:float ->
+  ?max_sweeps:int ->
+  t ->
+  legitimate:bool array ->
+  float array * solve_outcome
+(** Expected steps to reach [L] by BSCC-blocked sweeps (defaults:
+    Gauss-Seidel, tolerance [1e-10], [1_000_000] sweeps per block).
+    Returns the typed outcome instead of raising; callers needing the
+    legacy behaviour go through {!expected_hitting_times}. Precondition
+    (not checked here): probability-1 convergence to [L] — without it
+    some block has no finite solution and the solve reports
+    [Max_sweeps]. *)
+
+val sparse_absorption :
+  ?kind:sparse_kind ->
+  ?tolerance:float ->
+  ?max_sweeps:int ->
+  t ->
+  legitimate:bool array ->
+  float array * solve_outcome
+(** Probability of eventually reaching [L], per state, by the same
+    blocked sweeps restricted to states that can reach [L] (default
+    tolerance [1e-12]); states that cannot reach [L] get 0, states
+    inside it 1. Defined for chains that do {e not} converge with
+    probability 1. *)
 
 val expected_hitting_times :
   ?method_:hitting_method -> t -> legitimate:bool array -> float array
 (** Expected number of steps to reach [L], per starting state (0 inside
     [L]). Requires probability-1 convergence; raises [Invalid_argument]
     otherwise. Default method: [Exact] below 1200 transient states,
-    iterative with tolerance 1e-10 above. *)
+    sparse Gauss-Seidel with tolerance 1e-10 above. A sparse solve that
+    exhausts its sweep budget raises [Failure] naming
+    [Markov.sparse_hitting_times] with the sweep count and final
+    relative residual. *)
 
-val absorption_probabilities : t -> legitimate:bool array -> float array
+val absorption_probabilities :
+  ?method_:hitting_method -> t -> legitimate:bool array -> float array
 (** [absorption_probabilities chain ~legitimate] is, per state, the
     probability of eventually reaching [L] (1 inside [L]). Unlike
     {!expected_hitting_times} this is defined for chains that do NOT
     converge with probability 1 — e.g. the raw Algorithm 3 under a
     central randomized daemon, where the answer quantifies how much of
-    the configuration space is doomed. Computed by solving
-    [p = P_restricted p + (one-step mass into L)] with Gauss-Seidel on
-    states from which [L] is reachable; unreachable states get 0. *)
+    the configuration space is doomed. Solves
+    [p = P_restricted p + (one-step mass into L)] on states from which
+    [L] is reachable; unreachable states get 0. Default method: sparse
+    Gauss-Seidel with tolerance 1e-12; [Exact] solves the same
+    restricted system densely (the differential oracle). *)
 
 val transient_distribution : t -> init:float array -> steps:int -> float array
 (** [transient_distribution chain ~init ~steps] pushes the initial
@@ -93,6 +163,12 @@ type hitting_stats = {
   mean : float;  (** average over starting states, weighted if lumped *)
   max : float;  (** worst-case starting state *)
 }
+
+val stats_of_times : ?weights:int array -> float array -> hitting_stats
+(** Summarize an already-solved hitting-time vector — what
+    {!hitting_stats} applies after its solve. Use it with
+    {!sparse_hitting_times} when the typed outcome is wanted alongside
+    the summary. [weights] as in {!hitting_stats}. *)
 
 val hitting_stats :
   ?method_:hitting_method ->

@@ -27,26 +27,50 @@ let table ~title data =
   List.iter (fun d -> Report.add_row t (datum_row d)) data;
   t
 
+(* Mirror of Markov.expected_hitting_times' size-based default, made
+   explicit here so the reported method label states which backend
+   actually solved the system. *)
+let resolve_method method_ legitimate =
+  match method_ with
+  | Some m -> m
+  | None ->
+    let transient =
+      Array.fold_left (fun acc l -> if l then acc else acc + 1) 0 legitimate
+    in
+    if transient <= 1200 then Markov.Exact
+    else
+      Markov.Sparse
+        { kind = Markov.Gauss_seidel; tolerance = 1e-10; max_sweeps = 1_000_000 }
+
+let backend_label = function
+  | Markov.Exact -> "exact"
+  | Markov.Iterative _ | Markov.Sparse { kind = Markov.Gauss_seidel; _ } -> "gs"
+  | Markov.Sparse { kind = Markov.Jacobi; _ } -> "jacobi"
+
 (* Exact mean/worst expected hitting time of a protocol under a
    randomized daemon, averaging over all initial configurations. With
    [quotient:true] the chain is the orbit-lumped one; its orbit sizes
    weight the mean so the numbers agree exactly with the full chain. *)
-let exact_datum ?(quotient = false) ?relabel ~algorithm ~scheduler ~n p spec randomization
-    =
+let exact_datum ?method_ ?(quotient = false) ?relabel ~algorithm ~scheduler ~n p spec
+    randomization =
   let space = Statespace.build p in
   let space = if quotient then Statespace.quotient ?relabel space else space in
   let legitimate = Statespace.legitimate_set space spec in
   let chain = Markov.of_space space randomization in
+  let method_ = resolve_method method_ legitimate in
   let stats =
-    Markov.hitting_stats ?weights:(Statespace.orbit_sizes space) chain ~legitimate
+    Markov.hitting_stats ~method_
+      ?weights:(Statespace.orbit_sizes space)
+      chain ~legitimate
   in
+  let backend = backend_label method_ in
   {
     algorithm;
     scheduler;
     n;
     mean_steps = stats.Markov.mean;
     worst_steps = Some stats.Markov.max;
-    method_ = (if Statespace.is_quotient space then "exact/orbit" else "exact");
+    method_ = (if Statespace.is_quotient space then backend ^ "/orbit" else backend);
   }
 
 (* Sampled via the parallel estimator: the per-run pre-split keeps the
@@ -74,13 +98,13 @@ let mc_datum ~algorithm ~scheduler ~n ~runs ~max_steps rng p spec sched =
       method_ = Printf.sprintf "mc(%d): no convergence" runs;
     }
 
-let e1_token_sweep ?(seed = 42) ?(quick = true) () =
+let e1_token_sweep ?method_ ?(seed = 42) ?(quick = true) () =
   let rng = Stabrng.Rng.create seed in
-  (* The rotation quotient carries the exact sweep to N = 10 (59049
-     configurations, ~5.9k orbits); the differential suite pins its
-     verdicts and hitting stats to the full space on every size where
-     both fit. *)
-  let exact_sizes = if quick then [ 3; 4; 5 ] else [ 3; 4; 5; 6; 7; 8; 9; 10 ] in
+  (* The rotation quotient carries the exact sweep to N = 11 (2048
+     configurations at N = 11, ~5.9k orbits at N = 10); the
+     differential suite pins its verdicts and hitting stats to the full
+     space on every size where both fit. *)
+  let exact_sizes = if quick then [ 3; 4; 5 ] else [ 3; 4; 5; 6; 7; 8; 9; 10; 11 ] in
   let mc_sizes = if quick then [ 8; 12 ] else [ 8; 12; 16; 24; 32 ] in
   let runs = if quick then 300 else 2000 in
   let raw =
@@ -89,12 +113,27 @@ let e1_token_sweep ?(seed = 42) ?(quick = true) () =
         let p = Stabalgo.Token_ring.make ~n in
         let spec = Stabalgo.Token_ring.spec ~n in
         [
-          exact_datum ~quotient:true ~algorithm:"algorithm-1" ~scheduler:"central-random"
-            ~n p spec Markov.Central_uniform;
-          exact_datum ~quotient:true ~algorithm:"algorithm-1"
+          exact_datum ?method_ ~quotient:true ~algorithm:"algorithm-1"
+            ~scheduler:"central-random" ~n p spec Markov.Central_uniform;
+          exact_datum ?method_ ~quotient:true ~algorithm:"algorithm-1"
             ~scheduler:"distributed-random" ~n p spec Markov.Distributed_uniform;
         ])
       exact_sizes
+  in
+  (* Dijkstra's 3-state token circulation carries the exact curve into
+     genuinely sparse territory: at N = 12 the full space has 3^12 =
+     531441 configurations, far past the dense solver's cutoff. The
+     protocol is self-stabilizing under the central daemon, so the
+     transient graph is acyclic and the BSCC-blocked backend finishes
+     in one back-substitution pass. *)
+  let dijkstra3 =
+    List.map
+      (fun n ->
+        let p = Stabalgo.Dijkstra_three.make ~n in
+        let spec = Stabalgo.Dijkstra_three.spec ~n in
+        exact_datum ?method_ ~algorithm:"dijkstra-3state" ~scheduler:"central-random" ~n
+          p spec Markov.Central_uniform)
+      (if quick then [ 4; 5 ] else [ 6; 8; 10; 12 ])
   in
   let raw_mc =
     List.map
@@ -111,8 +150,8 @@ let e1_token_sweep ?(seed = 42) ?(quick = true) () =
       (fun n ->
         let p = Transformer.randomize (Stabalgo.Token_ring.make ~n) in
         let spec = Transformer.lift_spec (Stabalgo.Token_ring.spec ~n) in
-        exact_datum ~algorithm:"trans(algorithm-1)" ~scheduler:"central-random" ~n p spec
-          Markov.Central_uniform)
+        exact_datum ?method_ ~algorithm:"trans(algorithm-1)" ~scheduler:"central-random"
+          ~n p spec Markov.Central_uniform)
       (if quick then [ 3; 4 ] else [ 3; 4; 5 ])
   in
   let herman =
@@ -120,7 +159,8 @@ let e1_token_sweep ?(seed = 42) ?(quick = true) () =
       (fun n ->
         let p = Stabalgo.Herman.make ~n in
         let spec = Stabalgo.Herman.spec ~n in
-        exact_datum ~algorithm:"herman" ~scheduler:"synchronous" ~n p spec Markov.Sync)
+        exact_datum ?method_ ~algorithm:"herman" ~scheduler:"synchronous" ~n p spec
+          Markov.Sync)
       (if quick then [ 3; 5; 7 ] else [ 3; 5; 7; 9; 11 ])
   in
   let ij =
@@ -129,7 +169,8 @@ let e1_token_sweep ?(seed = 42) ?(quick = true) () =
         let chain = Stabalgo.Israeli_jalfon.chain ~n ~central:true in
         let legitimate = Stabalgo.Israeli_jalfon.legitimate ~n in
         legitimate.(0) <- true (* unreachable empty mask *);
-        let times = Markov.expected_hitting_times chain ~legitimate in
+        let resolved = resolve_method method_ legitimate in
+        let times = Markov.expected_hitting_times ~method_:resolved chain ~legitimate in
         (* Average over non-empty masks only. *)
         let total = ref 0.0 and count = ref 0 in
         Array.iteri
@@ -145,14 +186,14 @@ let e1_token_sweep ?(seed = 42) ?(quick = true) () =
           n;
           mean_steps = !total /. float_of_int !count;
           worst_steps = Some (Array.fold_left Float.max 0.0 times);
-          method_ = "exact";
+          method_ = backend_label resolved;
         })
       (if quick then [ 4; 6; 8 ] else [ 4; 6; 8; 10; 12 ])
   in
-  let data = raw @ raw_mc @ transformed @ herman @ ij in
+  let data = raw @ dijkstra3 @ raw_mc @ transformed @ herman @ ij in
   (data, table ~title:"E1: expected stabilization time, token-circulation family" data)
 
-let e2_leader_sweep ?(seed = 43) ?(quick = true) () =
+let e2_leader_sweep ?method_ ?(seed = 43) ?(quick = true) () =
   let rng = Stabrng.Rng.create seed in
   (* The faster delta-based expansion carries the exhaustive tree sweep
      past 7 nodes (all 23 free trees on 8 nodes). Algorithm 2's
@@ -168,7 +209,7 @@ let e2_leader_sweep ?(seed = 43) ?(quick = true) () =
       (fun (n, g) ->
         let p = Stabalgo.Leader_tree.make g in
         let spec = Stabalgo.Leader_tree.spec g in
-        exact_datum ~algorithm:"algorithm-2" ~scheduler:"central-random" ~n p spec
+        exact_datum ?method_ ~algorithm:"algorithm-2" ~scheduler:"central-random" ~n p spec
           Markov.Central_uniform)
       exact_trees
   in
@@ -188,7 +229,7 @@ let e2_leader_sweep ?(seed = 43) ?(quick = true) () =
   let data = exact @ mc in
   (data, table ~title:"E2: expected stabilization time, Algorithm 2 on trees" data)
 
-let e3_transformer_overhead ?(quick = true) () =
+let e3_transformer_overhead ?method_ ?(quick = true) () =
   let sizes = if quick then [ 3; 4 ] else [ 3; 4; 5 ] in
   let biases = [ 0.25; 0.5; 0.75 ] in
   let data =
@@ -197,7 +238,7 @@ let e3_transformer_overhead ?(quick = true) () =
         let p = Stabalgo.Token_ring.make ~n in
         let spec = Stabalgo.Token_ring.spec ~n in
         let base =
-          exact_datum ~algorithm:"algorithm-1" ~scheduler:"central-random" ~n p spec
+          exact_datum ?method_ ~algorithm:"algorithm-1" ~scheduler:"central-random" ~n p spec
             Markov.Central_uniform
         in
         base
@@ -206,7 +247,7 @@ let e3_transformer_overhead ?(quick = true) () =
                let tp = Transformer.randomize ~coin_bias:bias p in
                let tspec = Transformer.lift_spec spec in
                let d =
-                 exact_datum
+                 exact_datum ?method_
                    ~algorithm:(Printf.sprintf "trans(algorithm-1,bias=%.2f)" bias)
                    ~scheduler:"central-random" ~n tp tspec Markov.Central_uniform
                in
@@ -216,7 +257,7 @@ let e3_transformer_overhead ?(quick = true) () =
   in
   (data, table ~title:"E3: transformer overhead (coin-bias ablation)" data)
 
-let e4_scheduler_comparison ?(quick = true) () =
+let e4_scheduler_comparison ?method_ ?(quick = true) () =
   let n = if quick then 4 else 5 in
   let p = Stabalgo.Token_ring.make ~n in
   let spec = Stabalgo.Token_ring.spec ~n in
@@ -229,21 +270,21 @@ let e4_scheduler_comparison ?(quick = true) () =
   let tlspec = Transformer.lift_spec lspec in
   let data =
     [
-      exact_datum ~algorithm:"algorithm-1" ~scheduler:"central-random" ~n p spec
+      exact_datum ?method_ ~algorithm:"algorithm-1" ~scheduler:"central-random" ~n p spec
         Markov.Central_uniform;
-      exact_datum ~algorithm:"algorithm-1" ~scheduler:"distributed-random" ~n p spec
+      exact_datum ?method_ ~algorithm:"algorithm-1" ~scheduler:"distributed-random" ~n p spec
         Markov.Distributed_uniform;
-      exact_datum ~algorithm:"trans(algorithm-1)" ~scheduler:"central-random" ~n tp tspec
+      exact_datum ?method_ ~algorithm:"trans(algorithm-1)" ~scheduler:"central-random" ~n tp tspec
         Markov.Central_uniform;
-      exact_datum ~algorithm:"trans(algorithm-1)" ~scheduler:"distributed-random" ~n tp
+      exact_datum ?method_ ~algorithm:"trans(algorithm-1)" ~scheduler:"distributed-random" ~n tp
         tspec Markov.Distributed_uniform;
-      exact_datum ~algorithm:"trans(algorithm-1)" ~scheduler:"synchronous" ~n tp tspec
+      exact_datum ?method_ ~algorithm:"trans(algorithm-1)" ~scheduler:"synchronous" ~n tp tspec
         Markov.Sync;
-      exact_datum ~algorithm:"algorithm-2 (chain-4)" ~scheduler:"central-random" ~n:4 lp
+      exact_datum ?method_ ~algorithm:"algorithm-2 (chain-4)" ~scheduler:"central-random" ~n:4 lp
         lspec Markov.Central_uniform;
-      exact_datum ~algorithm:"algorithm-2 (chain-4)" ~scheduler:"distributed-random" ~n:4
+      exact_datum ?method_ ~algorithm:"algorithm-2 (chain-4)" ~scheduler:"distributed-random" ~n:4
         lp lspec Markov.Distributed_uniform;
-      exact_datum ~algorithm:"trans(algorithm-2)" ~scheduler:"synchronous" ~n:4 tlp tlspec
+      exact_datum ?method_ ~algorithm:"trans(algorithm-2)" ~scheduler:"synchronous" ~n:4 tlp tlspec
         Markov.Sync;
     ]
   in

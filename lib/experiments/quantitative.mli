@@ -14,25 +14,49 @@ type datum = {
   n : int;
   mean_steps : float;
   worst_steps : float option;  (** worst initial configuration; exact runs only *)
-  method_ : string;  (** "exact" or "mc(<runs>)" *)
+  method_ : string;
+      (** which backend produced the row: "exact", "gs", "jacobi"
+          (suffixed "/orbit" on a lumped chain), or "mc(<runs>)" *)
 }
 
-val e1_token_sweep : ?seed:int -> ?quick:bool -> unit -> datum list * Report.t
+val e1_token_sweep :
+  ?method_:Stabcore.Markov.hitting_method ->
+  ?seed:int ->
+  ?quick:bool ->
+  unit ->
+  datum list * Report.t
 (** Token-circulation family: Algorithm 1 (central and distributed
-    randomized daemons), transformed Algorithm 1, Herman, and
-    Israeli-Jalfon, swept over ring sizes. [quick] (default true) keeps
-    instances small for CI; [quick:false] extends the sweep. *)
+    randomized daemons), Dijkstra's 3-state protocol, transformed
+    Algorithm 1, Herman, and Israeli-Jalfon, swept over ring sizes.
+    [quick] (default true) keeps instances small for CI; [quick:false]
+    extends the sweep (dijkstra-3state reaches N = 12, 531441
+    configurations, through the sparse backend). [method_] forces a
+    solver for every exact row; default: the library's size-based
+    auto-selection. *)
 
-val e2_leader_sweep : ?seed:int -> ?quick:bool -> unit -> datum list * Report.t
+val e2_leader_sweep :
+  ?method_:Stabcore.Markov.hitting_method ->
+  ?seed:int ->
+  ?quick:bool ->
+  unit ->
+  datum list * Report.t
 (** Algorithm 2 on chains and random trees, exact for small trees and
     Monte-Carlo beyond. *)
 
-val e3_transformer_overhead : ?quick:bool -> unit -> datum list * Report.t
+val e3_transformer_overhead :
+  ?method_:Stabcore.Markov.hitting_method ->
+  ?quick:bool ->
+  unit ->
+  datum list * Report.t
 (** Slowdown factor of the Section 4 transformation, including a
     coin-bias ablation: mean stabilization time of Trans(Algorithm 1)
     relative to the raw protocol under the central randomized daemon. *)
 
-val e4_scheduler_comparison : ?quick:bool -> unit -> datum list * Report.t
+val e4_scheduler_comparison :
+  ?method_:Stabcore.Markov.hitting_method ->
+  ?quick:bool ->
+  unit ->
+  datum list * Report.t
 (** The same protocol under different daemons: how much scheduling
     randomness helps or hurts, including the synchronous daemon for
     transformed systems (raw deterministic protocols may oscillate

@@ -87,8 +87,20 @@ let solve_in_place a b =
     for r = col + 1 to n - 1 do
       if Float.abs (get a r col) > Float.abs (get a !pivot_row col) then pivot_row := r
     done;
-    if Float.abs (get a !pivot_row col) < pivot_tolerance then
-      failwith "Matrix.solve: singular system";
+    (* The pivot threshold scales with the column's largest |entry|
+       (over all rows, eliminated ones included), so a well-conditioned
+       system expressed in tiny units is not misdiagnosed as singular,
+       while a column eliminated down to round-off residue fails at any
+       scale. *)
+    let pivot_abs = Float.abs (get a !pivot_row col) in
+    let col_scale = ref pivot_abs in
+    for r = 0 to n - 1 do
+      col_scale := Float.max !col_scale (Float.abs (get a r col))
+    done;
+    if !col_scale = 0.0 || pivot_abs < pivot_tolerance *. !col_scale then
+      failwith
+        (Printf.sprintf "Matrix.solve: singular system (column %d, pivot %g)" col
+           pivot_abs);
     swap_rows a col !pivot_row;
     swap_rows b col !pivot_row;
     let pivot = get a col col in

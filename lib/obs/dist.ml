@@ -108,7 +108,7 @@ let merged_samples cells total =
       Float.Array.blit c.samples 0 all !off c.len;
       off := !off + c.len)
     cells;
-  Float.Array.sort compare all;
+  Float.Array.sort Float.compare all;
   all
 
 (* Same interpolation between order statistics as
@@ -169,3 +169,4 @@ let reset_all () =
 
 let engine_run_steps = make "engine.run.steps"
 let checker_out_degree = make "checker.out-degree"
+let markov_solve_residual = make "markov.solve.residual"

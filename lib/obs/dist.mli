@@ -78,3 +78,8 @@ val checker_out_degree : t
 (** Successor count per configuration packed by {!Checker}
     ("checker.out-degree") — the transition fan-out distribution of
     the most recent expansions. *)
+
+val markov_solve_residual : t
+(** Relative residual after each sweep of the sparse Markov solvers
+    ("markov.solve.residual") — how fast the Gauss-Seidel/Jacobi
+    iterations are contracting, across every solved block. *)

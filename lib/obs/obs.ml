@@ -141,6 +141,7 @@ let symmetry_canon_hits = Counter.make "symmetry.canon-hit"
 let symmetry_canon_misses = Counter.make "symmetry.canon-miss"
 let gc_minor_words = Counter.make "gc.minor_words"
 let gc_major_collections = Counter.make "gc.major_collections"
+let markov_solve_sweeps = Counter.make "markov.solve.sweeps"
 
 (* --- messages --- *)
 

@@ -111,6 +111,11 @@ val gc_major_collections : Counter.t
     enclosing span's delta, so these totals over-count nesting the
     same way {!Profile} totals do. *)
 
+val markov_solve_sweeps : Counter.t
+(** Iterative sweeps performed by the sparse Markov solvers
+    ("markov.solve.sweeps"), accumulated per solved block; exact
+    singleton-block back-substitutions do not count. *)
+
 (** {1 Spans} *)
 
 val span : ?args:(string * Json.t) list -> string -> (unit -> 'a) -> 'a

@@ -47,7 +47,10 @@ let quantile xs q =
   if Array.length xs = 0 then invalid_arg "Stats.quantile: empty";
   if q < 0.0 || q > 1.0 then invalid_arg "Stats.quantile: q out of [0, 1]";
   let sorted = Array.copy xs in
-  Array.sort compare sorted;
+  Array.sort Float.compare sorted;
+  (* Float.compare is a total order that places nan first; one check on
+     the head rejects it everywhere. *)
+  if Float.is_nan sorted.(0) then invalid_arg "Stats.quantile: nan sample";
   let n = Array.length sorted in
   let pos = q *. float_of_int (n - 1) in
   let lo = int_of_float (Float.floor pos) in

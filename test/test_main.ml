@@ -16,6 +16,7 @@ let () =
       ("differential", Test_differential.suite);
       ("symmetry", Test_symmetry.suite);
       ("markov", Test_markov.suite);
+      ("markov-solvers", Test_markov_solvers.suite);
       ("transformer", Test_transformer.suite);
       ("fairness", Test_fairness.suite);
       ("compose", Test_compose.suite);

@@ -97,7 +97,16 @@ let test_gambler_exact_vs_iterative () =
       ~method_:(Markov.Iterative { tolerance = 1e-12; max_sweeps = 1_000_000 })
       chain ~legitimate
   in
-  Array.iteri (fun i e -> check_float "methods agree" e iter.(i)) exact
+  Array.iteri (fun i e -> check_float "methods agree" e iter.(i)) exact;
+  List.iter
+    (fun kind ->
+      let sparse =
+        Markov.expected_hitting_times
+          ~method_:(Markov.Sparse { kind; tolerance = 1e-12; max_sweeps = 1_000_000 })
+          chain ~legitimate
+      in
+      Array.iteri (fun i e -> check_float "sparse agrees" e sparse.(i)) exact)
+    [ Markov.Gauss_seidel; Markov.Jacobi ]
 
 let test_hitting_requires_convergence () =
   (* Two absorbing states, only one legitimate: state 0 never reaches it. *)

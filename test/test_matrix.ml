@@ -67,7 +67,22 @@ let test_solve_requires_pivoting () =
 
 let test_solve_singular () =
   let a = Matrix.of_rows [| [| 1.0; 2.0 |]; [| 2.0; 4.0 |] |] in
-  Alcotest.check_raises "singular" (Failure "Matrix.solve: singular system") (fun () ->
+  Alcotest.check_raises "singular"
+    (Failure "Matrix.solve: singular system (column 1, pivot 0)") (fun () ->
+      ignore (Matrix.solve a [| 1.0; 2.0 |]))
+
+let test_solve_tiny_units () =
+  (* Well-conditioned but expressed in units far below the absolute
+     pivot floor: the scaled test must not call this singular. *)
+  let a = Matrix.of_rows [| [| 2e-20; 1e-20 |]; [| 1e-20; -1e-20 |] |] in
+  let x = Matrix.solve a [| 5e-20; 1e-20 |] in
+  check_float "x" 2.0 x.(0);
+  check_float "y" 1.0 x.(1)
+
+let test_solve_zero_column () =
+  let a = Matrix.of_rows [| [| 0.0; 1.0 |]; [| 0.0; 2.0 |] |] in
+  Alcotest.check_raises "zero column"
+    (Failure "Matrix.solve: singular system (column 0, pivot 0)") (fun () ->
       ignore (Matrix.solve a [| 1.0; 2.0 |]))
 
 let test_solve_does_not_mutate () =
@@ -134,6 +149,8 @@ let suite =
     Alcotest.test_case "solve known" `Quick test_solve_known_system;
     Alcotest.test_case "solve pivoting" `Quick test_solve_requires_pivoting;
     Alcotest.test_case "solve singular" `Quick test_solve_singular;
+    Alcotest.test_case "solve tiny units" `Quick test_solve_tiny_units;
+    Alcotest.test_case "solve zero column" `Quick test_solve_zero_column;
     Alcotest.test_case "solve pure" `Quick test_solve_does_not_mutate;
     Alcotest.test_case "solve random roundtrip" `Quick test_solve_random_roundtrip;
     Alcotest.test_case "solve_many" `Quick test_solve_many;

@@ -50,6 +50,19 @@ let test_quantile_validation () =
     (Invalid_argument "Stats.quantile: q out of [0, 1]") (fun () ->
       ignore (Stats.quantile [| 1.0 |] 1.5))
 
+let test_quantile_rejects_nan () =
+  Alcotest.check_raises "nan sample" (Invalid_argument "Stats.quantile: nan sample")
+    (fun () -> ignore (Stats.quantile [| 1.0; Float.nan; 2.0 |] 0.5))
+
+let test_quantile_total_order () =
+  (* Mixed signs, zeroes, and infinities must sort totally — the old
+     polymorphic compare path was one structural-equality quirk away
+     from a wrong order statistic. *)
+  check_float "median with infinities" 0.0
+    (Stats.median [| Float.infinity; -1.0; 0.0; 1.0; Float.neg_infinity |]);
+  check_float "max is inf" Float.infinity
+    (Stats.quantile [| Float.infinity; 1.0 |] 1.0)
+
 let test_histogram () =
   let h = Stats.histogram ~bins:2 [| 0.0; 1.0; 2.0; 3.0 |] in
   Alcotest.(check int) "bin count" 2 (Array.length h.Stats.counts);
@@ -127,6 +140,8 @@ let suite =
     Alcotest.test_case "quantile" `Quick test_quantile;
     Alcotest.test_case "quantile unsorted" `Quick test_quantile_unsorted_input;
     Alcotest.test_case "quantile validation" `Quick test_quantile_validation;
+    Alcotest.test_case "quantile rejects nan" `Quick test_quantile_rejects_nan;
+    Alcotest.test_case "quantile total order" `Quick test_quantile_total_order;
     Alcotest.test_case "histogram" `Quick test_histogram;
     Alcotest.test_case "histogram constant" `Quick test_histogram_constant_data;
     Alcotest.test_case "significance band" `Quick test_significance_band;
