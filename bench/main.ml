@@ -165,6 +165,80 @@ let markov_sparse kind () =
   | _, Stabcore.Markov.Converged _ -> ()
   | _, Stabcore.Markov.Max_sweeps _ -> failwith "bench: sparse solve did not converge"
 
+(* Campaign resume planning, pure CPU: hash a 24-cell matrix, render
+   half of it as checkpoint JSONL, parse the text back (the tolerant
+   line-by-line path a resume takes), index it and decide which cells
+   to skip. Guards the cost a `stabsim campaign` rerun pays before any
+   analysis starts. *)
+let campaign_fixture =
+  lazy
+    (let open Stabcampaign in
+     let cell analysis topology sched =
+       {
+         Campaign.protocol = "token-ring";
+         topology;
+         transformed = false;
+         sched;
+         analysis;
+         faults = Campaign.No_faults;
+         runs = 100;
+         max_steps = 100_000;
+         max_configs = 1_000_000;
+       }
+     in
+     let cells =
+       List.concat_map
+         (fun analysis ->
+           List.concat_map
+             (fun sched ->
+               List.map
+                 (fun topology -> cell analysis topology sched)
+                 [ "ring:4"; "ring:5"; "ring:6"; "ring:7" ])
+             [ Stabcore.Statespace.Central; Stabcore.Statespace.Distributed ])
+         [ Campaign.Check; Campaign.Markov; Campaign.Montecarlo ]
+     in
+     let campaign =
+       {
+         Campaign.name = "bench";
+         seed = 7;
+         timeout_ms = None;
+         retries = 2;
+         backoff_ms = 100;
+         cells;
+       }
+     in
+     let finished =
+       List.filteri (fun i _ -> i mod 2 = 0) cells
+       |> List.map (fun c ->
+              {
+                Checkpoint.hash = Campaign.cell_hash c;
+                label = Campaign.cell_label c;
+                status = Checkpoint.Done;
+                mode = "exact";
+                retries = 0;
+                payload = Stabobs.Json.Obj [ ("mean", Stabobs.Json.Float 1.5) ];
+                error = None;
+              })
+     in
+     let text =
+       String.concat "\n"
+         (List.map
+            (fun r -> Stabobs.Json.to_string (Checkpoint.record_to_json r))
+            finished)
+     in
+     (campaign, text))
+
+let campaign_resume () =
+  let open Stabcampaign in
+  let campaign, text = Lazy.force campaign_fixture in
+  let index = Checkpoint.index (Checkpoint.parse_string text) in
+  let skip =
+    List.filter
+      (fun c -> Hashtbl.mem index (Campaign.cell_hash c))
+      campaign.Campaign.cells
+  in
+  if List.length skip <> 12 then failwith "bench: campaign resume plan wrong"
+
 (* The dark-telemetry gate: with no sink installed, a span is one
    atomic load and a branch, a counter add is dropped before touching
    domain-local state, and a dist record is dropped before its Welford
@@ -213,6 +287,7 @@ let tests : (string * (unit -> unit)) list =
     ( "e8-dijkstra-threshold",
       ignore_unit (fun () -> Stabexp.Portfolio.dijkstra_k_threshold ~max_n:4 ()) );
     ("faults-campaign", ignore_unit faults_campaign);
+    ("campaign-resume", campaign_resume);
     ("markov-sparse-gs", markov_sparse Stabcore.Markov.Gauss_seidel);
     ("markov-sparse-jacobi", markov_sparse Stabcore.Markov.Jacobi);
     ("obs-span-disabled", fun () -> Obs.span "bench.noop" ignore);

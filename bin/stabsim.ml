@@ -85,8 +85,16 @@ let print_dists () =
 
 (* Sinks are installed before the subcommand body runs and closed by
    [at_exit Obs.clear], so file-backed sinks flush their trailers even
-   when the command errors out. *)
+   when the command errors out. SIGINT/SIGTERM get handlers that exit
+   through [at_exit] (130/143, the shell's signal-exit codes) instead
+   of the default immediate death, so a ^C mid-run still leaves valid
+   JSONL / Chrome-trace files behind. The campaign subcommand replaces
+   these with its drain-first handlers. *)
 let setup_obs verbose quiet log_json profile gc_stats =
+  (try
+     Sys.set_signal Sys.sigint (Sys.Signal_handle (fun _ -> exit 130));
+     Sys.set_signal Sys.sigterm (Sys.Signal_handle (fun _ -> exit 143))
+   with Invalid_argument _ | Sys_error _ -> ());
   (match (quiet, List.length verbose) with
   | true, _ -> Obs.set_level Obs.Quiet
   | false, 0 -> ()
@@ -417,7 +425,7 @@ let check_cmd =
 (* --- markov --- *)
 
 let markov_cmd =
-  let run () protocol topology transformed file r quotient method_ =
+  let run () protocol topology transformed file r quotient method_ allow_nonconverged =
     wrap (fun () ->
         let (Stabexp.Registry.Entry e) = resolve ~protocol ~topology ~transformed ~file in
         let randomization =
@@ -440,35 +448,42 @@ let markov_cmd =
         (match Stabcore.Markov.converges_with_prob_one chain ~legitimate with
         | Ok () ->
           let weights = Stabcore.Statespace.orbit_sizes space in
-          let stats =
-            match method_ with
-            | Some (Stabcore.Markov.Sparse { kind; tolerance; max_sweeps }) ->
-              (* Going through the typed sparse entry point keeps the
-                 solve statistics available for reporting. *)
-              let times, outcome =
-                Stabcore.Markov.sparse_hitting_times ~kind ~tolerance ~max_sweeps chain
-                  ~legitimate
-              in
-              (match outcome with
-              | Stabcore.Markov.Converged s ->
-                Format.printf
-                  "sparse solve: %d blocks, %d sweeps, final relative residual %g@."
-                  s.Stabcore.Markov.blocks s.Stabcore.Markov.sweeps
-                  s.Stabcore.Markov.residual
-              | Stabcore.Markov.Max_sweeps s ->
+          (* The typed entry point never raises on a sweep-budget
+             exhaustion: the outcome says whether the numbers are exact
+             or a partial iterate, and the policy (fail loudly vs.
+             --allow-nonconverged) lives here, not in the library. *)
+          let stats, outcome =
+            Stabcore.Markov.hitting_stats_checked ?method_ ?weights chain ~legitimate
+          in
+          let nonconverged =
+            match outcome with
+            | Some (Stabcore.Markov.Converged s) ->
+              Format.printf
+                "sparse solve: %d blocks, %d sweeps, final relative residual %g@."
+                s.Stabcore.Markov.blocks s.Stabcore.Markov.sweeps
+                s.Stabcore.Markov.residual;
+              false
+            | Some (Stabcore.Markov.Max_sweeps s) ->
+              Obs.warnf
+                "sparse solver did NOT converge: %d sweeps across %d blocks exhausted \
+                 (final relative residual %g); the times below are a partial iterate, \
+                 not the exact expectation"
+                s.Stabcore.Markov.sweeps s.Stabcore.Markov.blocks
+                s.Stabcore.Markov.residual;
+              if not allow_nonconverged then
                 failwith
-                  (Printf.sprintf
-                     "sparse solver did not converge: %d sweeps across %d blocks \
-                      exhausted (tolerance %g); retry with a larger --max-sweeps or \
-                      --solver exact"
-                     s.Stabcore.Markov.sweeps s.Stabcore.Markov.blocks tolerance));
-              Stabcore.Markov.stats_of_times ?weights times
-            | _ -> Stabcore.Markov.hitting_stats ?method_ ?weights chain ~legitimate
+                  "sparse solver did not converge; retry with a larger --max-sweeps, \
+                   --solver exact, or pass --allow-nonconverged to accept the partial \
+                   iterate";
+              true
+            | None -> false
           in
           Format.printf
-            "%s: converges with probability 1 under %s@.expected stabilization time: \
+            "%s: converges with probability 1 under %s@.expected stabilization time%s: \
              mean %.4f steps, worst initial configuration %.4f steps@."
-            e.label randomization stats.Stabcore.Markov.mean stats.Stabcore.Markov.max
+            e.label randomization
+            (if nonconverged then " (NONCONVERGED partial iterate)" else "")
+            stats.Stabcore.Markov.mean stats.Stabcore.Markov.max
         | Error c ->
           Format.printf
             "%s: does NOT converge with probability 1 under %s@.counterexample \
@@ -498,11 +513,18 @@ let markov_cmd =
     in
     Arg.(value & flag & info [ "quotient" ] ~doc)
   in
+  let allow_nonconverged_arg =
+    let doc =
+      "Accept a sparse solve that exhausted its sweep budget: warn, report the partial \
+       iterate (clearly marked), and exit 0 instead of failing."
+    in
+    Arg.(value & flag & info [ "allow-nonconverged" ] ~doc)
+  in
   let term =
     Term.(
       term_result
         (const run $ obs_term $ protocol_arg $ topology_arg $ transformed_arg $ file_arg
-       $ randomization_arg $ quotient_arg $ solver_term))
+       $ randomization_arg $ quotient_arg $ solver_term $ allow_nonconverged_arg))
   in
   Cmd.v
     (Cmd.info "markov"
@@ -1090,6 +1112,116 @@ let bench_cmd =
         (const run $ obs_term $ baseline_arg $ candidate_arg $ gate_pct_arg
         $ markdown_arg))
 
+(* --- campaign (sharded, crash-resumable experiment matrices) --- *)
+
+let campaign_cmd =
+  let run () file checkpoint no_checkpoint fresh domains timeout_ms report_md =
+    wrap (fun () ->
+        let campaign =
+          match Stabcampaign.Campaign.load file with
+          | Ok c -> c
+          | Error m -> failwith m
+        in
+        (* Drain-first signal handling: the first ^C cancels in-flight
+           cells and lets the checkpoint + sinks flush; an impatient
+           second ^C exits immediately (still through at_exit). *)
+        let signals = ref 0 in
+        let graceful signal _ =
+          incr signals;
+          if !signals = 1 then Stabcampaign.Runner.request_drain ()
+          else exit (128 + signal)
+        in
+        Sys.set_signal Sys.sigint (Sys.Signal_handle (graceful 2));
+        Sys.set_signal Sys.sigterm (Sys.Signal_handle (graceful 15));
+        let checkpoint =
+          if no_checkpoint then None
+          else
+            Some
+              (match checkpoint with
+              | Some path -> path
+              | None -> Filename.remove_extension file ^ ".checkpoint.jsonl")
+        in
+        let defaults = Stabcampaign.Runner.default_options () in
+        let options =
+          {
+            defaults with
+            Stabcampaign.Runner.checkpoint;
+            fresh;
+            domains = Option.value domains ~default:defaults.Stabcampaign.Runner.domains;
+            timeout_ms =
+              (match timeout_ms with
+              | Some _ -> timeout_ms
+              | None -> defaults.Stabcampaign.Runner.timeout_ms);
+          }
+        in
+        let outcomes, stats = Stabcampaign.Runner.run ~options campaign in
+        let table = Stabcampaign.Runner.report campaign outcomes in
+        Stabexp.Report.print table;
+        (match report_md with
+        | None -> ()
+        | Some path ->
+          let oc = open_out path in
+          output_string oc (Stabexp.Report.to_markdown table);
+          close_out oc);
+        print_endline (Stabcampaign.Runner.summary_line stats);
+        if stats.Stabcampaign.Runner.unfinished > 0 then begin
+          (match checkpoint with
+          | Some path ->
+            Printf.printf "interrupted; rerun the same command to resume from %s\n" path
+          | None ->
+            print_endline "interrupted; no checkpoint was kept (--no-checkpoint)");
+          exit 4
+        end)
+  in
+  let file_pos_arg =
+    let doc = "Campaign file (JSON); see docs/campaigns.md for the format." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
+  in
+  let checkpoint_arg =
+    let doc =
+      "Checkpoint file (JSONL). Defaults to the campaign file with a \
+       $(b,.checkpoint.jsonl) extension. An existing checkpoint resumes the \
+       campaign: finished cells are skipped."
+    in
+    Arg.(value & opt (some string) None & info [ "checkpoint" ] ~docv:"FILE" ~doc)
+  in
+  let no_checkpoint_arg =
+    let doc = "Run without a checkpoint (no resume, nothing written)." in
+    Arg.(value & flag & info [ "no-checkpoint" ] ~doc)
+  in
+  let fresh_arg =
+    let doc = "Truncate the checkpoint and start over instead of resuming." in
+    Arg.(value & flag & info [ "fresh" ] ~doc)
+  in
+  let domains_arg =
+    let doc = "Worker domains (default: the recommended domain count)." in
+    Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N" ~doc)
+  in
+  let timeout_ms_arg =
+    let doc =
+      "Per-cell wall-clock timeout in milliseconds; overrides the campaign file. A \
+       timed-out cell demotes down the exact / on-the-fly / Monte-Carlo ladder \
+       before giving up."
+    in
+    Arg.(value & opt (some int) None & info [ "timeout-ms" ] ~docv:"MS" ~doc)
+  in
+  let report_md_arg =
+    let doc = "Also write the result table as GitHub markdown to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "report-md" ] ~docv:"FILE" ~doc)
+  in
+  let term =
+    Term.(
+      term_result
+        (const run $ obs_term $ file_pos_arg $ checkpoint_arg $ no_checkpoint_arg
+       $ fresh_arg $ domains_arg $ timeout_ms_arg $ report_md_arg))
+  in
+  Cmd.v
+    (Cmd.info "campaign"
+       ~doc:
+         "Run a sharded experiment matrix with per-cell timeouts, retry/backoff, \
+          poison-cell quarantine and crash-resumable checkpoints.")
+    term
+
 let main =
   let doc = "stabilization laboratory: weak vs. self vs. probabilistic stabilization" in
   let info = Cmd.info "stabsim" ~version:"1.0.0" ~doc in
@@ -1108,6 +1240,7 @@ let main =
       faults_cmd;
       profile_cmd;
       bench_cmd;
+      campaign_cmd;
     ]
 
 let () =

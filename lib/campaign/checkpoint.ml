@@ -1,0 +1,141 @@
+module Json = Stabobs.Json
+
+type status = Done | Degraded | Timed_out | Quarantined
+
+let status_to_string = function
+  | Done -> "done"
+  | Degraded -> "degraded"
+  | Timed_out -> "timed-out"
+  | Quarantined -> "quarantined"
+
+let status_of_string = function
+  | "done" -> Some Done
+  | "degraded" -> Some Degraded
+  | "timed-out" -> Some Timed_out
+  | "quarantined" -> Some Quarantined
+  | _ -> None
+
+type record = {
+  hash : string;
+  label : string;
+  status : status;
+  mode : string;
+  retries : int;
+  payload : Json.t;
+  error : string option;
+}
+
+let record_to_json r =
+  Json.Obj
+    ([
+       ("type", Json.String "cell");
+       ("hash", Json.String r.hash);
+       ("label", Json.String r.label);
+       ("status", Json.String (status_to_string r.status));
+       ("mode", Json.String r.mode);
+       ("retries", Json.Int r.retries);
+       ("payload", r.payload);
+     ]
+    @ match r.error with None -> [] | Some e -> [ ("error", Json.String e) ])
+
+let record_of_json j =
+  match
+    ( Json.member "type" j,
+      Json.member "hash" j,
+      Json.member "label" j,
+      Json.member "status" j,
+      Json.member "mode" j,
+      Json.member "retries" j )
+  with
+  | ( Some (Json.String "cell"),
+      Some (Json.String hash),
+      Some (Json.String label),
+      Some (Json.String status),
+      Some (Json.String mode),
+      Some (Json.Int retries) ) ->
+    Option.map
+      (fun status ->
+        {
+          hash;
+          label;
+          status;
+          mode;
+          retries;
+          payload = Option.value (Json.member "payload" j) ~default:Json.Null;
+          error =
+            (match Json.member "error" j with
+            | Some (Json.String e) -> Some e
+            | _ -> None);
+        })
+      (status_of_string status)
+  | _ -> None
+
+type sink = { oc : out_channel; mutex : Mutex.t }
+
+let fsync oc =
+  flush oc;
+  Unix.fsync (Unix.descr_of_out_channel oc)
+
+(* A kill mid-write can leave a torn final line with no newline; if we
+   appended straight after it, the first record of the resume would be
+   glued onto the garbage and lost with it. *)
+let ends_with_newline path =
+  match open_in_bin path with
+  | exception Sys_error _ -> true
+  | ic ->
+    Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
+    let len = in_channel_length ic in
+    len = 0
+    ||
+    (seek_in ic (len - 1);
+     input_char ic = '\n')
+
+let open_append ?(fresh = false) ~name path =
+  let exists = (not fresh) && Sys.file_exists path in
+  let was_empty =
+    (not exists) || (try (Unix.stat path).Unix.st_size = 0 with Unix.Unix_error _ -> true)
+  in
+  let needs_repair = exists && (not was_empty) && not (ends_with_newline path) in
+  let flags =
+    if fresh then [ Open_wronly; Open_creat; Open_trunc ]
+    else [ Open_wronly; Open_creat; Open_append ]
+  in
+  let oc = open_out_gen flags 0o644 path in
+  if needs_repair then output_char oc '\n';
+  if fresh || was_empty then begin
+    output_string oc
+      (Json.to_string (Json.Obj [ ("type", Json.String "campaign"); ("name", Json.String name) ]));
+    output_char oc '\n';
+    fsync oc
+  end;
+  { oc; mutex = Mutex.create () }
+
+let append t r =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) @@ fun () ->
+  output_string t.oc (Json.to_string (record_to_json r));
+  output_char t.oc '\n';
+  fsync t.oc
+
+let close t =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) @@ fun () ->
+  close_out t.oc
+
+let parse_string text =
+  String.split_on_char '\n' text
+  |> List.filter_map (fun line ->
+         if String.trim line = "" then None
+         else
+           match Json.of_string line with
+           | Error _ -> None (* torn tail or garbage: resume re-runs the cell *)
+           | Ok j -> record_of_json j)
+
+let load path =
+  if not (Sys.file_exists path) then []
+  else parse_string (In_channel.with_open_text path In_channel.input_all)
+
+let index records =
+  let tbl = Hashtbl.create 64 in
+  List.iter (fun r -> Hashtbl.replace tbl r.hash r) records;
+  tbl

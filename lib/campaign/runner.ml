@@ -1,0 +1,541 @@
+open Stabcore
+module Json = Stabobs.Json
+module Obs = Stabobs.Obs
+
+type cell_outcome = {
+  cell : Campaign.cell;
+  hash : string;
+  status : Checkpoint.status;
+  mode : string;
+  retries : int;
+  payload : Json.t;
+  error : string option;
+  duration_ns : int;
+  from_checkpoint : bool;
+}
+
+type stats = {
+  cells : int;
+  executed : int;
+  skipped : int;
+  unfinished : int;
+  done_ : int;
+  degraded : int;
+  timed_out : int;
+  quarantined : int;
+  retried : int;
+}
+
+type options = {
+  domains : int;
+  checkpoint : string option;
+  fresh : bool;
+  timeout_ms : int option;
+  sleep : float -> unit;
+  stop_after : int option;
+}
+
+let default_options () =
+  {
+    domains = Domain.recommended_domain_count ();
+    checkpoint = None;
+    fresh = false;
+    timeout_ms = None;
+    sleep = Unix.sleepf;
+    stop_after = None;
+  }
+
+(* {1 Telemetry} *)
+
+let c_done = Obs.Counter.make "campaign.done"
+let c_degraded = Obs.Counter.make "campaign.degraded"
+let c_timed_out = Obs.Counter.make "campaign.timed-out"
+let c_quarantined = Obs.Counter.make "campaign.quarantined"
+let c_retried = Obs.Counter.make "campaign.retried"
+let c_skipped = Obs.Counter.make "campaign.skipped"
+let d_cell_duration = Stabobs.Dist.make "campaign.cell.duration"
+
+let counter_of_status = function
+  | Checkpoint.Done -> c_done
+  | Checkpoint.Degraded -> c_degraded
+  | Checkpoint.Timed_out -> c_timed_out
+  | Checkpoint.Quarantined -> c_quarantined
+
+(* {1 Graceful drain}
+
+   The flag and the in-flight token registry are plain atomics, so
+   [request_drain] is safe from a signal handler (no locks taken): it
+   raises the flag, then cancels every registered token so cells in
+   flight unwind at their next [Cancel.poll]. *)
+
+let drain_flag = Atomic.make false
+let inflight : Cancel.t list Atomic.t = Atomic.make []
+
+let rec inflight_add tok =
+  let cur = Atomic.get inflight in
+  if not (Atomic.compare_and_set inflight cur (tok :: cur)) then inflight_add tok
+
+let rec inflight_remove tok =
+  let cur = Atomic.get inflight in
+  let next = List.filter (fun t -> t != tok) cur in
+  if not (Atomic.compare_and_set inflight cur next) then inflight_remove tok
+
+let request_drain () =
+  Atomic.set drain_flag true;
+  List.iter (fun tok -> Cancel.cancel tok) (Atomic.get inflight)
+
+let draining () = Atomic.get drain_flag
+
+(* {1 Deterministic backoff} *)
+
+let backoff_delays ~seed ~base_ms ~attempts =
+  let rng = Stabrng.Rng.create seed in
+  List.init attempts (fun i ->
+      let jitter = 0.5 +. Stabrng.Rng.float rng in
+      float_of_int base_ms *. Float.pow 2.0 (float_of_int i) *. jitter /. 1000.0)
+
+(* {1 One cell's analysis}
+
+   Everything below runs inside the attempt's Cancel token, so a
+   timeout or drain can interrupt any of it at the library poll
+   points. Results must be a pure function of (cell, campaign seed):
+   only the serial Monte-Carlo estimator is used (its sample is
+   deterministic per seed), and on-the-fly initial configurations are
+   drawn from the cell's own stream. *)
+
+exception Demote of string
+
+type rung = Exact_rung | Onthefly_rung | Montecarlo_rung
+
+let rung_label = function
+  | Exact_rung -> "exact"
+  | Onthefly_rung -> "onthefly"
+  | Montecarlo_rung -> "montecarlo"
+
+let ladder (cell : Campaign.cell) =
+  match cell.analysis with
+  | Campaign.Check -> [ Exact_rung; Onthefly_rung; Montecarlo_rung ]
+  (* A Markov cell has no on-the-fly rung: hitting times need the full
+     chain, so the only weaker analysis is simulation. *)
+  | Campaign.Markov -> [ Exact_rung; Montecarlo_rung ]
+  | Campaign.Montecarlo -> [ Montecarlo_rung ]
+
+let scheduler_of = function
+  | Statespace.Central -> Scheduler.central_random ()
+  | Statespace.Distributed -> Scheduler.distributed_random ()
+  | Statespace.Synchronous -> Scheduler.synchronous ()
+
+let randomization_of = function
+  | Statespace.Central -> Markov.Central_uniform
+  | Statespace.Distributed -> Markov.Distributed_uniform
+  | Statespace.Synchronous -> Markov.Sync
+
+let onthefly_verdict = function
+  | Onthefly.Converges -> "holds"
+  | Onthefly.Counterexample c -> Printf.sprintf "fails@%d" c
+  | Onthefly.Unknown -> "unknown"
+
+let mc_field = function
+  | Some s -> Json.Float s.Stabstats.Stats.mean
+  | None -> Json.Null
+
+let run_cell_analysis campaign (cell : Campaign.cell) rung =
+  let (Stabexp.Registry.Entry { protocol; spec; _ }) =
+    Stabexp.Registry.find ~name:cell.protocol ~topology:cell.topology
+      ~transformed:cell.transformed ()
+  in
+  let rng = Stabrng.Rng.create (Campaign.cell_seed campaign cell) in
+  match rung with
+  | Exact_rung -> (
+    match Statespace.try_build ~max_configs:cell.max_configs protocol with
+    | Error reason -> raise (Demote reason)
+    | Ok space -> (
+      match cell.analysis with
+      | Campaign.Check ->
+        let v = Checker.analyze space cell.sched spec in
+        Json.Obj
+          [
+            ("configs", Json.Int (Statespace.count space));
+            ("weak", Json.Bool (Checker.weak_stabilizing v));
+            ("self", Json.Bool (Checker.self_stabilizing v));
+            ("self_weakly_fair", Json.Bool (Checker.self_stabilizing_weakly_fair v));
+            ( "self_strongly_fair",
+              Json.Bool (Checker.self_stabilizing_strongly_fair v) );
+          ]
+      | Campaign.Markov -> (
+        let legitimate = Statespace.legitimate_set space spec in
+        let chain = Markov.of_space space (randomization_of cell.sched) in
+        match Markov.converges_with_prob_one chain ~legitimate with
+        | Error c ->
+          Json.Obj
+            [ ("prob1", Json.Bool false); ("unreachable_from", Json.Int c) ]
+        | Ok () -> (
+          let stats, outcome = Markov.hitting_stats_checked chain ~legitimate in
+          match outcome with
+          | Some (Markov.Max_sweeps _) ->
+            (* The Max_sweeps-prone solve the ladder exists for: the
+               exact answer is out of reach, fall back to sampling. *)
+            raise (Demote "sparse solver hit its sweep budget")
+          | Some (Markov.Converged _) | None ->
+            Json.Obj
+              [
+                ("prob1", Json.Bool true);
+                ("configs", Json.Int (Statespace.count space));
+                ("mean", Json.Float stats.Markov.mean);
+                ("max", Json.Float stats.Markov.max);
+              ]))
+      | Campaign.Montecarlo ->
+        (* The ladder never sends a Monte-Carlo cell here. *)
+        raise (Demote "montecarlo cell on the exact rung")))
+  | Onthefly_rung ->
+    let space =
+      (* Only the encoding is materialized here; the exploration hash
+         table is capped by the cell's budget below. *)
+      match Statespace.plan ~max_configs:max_int protocol with
+      | `Exact space | `Onthefly space -> space
+      | `Montecarlo reason -> raise (Demote reason)
+    in
+    let inits =
+      List.init 5 (fun _ -> Protocol.random_config rng protocol)
+    in
+    let possible, pstats =
+      Onthefly.possible_convergence_from ~max_states:cell.max_configs space
+        cell.sched spec ~inits
+    in
+    let certain, _ =
+      Onthefly.certain_convergence_from ~max_states:cell.max_configs space
+        cell.sched spec ~inits
+    in
+    Json.Obj
+      [
+        ("inits", Json.Int (List.length inits));
+        ("possible", Json.String (onthefly_verdict possible));
+        ("certain", Json.String (onthefly_verdict certain));
+        ("explored", Json.Int pstats.Onthefly.explored);
+      ]
+  | Montecarlo_rung ->
+    let sched = scheduler_of cell.sched in
+    let inject =
+      match cell.faults with
+      | Campaign.No_faults -> None
+      | Campaign.Periodic { gap; faults } ->
+        Some (Faults.arm (Faults.periodic protocol ~gap ~faults))
+      | Campaign.Bernoulli { rate; faults } ->
+        Some (Faults.arm (Faults.bernoulli protocol ~rate ~faults))
+      | Campaign.Burst { at; faults } ->
+        Some (Faults.arm (Faults.burst protocol ~at ~faults))
+    in
+    let r =
+      Montecarlo.estimate ?inject ~runs:cell.runs ~max_steps:cell.max_steps rng
+        protocol sched spec
+    in
+    Json.Obj
+      [
+        ("runs", Json.Int cell.runs);
+        ("converged", Json.Int (Array.length r.Montecarlo.times));
+        ("timeouts", Json.Int r.Montecarlo.timeouts);
+        ("mean_steps", mc_field r.Montecarlo.summary);
+        ("mean_rounds", mc_field r.Montecarlo.rounds_summary);
+      ]
+
+(* {1 The per-cell attempt state machine} *)
+
+exception Drain_exit
+
+type finished = {
+  f_status : Checkpoint.status;
+  f_mode : string;
+  f_retries : int;
+  f_payload : Json.t;
+  f_error : string option;
+}
+
+(* Crash budget: a cell that crashes its worker twice is poison and is
+   quarantined rather than allowed a third try. *)
+let crash_budget = 2
+
+let attempt_cell (campaign : Campaign.t) options (cell : Campaign.cell) =
+  let timeout_ms =
+    match options.timeout_ms with
+    | Some _ as t -> t
+    | None -> campaign.Campaign.timeout_ms
+  in
+  let delays =
+    (* Enough delays for every retry source: transient retries, crash
+       retries and one demotion per remaining rung. *)
+    backoff_delays
+      ~seed:(Campaign.cell_seed campaign cell)
+      ~base_ms:campaign.Campaign.backoff_ms
+      ~attempts:(campaign.Campaign.retries + crash_budget + 3)
+  in
+  let delays = Array.of_list delays in
+  let backoff_idx = ref 0 in
+  let backoff () =
+    let i = min !backoff_idx (Array.length delays - 1) in
+    incr backoff_idx;
+    options.sleep delays.(i)
+  in
+  let retries = ref 0 in
+  let retry () =
+    incr retries;
+    Obs.Counter.incr c_retried
+  in
+  let transients = ref 0 in
+  let crashes = ref 0 in
+  let finish status mode payload error =
+    { f_status = status; f_mode = mode; f_retries = !retries; f_payload = payload;
+      f_error = error }
+  in
+  let rec attempt rung rest degraded =
+    if draining () then raise Drain_exit;
+    let deadline_ns =
+      Option.map (fun ms -> Obs.now_ns () + (ms * 1_000_000)) timeout_ms
+    in
+    let tok = Cancel.create ?deadline_ns () in
+    inflight_add tok;
+    (* A drain raised between the check above and the registration
+       would miss this token; re-check now that it is visible. *)
+    if draining () then Cancel.cancel tok;
+    let outcome =
+      Fun.protect ~finally:(fun () -> inflight_remove tok) @@ fun () ->
+      match Cancel.with_current tok (fun () -> run_cell_analysis campaign cell rung) with
+      | payload -> `Ok payload
+      | exception Cancel.Cancelled Cancel.Drained -> `Drained
+      | exception Cancel.Cancelled Cancel.Timeout -> `Timeout
+      | exception Demote reason -> `Demote reason
+      | exception Sys_error msg -> `Transient msg
+      | exception e -> `Crash (Printexc.to_string e)
+    in
+    let mode = rung_label rung in
+    match outcome with
+    | `Ok payload ->
+      finish (if degraded then Checkpoint.Degraded else Checkpoint.Done) mode payload None
+    | `Drained -> raise Drain_exit
+    | `Timeout -> (
+      match rest with
+      | next :: rest' ->
+        Obs.infof "campaign: %s timed out on the %s rung; demoting"
+          (Campaign.cell_label cell) mode;
+        retry ();
+        backoff ();
+        attempt next rest' true
+      | [] ->
+        finish Checkpoint.Timed_out mode Json.Null
+          (Some (Printf.sprintf "timed out on the %s rung (no rung left)" mode)))
+    | `Demote reason -> (
+      match rest with
+      | next :: rest' ->
+        Obs.infof "campaign: %s degrades below the %s rung (%s)"
+          (Campaign.cell_label cell) mode reason;
+        attempt next rest' true
+      | [] -> finish Checkpoint.Quarantined mode Json.Null (Some reason))
+    | `Transient msg ->
+      if !transients < campaign.Campaign.retries then begin
+        incr transients;
+        retry ();
+        backoff ();
+        attempt rung rest degraded
+      end
+      else
+        finish Checkpoint.Quarantined mode Json.Null
+          (Some (Printf.sprintf "transient failure persisted after %d retries: %s"
+                   campaign.Campaign.retries msg))
+    | `Crash msg ->
+      incr crashes;
+      if !crashes >= crash_budget then
+        finish Checkpoint.Quarantined mode Json.Null (Some msg)
+      else begin
+        retry ();
+        backoff ();
+        attempt rung rest degraded
+      end
+  in
+  match ladder cell with
+  | [] -> assert false
+  | first :: rest -> attempt first rest false
+
+(* {1 The sharded pool} *)
+
+let outcome_of_record cell (r : Checkpoint.record) =
+  {
+    cell;
+    hash = r.Checkpoint.hash;
+    status = r.Checkpoint.status;
+    mode = r.Checkpoint.mode;
+    retries = r.Checkpoint.retries;
+    payload = r.Checkpoint.payload;
+    error = r.Checkpoint.error;
+    duration_ns = 0;
+    from_checkpoint = true;
+  }
+
+let append_with_retry options sink record =
+  (* Result I/O is the transient-failure case the retry budget exists
+     for; if the disk stays broken the cell is still held in memory and
+     only the resume guarantee degrades. *)
+  let rec go attempt =
+    match Checkpoint.append sink record with
+    | () -> ()
+    | exception Sys_error msg ->
+      if attempt >= 3 then
+        Obs.errorf "campaign: dropping checkpoint record for %s: %s"
+          record.Checkpoint.label msg
+      else begin
+        options.sleep (0.05 *. float_of_int (attempt + 1));
+        go (attempt + 1)
+      end
+  in
+  go 0
+
+let run ?options campaign =
+  let options = match options with Some o -> o | None -> default_options () in
+  Atomic.set drain_flag false;
+  let cells = Array.of_list campaign.Campaign.cells in
+  let n = Array.length cells in
+  let finished =
+    match options.checkpoint with
+    | Some path when not options.fresh -> Checkpoint.index (Checkpoint.load path)
+    | Some _ | None -> Hashtbl.create 0
+  in
+  let sink =
+    Option.map
+      (fun path ->
+        Checkpoint.open_append ~fresh:options.fresh ~name:campaign.Campaign.name path)
+      options.checkpoint
+  in
+  let results = Array.make n None in
+  let next = Atomic.make 0 in
+  let appended = Atomic.make 0 in
+  let work () =
+    let continue = ref true in
+    while !continue do
+      if draining () then continue := false
+      else begin
+        let i = Atomic.fetch_and_add next 1 in
+        if i >= n then continue := false
+        else begin
+          let cell = cells.(i) in
+          let hash = Campaign.cell_hash cell in
+          match Hashtbl.find_opt finished hash with
+          | Some r ->
+            Obs.Counter.incr c_skipped;
+            results.(i) <- Some (outcome_of_record cell r)
+          | None -> (
+            let label = Campaign.cell_label cell in
+            let t0 = Obs.now_ns () in
+            match
+              Obs.span "campaign.cell" ~args:[ ("label", Json.String label) ]
+                (fun () -> attempt_cell campaign options cell)
+            with
+            | exception Drain_exit -> ()
+            | f ->
+              let duration_ns = Obs.now_ns () - t0 in
+              Stabobs.Dist.record_int d_cell_duration duration_ns;
+              Obs.Counter.incr (counter_of_status f.f_status);
+              let outcome =
+                {
+                  cell;
+                  hash;
+                  status = f.f_status;
+                  mode = f.f_mode;
+                  retries = f.f_retries;
+                  payload = f.f_payload;
+                  error = f.f_error;
+                  duration_ns;
+                  from_checkpoint = false;
+                }
+              in
+              results.(i) <- Some outcome;
+              Option.iter
+                (fun sink ->
+                  append_with_retry options sink
+                    {
+                      Checkpoint.hash;
+                      label;
+                      status = f.f_status;
+                      mode = f.f_mode;
+                      retries = f.f_retries;
+                      payload = f.f_payload;
+                      error = f.f_error;
+                    };
+                  let k = Atomic.fetch_and_add appended 1 + 1 in
+                  match options.stop_after with
+                  | Some limit when k >= limit -> request_drain ()
+                  | _ -> ())
+                sink)
+        end
+      end
+    done
+  in
+  let workers = max 1 (min options.domains (max n 1)) in
+  Obs.span "campaign.run"
+    ~args:
+      [
+        ("name", Json.String campaign.Campaign.name);
+        ("cells", Json.Int n);
+        ("workers", Json.Int workers);
+      ]
+  @@ fun () ->
+  let first = ref None in
+  let note e = match !first with None -> first := Some e | Some _ -> () in
+  let spawned =
+    List.init (workers - 1) (fun _ -> Domain.spawn (fun () -> work ()))
+  in
+  (try work () with e -> note e);
+  List.iter (fun d -> try Domain.join d with e -> note e) spawned;
+  Option.iter Checkpoint.close sink;
+  (match !first with Some e -> raise e | None -> ());
+  let outcomes =
+    Array.to_list results |> List.filter_map Fun.id
+  in
+  let count f = List.length (List.filter f outcomes) in
+  let stats =
+    {
+      cells = n;
+      executed = count (fun o -> not o.from_checkpoint);
+      skipped = count (fun o -> o.from_checkpoint);
+      unfinished = n - List.length outcomes;
+      done_ = count (fun o -> o.status = Checkpoint.Done);
+      degraded = count (fun o -> o.status = Checkpoint.Degraded);
+      timed_out = count (fun o -> o.status = Checkpoint.Timed_out);
+      quarantined = count (fun o -> o.status = Checkpoint.Quarantined);
+      retried = List.fold_left (fun acc o -> acc + o.retries) 0 outcomes;
+    }
+  in
+  (outcomes, stats)
+
+(* {1 Reporting} *)
+
+let payload_digest = function
+  | Json.Null -> "-"
+  | j ->
+    let s = Json.to_string j in
+    if String.length s <= 72 then s else String.sub s 0 69 ^ "..."
+
+let report campaign outcomes =
+  let t =
+    Stabexp.Report.create
+      ~title:(Printf.sprintf "campaign: %s" campaign.Campaign.name)
+      ~columns:[ "cell"; "status"; "mode"; "retries"; "result" ]
+  in
+  List.iter
+    (fun o ->
+      Stabexp.Report.add_row t
+        [
+          Campaign.cell_label o.cell;
+          Checkpoint.status_to_string o.status;
+          o.mode;
+          Stabexp.Report.cell_int o.retries;
+          (match o.error with
+          | Some e -> payload_digest (Json.String e)
+          | None -> payload_digest o.payload);
+        ])
+    outcomes;
+  t
+
+let summary_line s =
+  Printf.sprintf
+    "%d cells: %d done, %d degraded, %d timed-out, %d quarantined; %d from \
+     checkpoint, %d unfinished, %d retries"
+    s.cells s.done_ s.degraded s.timed_out s.quarantined s.skipped s.unfinished
+    s.retried

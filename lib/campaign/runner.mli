@@ -1,0 +1,84 @@
+(** Sharded, crash-resumable execution of a campaign.
+
+    Cells are fanned out across OCaml 5 [Domain]s pulling from a shared
+    queue. Each cell attempt runs under a {!Stabcore.Cancel} token
+    whose deadline enforces the per-cell wall-clock timeout; timeouts
+    demote the cell down the Exact / On-the-fly / Monte-Carlo ladder
+    before retrying, transient failures ([Sys_error]) retry on the same
+    rung with exponential backoff + jitter (seeded, deterministic), and
+    a cell that crashes its worker twice is quarantined — reported,
+    never aborting the campaign. Finished cells append fsync'd
+    checkpoint records ({!Checkpoint}); a rerun of the same campaign
+    file skips them, and {!request_drain} (wired to SIGINT/SIGTERM by
+    the CLI) stops workers at the next poll point, leaving unfinished
+    cells for the resume.
+
+    Per-cell results are a pure function of the cell spec and the
+    campaign seed — never of shard assignment or execution order — so
+    an interrupted-then-resumed campaign reports byte-identically to an
+    uninterrupted one. *)
+
+type cell_outcome = {
+  cell : Campaign.cell;
+  hash : string;
+  status : Checkpoint.status;
+  mode : string;  (** ladder rung that produced the result *)
+  retries : int;  (** attempts beyond the first *)
+  payload : Stabobs.Json.t;
+  error : string option;
+  duration_ns : int;  (** 0 for cells replayed from the checkpoint *)
+  from_checkpoint : bool;
+}
+
+type stats = {
+  cells : int;
+  executed : int;
+  skipped : int;  (** replayed from the checkpoint *)
+  unfinished : int;  (** drained before completing; a resume picks them up *)
+  done_ : int;
+  degraded : int;
+  timed_out : int;
+  quarantined : int;
+  retried : int;  (** total retry attempts across all cells *)
+}
+
+type options = {
+  domains : int;  (** worker domains (including the calling one) *)
+  checkpoint : string option;  (** checkpoint file path; [None] disables *)
+  fresh : bool;  (** truncate the checkpoint instead of resuming *)
+  timeout_ms : int option;  (** overrides the campaign's per-cell timeout *)
+  sleep : float -> unit;  (** backoff sleeper (seconds); injectable for tests *)
+  stop_after : int option;
+      (** test hook: request a drain after this many checkpoint appends
+          — simulates a kill between two cells deterministically *)
+}
+
+val default_options : unit -> options
+(** [Domain.recommended_domain_count] workers, no checkpoint, resume
+    semantics, campaign timeout, [Unix.sleepf]. *)
+
+val request_drain : unit -> unit
+(** Ask the campaign to stop gracefully: running cells are cancelled at
+    their next poll, no new cell starts, checkpoints and sinks flush.
+    Safe from a signal handler (atomic stores only). *)
+
+val draining : unit -> bool
+
+val backoff_delays : seed:int -> base_ms:int -> attempts:int -> float list
+(** The deterministic backoff schedule, in seconds: delay [i] is
+    [base_ms * 2^i * u_i / 1000] with [u_i] uniform in [0.5, 1.5) drawn
+    from a generator seeded with [seed]. *)
+
+val run : ?options:options -> Campaign.t -> cell_outcome list * stats
+(** Execute (or resume) the campaign. The outcome list is in campaign
+    cell order, containing every finished and checkpoint-replayed cell;
+    drained-away cells are only counted in [stats.unfinished]. Resets
+    the drain flag on entry. *)
+
+val report : Campaign.t -> cell_outcome list -> Stabexp.Report.t
+(** One row per outcome (campaign order): label, status, mode, retries
+    and a payload digest. Deliberately excludes durations and
+    checkpoint provenance so resumed and uninterrupted runs of the same
+    campaign render byte-identical tables. *)
+
+val summary_line : stats -> string

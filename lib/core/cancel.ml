@@ -1,0 +1,44 @@
+type reason = Timeout | Drained
+
+exception Cancelled of reason
+
+type t = { flag : reason option Atomic.t; deadline_ns : int option }
+
+let create ?deadline_ns () = { flag = Atomic.make None; deadline_ns }
+
+let cancel ?(reason = Drained) t =
+  (* CAS so the first reason latches: a timeout and a drain racing on
+     the same token must report one consistent cause. *)
+  ignore (Atomic.compare_and_set t.flag None (Some reason))
+
+let cancelled t =
+  match Atomic.get t.flag with
+  | Some _ as r -> r
+  | None -> (
+      match t.deadline_ns with
+      | Some d when Stabobs.Obs.now_ns () > d ->
+          cancel ~reason:Timeout t;
+          Atomic.get t.flag
+      | _ -> None)
+
+let check t =
+  match cancelled t with None -> () | Some r -> raise (Cancelled r)
+
+let deadline_ns t = t.deadline_ns
+
+let key : t option ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref None)
+
+let set_current tok = Domain.DLS.get key := tok
+let current () = !(Domain.DLS.get key)
+
+let with_current tok f =
+  let cell = Domain.DLS.get key in
+  let saved = !cell in
+  cell := Some tok;
+  Fun.protect f ~finally:(fun () -> cell := saved)
+
+let poll () = match current () with None -> () | Some t -> check t
+
+let pp_reason ppf = function
+  | Timeout -> Format.pp_print_string ppf "timeout"
+  | Drained -> Format.pp_print_string ppf "drained"

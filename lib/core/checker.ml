@@ -203,6 +203,7 @@ let expand_serial space cls n nproc =
   let succ_w = Fbuf.create (4 * n) in
   let intern = interner_create nproc in
   for c = 0 to n - 1 do
+    if c land 255 = 0 then Cancel.poll ();
     grp_off.(c) <- grp_active.Ibuf.len;
     Statespace.fold_transitions space cls c ~init:() ~f:(fun () active outcomes ->
         Ibuf.push grp_active (intern_set intern active);
@@ -242,8 +243,10 @@ let expand_serial space cls n nproc =
    (and the interned-set numbering) is identical to the serial path. *)
 let expand_rows space cls n workers =
   let rows = Array.make n [] in
+  let tok = Cancel.current () in
   let fill lo hi =
     for c = lo to hi - 1 do
+      if c land 255 = 0 then Cancel.poll ();
       rows.(c) <- Statespace.transitions space cls c
     done
   in
@@ -252,10 +255,17 @@ let expand_rows space cls n workers =
     List.init (workers - 1) (fun i ->
         let lo = (i + 1) * chunk in
         let hi = min n (lo + chunk) in
-        Domain.spawn (fun () -> fill lo hi))
+        Domain.spawn (fun () ->
+            Cancel.set_current tok;
+            fill lo hi))
   in
-  fill 0 (min n chunk);
-  List.iter Domain.join spawned;
+  (* Join every worker even when a fill raises (a cancelled expansion
+     must not leak running domains); the first exception wins. *)
+  let first = ref None in
+  let note e = match !first with None -> first := Some e | Some _ -> () in
+  (try fill 0 (min n chunk) with e -> note e);
+  List.iter (fun d -> try Domain.join d with e -> note e) spawned;
+  (match !first with Some e -> raise e | None -> ());
   rows
 
 let pack n nproc cls rows =

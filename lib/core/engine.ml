@@ -59,6 +59,7 @@ let run ?(record = true) ?stop_on ?inject ~max_steps rng protocol scheduler ~ini
       rounds = tracker.completed; stop; injections = !injections }
   in
   let rec go cfg steps events =
+    if steps land 1023 = 0 then Cancel.poll ();
     if legitimate cfg then finish cfg steps events Converged
     else begin
       (* Fault injection point: once per iteration, before the daemon

@@ -363,6 +363,7 @@ let solve_transient ~kind ~tolerance ~max_sweeps chain ~transient ~base x =
       let residual = ref infinity in
       let continue = ref true in
       while !continue do
+        Cancel.poll ();
         if !sweeps >= max_sweeps then begin
           failed := true;
           continue := false
@@ -400,7 +401,11 @@ let solve_transient ~kind ~tolerance ~max_sweeps chain ~transient ~base x =
       total_sweeps := !total_sweeps + !sweeps;
       worst := Float.max !worst !residual
   in
-  List.iteri (fun bid block -> if not !failed then solve_block bid block) blocks;
+  List.iteri
+    (fun bid block ->
+      if bid land 1023 = 0 then Cancel.poll ();
+      if not !failed then solve_block bid block)
+    blocks;
   let stats = { sweeps = !total_sweeps; residual = !worst; blocks = nblocks } in
   if !failed then Max_sweeps { stats with residual = infinity } else Converged stats
 
@@ -444,7 +449,7 @@ let exact_hitting chain ~legitimate ~transient =
     transient;
   Stablinalg.Matrix.solve a (Array.make t_count 1.0)
 
-let expected_hitting_times ?method_ chain ~legitimate =
+let hitting_times_checked ?method_ chain ~legitimate =
   (match converges_with_prob_one chain ~legitimate with
   | Ok () -> ()
   | Error c ->
@@ -455,7 +460,7 @@ let expected_hitting_times ?method_ chain ~legitimate =
   let transient =
     Array.of_list (List.filter (fun c -> not legitimate.(c)) (List.init n Fun.id))
   in
-  if Array.length transient = 0 then Array.make n 0.0
+  if Array.length transient = 0 then (Array.make n 0.0, None)
   else begin
     let method_ =
       match method_ with
@@ -469,21 +474,27 @@ let expected_hitting_times ?method_ chain ~legitimate =
       let solved = exact_hitting chain ~legitimate ~transient in
       let out = Array.make n 0.0 in
       Array.iteri (fun i c -> out.(c) <- solved.(i)) transient;
-      out
+      (out, None)
     | Iterative { tolerance; max_sweeps }
-    | Sparse { kind = Gauss_seidel; tolerance; max_sweeps } -> (
+    | Sparse { kind = Gauss_seidel; tolerance; max_sweeps } ->
       let times, outcome = sparse_hitting_times ~tolerance ~max_sweeps chain ~legitimate in
-      match outcome with
-      | Converged _ -> times
-      | Max_sweeps stats -> no_convergence "sparse_hitting_times" ~tolerance stats)
-    | Sparse { kind = Jacobi; tolerance; max_sweeps } -> (
+      (times, Some outcome)
+    | Sparse { kind = Jacobi; tolerance; max_sweeps } ->
       let times, outcome =
         sparse_hitting_times ~kind:Jacobi ~tolerance ~max_sweeps chain ~legitimate
       in
-      match outcome with
-      | Converged _ -> times
-      | Max_sweeps stats -> no_convergence "sparse_hitting_times" ~tolerance stats)
+      (times, Some outcome)
   end
+
+let method_tolerance = function
+  | Some (Iterative { tolerance; _ }) | Some (Sparse { tolerance; _ }) -> tolerance
+  | Some Exact | None -> 1e-10
+
+let expected_hitting_times ?method_ chain ~legitimate =
+  match hitting_times_checked ?method_ chain ~legitimate with
+  | times, (None | Some (Converged _)) -> times
+  | _, Some (Max_sweeps stats) ->
+    no_convergence "sparse_hitting_times" ~tolerance:(method_tolerance method_) stats
 
 (* Dense oracle for absorption: solve (I - Q) p = (one-step mass into
    L) on the transient states that can reach L; everything else is
@@ -591,6 +602,10 @@ let stats_of_times ?weights times =
 (* One solve for all summary statistics. *)
 let hitting_stats ?method_ ?weights chain ~legitimate =
   stats_of_times ?weights (expected_hitting_times ?method_ chain ~legitimate)
+
+let hitting_stats_checked ?method_ ?weights chain ~legitimate =
+  let times, outcome = hitting_times_checked ?method_ chain ~legitimate in
+  (stats_of_times ?weights times, outcome)
 
 let mean_hitting_time chain ~legitimate = (hitting_stats chain ~legitimate).mean
 let max_hitting_time chain ~legitimate = (hitting_stats chain ~legitimate).max

@@ -125,6 +125,19 @@ val sparse_absorption :
     inside it 1. Defined for chains that do {e not} converge with
     probability 1. *)
 
+val hitting_times_checked :
+  ?method_:hitting_method ->
+  t ->
+  legitimate:bool array ->
+  float array * solve_outcome option
+(** {!expected_hitting_times} with the solver outcome surfaced instead
+    of raised: [None] for dense exact solves (which either succeed or
+    raise from the linear algebra), [Some outcome] for the sparse
+    backends. On [Max_sweeps] the returned array is the partial
+    iterate — callers decide whether to warn, degrade, or fail, and
+    record the outcome alongside the numbers. Same probability-1
+    convergence precondition ([Invalid_argument] otherwise). *)
+
 val expected_hitting_times :
   ?method_:hitting_method -> t -> legitimate:bool array -> float array
 (** Expected number of steps to reach [L], per starting state (0 inside
@@ -181,6 +194,16 @@ val hitting_stats :
     per-state multiplicities for the mean — pass
     {!Statespace.orbit_sizes} for a lumped chain so the mean matches a
     uniformly random initial configuration of the {e full} space. *)
+
+val hitting_stats_checked :
+  ?method_:hitting_method ->
+  ?weights:int array ->
+  t ->
+  legitimate:bool array ->
+  hitting_stats * solve_outcome option
+(** {!hitting_stats} through {!hitting_times_checked}: the summary plus
+    the sparse solver's typed outcome, never raising on [Max_sweeps]
+    (the stats then summarize the partial iterate). *)
 
 val mean_hitting_time : t -> legitimate:bool array -> float
 (** [(hitting_stats chain ~legitimate).mean] — the expected

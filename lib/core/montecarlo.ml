@@ -23,6 +23,7 @@ let collect ~runs ~sample =
   let rounds = ref [] in
   let timeouts = ref 0 in
   for _ = 1 to runs do
+    Cancel.poll ();
     Stabobs.Obs.Counter.incr Stabobs.Obs.montecarlo_runs;
     match sample () with
     | Some (steps, rnds) ->
@@ -75,8 +76,10 @@ let estimate_parallel ?domains ~runs ~max_steps rng protocol scheduler spec =
       streams.(r) <- Stabrng.Rng.split rng
     done;
     let out = Array.make runs None in
+    let tok = Cancel.current () in
     let fill lo hi =
       for r = lo to hi - 1 do
+        Cancel.poll ();
         Stabobs.Obs.Counter.incr Stabobs.Obs.montecarlo_runs;
         let stream = streams.(r) in
         let init = Protocol.random_config stream protocol in
@@ -88,10 +91,17 @@ let estimate_parallel ?domains ~runs ~max_steps rng protocol scheduler spec =
       List.init (domains - 1) (fun i ->
           let lo = (i + 1) * chunk in
           let hi = min runs (lo + chunk) in
-          Domain.spawn (fun () -> fill lo hi))
+          Domain.spawn (fun () ->
+              Cancel.set_current tok;
+              fill lo hi))
     in
-    fill 0 (min runs chunk);
-    List.iter Domain.join spawned;
+    (* Join every worker even when a fill raises (see
+       [Checker.expand_rows]); the first exception wins. *)
+    let first = ref None in
+    let note e = match !first with None -> first := Some e | Some _ -> () in
+    (try fill 0 (min runs chunk) with e -> note e);
+    List.iter (fun d -> try Domain.join d with e -> note e) spawned;
+    (match !first with Some e -> raise e | None -> ());
     (* Reassemble in run order, as [collect] does. *)
     let times = ref [] in
     let rounds = ref [] in

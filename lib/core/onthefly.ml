@@ -30,8 +30,13 @@ let explore ?(max_states = 1_000_000) space cls ~inits =
   let adjacency = ref [] in
   let edges = ref 0 in
   let complete = ref true in
+  let iterations = ref 0 in
   (try
      while not (Queue.is_empty queue) do
+       (* Poll on the first iteration too: a cancelled exploration must
+          stop even when it would stay under 256 states. *)
+       if !iterations land 255 = 0 then Cancel.poll ();
+       incr iterations;
        let _, code = Queue.pop queue in
        let successors = Statespace.successors space cls code in
        let succ_idx =

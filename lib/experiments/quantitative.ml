@@ -58,19 +58,33 @@ let exact_datum ?method_ ?(quotient = false) ?relabel ~algorithm ~scheduler ~n p
   let legitimate = Statespace.legitimate_set space spec in
   let chain = Markov.of_space space randomization in
   let method_ = resolve_method method_ legitimate in
-  let stats =
-    Markov.hitting_stats ~method_
+  let stats, outcome =
+    Markov.hitting_stats_checked ~method_
       ?weights:(Statespace.orbit_sizes space)
       chain ~legitimate
   in
   let backend = backend_label method_ in
+  let backend = if Statespace.is_quotient space then backend ^ "/orbit" else backend in
+  (* A sweep-budget exhaustion is a property of the row, not a reason
+     to lose the whole table: the datum keeps the partial numbers and
+     the label says they did not converge. *)
+  let backend =
+    match outcome with
+    | Some (Markov.Max_sweeps stats) ->
+      Stabobs.Obs.warnf
+        "%s/%s n=%d: %s solver hit its sweep budget (%d sweeps, %d blocks); \
+         reporting the partial iterate"
+        algorithm scheduler n backend stats.Markov.sweeps stats.Markov.blocks;
+      backend ^ "!nonconverged"
+    | Some (Markov.Converged _) | None -> backend
+  in
   {
     algorithm;
     scheduler;
     n;
     mean_steps = stats.Markov.mean;
     worst_steps = Some stats.Markov.max;
-    method_ = (if Statespace.is_quotient space then backend ^ "/orbit" else backend);
+    method_ = backend;
   }
 
 (* Sampled via the parallel estimator: the per-run pre-split keeps the
@@ -170,7 +184,9 @@ let e1_token_sweep ?method_ ?(seed = 42) ?(quick = true) () =
         let legitimate = Stabalgo.Israeli_jalfon.legitimate ~n in
         legitimate.(0) <- true (* unreachable empty mask *);
         let resolved = resolve_method method_ legitimate in
-        let times = Markov.expected_hitting_times ~method_:resolved chain ~legitimate in
+        let times, ij_outcome =
+          Markov.hitting_times_checked ~method_:resolved chain ~legitimate
+        in
         (* Average over non-empty masks only. *)
         let total = ref 0.0 and count = ref 0 in
         Array.iteri
@@ -186,7 +202,10 @@ let e1_token_sweep ?method_ ?(seed = 42) ?(quick = true) () =
           n;
           mean_steps = !total /. float_of_int !count;
           worst_steps = Some (Array.fold_left Float.max 0.0 times);
-          method_ = backend_label resolved;
+          method_ =
+            (match ij_outcome with
+            | Some (Markov.Max_sweeps _) -> backend_label resolved ^ "!nonconverged"
+            | Some (Markov.Converged _) | None -> backend_label resolved);
         })
       (if quick then [ 4; 6; 8 ] else [ 4; 6; 8; 10; 12 ])
   in

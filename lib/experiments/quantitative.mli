@@ -16,7 +16,10 @@ type datum = {
   worst_steps : float option;  (** worst initial configuration; exact runs only *)
   method_ : string;
       (** which backend produced the row: "exact", "gs", "jacobi"
-          (suffixed "/orbit" on a lumped chain), or "mc(<runs>)" *)
+          (suffixed "/orbit" on a lumped chain), or "mc(<runs>)";
+          suffixed "!nonconverged" when a sparse solve exhausted its
+          sweep budget — the row then reports the partial iterate
+          instead of aborting the whole table *)
 }
 
 val e1_token_sweep :

@@ -1,0 +1,332 @@
+(* Tests for the campaign runner: spec parsing and hashing, checkpoint
+   durability, cooperative cancellation, deterministic backoff, and the
+   headline robustness guarantees — kill-and-resume produces the same
+   report as an uninterrupted run, and a poison cell is quarantined
+   without aborting the campaign. *)
+
+open Stabcampaign
+module Json = Stabobs.Json
+
+let tmp_checkpoint () = Filename.temp_file "stabsim-campaign" ".jsonl"
+
+(* A small all-green campaign: 4 cheap cells across two topologies. *)
+let green_campaign () =
+  let cell analysis topology =
+    {
+      Campaign.protocol = "token-ring";
+      topology;
+      transformed = false;
+      sched = Stabcore.Statespace.Central;
+      analysis;
+      faults = Campaign.No_faults;
+      runs = 40;
+      max_steps = 20_000;
+      max_configs = 100_000;
+    }
+  in
+  {
+    Campaign.name = "test";
+    seed = 11;
+    timeout_ms = None;
+    retries = 2;
+    backoff_ms = 10;
+    cells =
+      [
+        cell Campaign.Check "ring:4";
+        cell Campaign.Markov "ring:4";
+        cell Campaign.Montecarlo "ring:4";
+        cell Campaign.Check "ring:5";
+      ];
+  }
+
+let quiet_options () =
+  { (Runner.default_options ()) with Runner.domains = 1; sleep = (fun _ -> ()) }
+
+(* --- spec parsing --- *)
+
+let test_matrix_cross_product () =
+  let json =
+    {|{"name":"m","matrix":{"protocol":["token-ring"],
+       "topology":["ring:4","ring:5"],
+       "sched":["central","synchronous"],
+       "analysis":["check","montecarlo"],
+       "faults":["none","burst:0:1"]}}|}
+  in
+  match Json.of_string json with
+  | Error m -> Alcotest.fail m
+  | Ok j -> (
+    match Campaign.of_json j with
+    | Error m -> Alcotest.fail m
+    | Ok c ->
+      (* 2 topologies x 2 scheds x (check*none + mc*none + mc*burst):
+         fault plans only pair with montecarlo, so check*burst is
+         dropped, not generated. *)
+      Alcotest.(check int) "cells" (2 * 2 * 3) (List.length c.Campaign.cells);
+      Alcotest.(check bool)
+        "no faulty non-montecarlo cell" true
+        (List.for_all
+           (fun (cell : Campaign.cell) ->
+             cell.Campaign.faults = Campaign.No_faults
+             || cell.Campaign.analysis = Campaign.Montecarlo)
+           c.Campaign.cells))
+
+let test_parse_rejects_faulty_check_cell () =
+  let json = {|{"cells":[{"analysis":"check","faults":"periodic:10:1"}]}|} in
+  match Json.of_string json with
+  | Error m -> Alcotest.fail m
+  | Ok j -> (
+    match Campaign.of_json j with
+    | Ok _ -> Alcotest.fail "faults + check accepted"
+    | Error m -> Alcotest.(check bool) "diagnostic nonempty" true (m <> ""))
+
+let test_parse_rejects_empty () =
+  match Json.of_string "{}" with
+  | Error m -> Alcotest.fail m
+  | Ok j -> (
+    match Campaign.of_json j with
+    | Ok _ -> Alcotest.fail "empty campaign accepted"
+    | Error _ -> ())
+
+let test_cell_hash_is_content_addressed () =
+  let c = green_campaign () in
+  let cells = Array.of_list c.Campaign.cells in
+  Alcotest.(check string)
+    "stable" (Campaign.cell_hash cells.(0)) (Campaign.cell_hash cells.(0));
+  Alcotest.(check bool)
+    "distinct cells, distinct hashes" true
+    (Campaign.cell_hash cells.(0) <> Campaign.cell_hash cells.(1));
+  (* The seed mixes the campaign seed with the hash, so two campaigns
+     differing only in seed run every cell differently. *)
+  let other = { c with Campaign.seed = 12 } in
+  Alcotest.(check bool)
+    "seed shifts cell seeds" true
+    (Campaign.cell_seed c cells.(0) <> Campaign.cell_seed other cells.(0))
+
+(* --- checkpoint store --- *)
+
+let sample_record status =
+  {
+    Checkpoint.hash = "abc123";
+    label = "token-ring(ring:4)/central/check";
+    status;
+    mode = "exact";
+    retries = 1;
+    payload = Json.Obj [ ("weak", Json.Bool true) ];
+    error = None;
+  }
+
+let test_checkpoint_roundtrip () =
+  List.iter
+    (fun status ->
+      let r = sample_record status in
+      match Checkpoint.record_of_json (Checkpoint.record_to_json r) with
+      | None -> Alcotest.fail "roundtrip lost the record"
+      | Some r' ->
+        Alcotest.(check bool) "identical" true (r = r'))
+    [ Checkpoint.Done; Checkpoint.Degraded; Checkpoint.Timed_out; Checkpoint.Quarantined ]
+
+let test_checkpoint_parse_tolerates_torn_tail () =
+  let whole = Json.to_string (Checkpoint.record_to_json (sample_record Checkpoint.Done)) in
+  let torn = String.sub whole 0 (String.length whole - 7) in
+  let text =
+    String.concat "\n"
+      [ {|{"type":"campaign","name":"t"}|}; whole; "not json at all"; torn ]
+  in
+  let records = Checkpoint.parse_string text in
+  (* The torn line and the garbage line are skipped; the header is not
+     a cell; exactly the one whole record survives. *)
+  Alcotest.(check int) "one record" 1 (List.length records)
+
+let test_checkpoint_index_later_wins () =
+  let early = { (sample_record Checkpoint.Timed_out) with Checkpoint.retries = 0 } in
+  let late = sample_record Checkpoint.Done in
+  let idx = Checkpoint.index [ early; late ] in
+  match Hashtbl.find_opt idx "abc123" with
+  | Some r -> Alcotest.(check bool) "later record" true (r.Checkpoint.status = Checkpoint.Done)
+  | None -> Alcotest.fail "hash missing"
+
+let test_checkpoint_file_append_and_load () =
+  let path = tmp_checkpoint () in
+  let sink = Checkpoint.open_append ~fresh:true ~name:"t" path in
+  Checkpoint.append sink (sample_record Checkpoint.Done);
+  Checkpoint.close sink;
+  (* Reopening without [fresh] appends instead of truncating. *)
+  let sink = Checkpoint.open_append ~name:"t" path in
+  Checkpoint.append sink { (sample_record Checkpoint.Degraded) with Checkpoint.hash = "def" };
+  Checkpoint.close sink;
+  let records = Checkpoint.load path in
+  Sys.remove path;
+  Alcotest.(check int) "both records" 2 (List.length records)
+
+let test_checkpoint_append_after_torn_tail () =
+  (* A SIGKILL mid-write leaves a torn line with no newline. Reopening
+     must repair the tail so the resume's first record is not glued
+     onto the garbage and lost with it. *)
+  let path = tmp_checkpoint () in
+  let oc = open_out path in
+  output_string oc "{\"type\":\"campaign\",\"name\":\"t\"}\n{\"type\":\"cell\",\"hash\":\"torn";
+  close_out oc;
+  let sink = Checkpoint.open_append ~name:"t" path in
+  Checkpoint.append sink (sample_record Checkpoint.Done);
+  Checkpoint.close sink;
+  let records = Checkpoint.load path in
+  Sys.remove path;
+  Alcotest.(check int) "appended record survives" 1 (List.length records);
+  Alcotest.(check string) "the whole record, not the tail" "abc123"
+    (List.hd records).Checkpoint.hash
+
+(* --- cooperative cancellation --- *)
+
+let test_cancel_latches_first_reason () =
+  let t = Stabcore.Cancel.create () in
+  Alcotest.(check bool) "fresh" true (Stabcore.Cancel.cancelled t = None);
+  Stabcore.Cancel.cancel ~reason:Stabcore.Cancel.Timeout t;
+  Stabcore.Cancel.cancel ~reason:Stabcore.Cancel.Drained t;
+  Alcotest.(check bool)
+    "first reason wins" true
+    (Stabcore.Cancel.cancelled t = Some Stabcore.Cancel.Timeout)
+
+let test_cancel_deadline_fires () =
+  let t = Stabcore.Cancel.create ~deadline_ns:(Stabobs.Obs.now_ns () - 1) () in
+  Alcotest.check_raises "expired deadline"
+    (Stabcore.Cancel.Cancelled Stabcore.Cancel.Timeout) (fun () ->
+      Stabcore.Cancel.check t)
+
+let test_cancel_current_scoping () =
+  Alcotest.(check bool) "no ambient token" true (Stabcore.Cancel.current () = None);
+  Stabcore.Cancel.poll ();
+  (* no token: a no-op *)
+  let t = Stabcore.Cancel.create () in
+  Stabcore.Cancel.with_current t (fun () ->
+      Alcotest.(check bool) "token visible" true (Stabcore.Cancel.current () = Some t));
+  Alcotest.(check bool) "restored" true (Stabcore.Cancel.current () = None)
+
+(* --- deterministic backoff --- *)
+
+let test_backoff_deterministic_and_bounded () =
+  let a = Runner.backoff_delays ~seed:99 ~base_ms:100 ~attempts:6 in
+  let b = Runner.backoff_delays ~seed:99 ~base_ms:100 ~attempts:6 in
+  Alcotest.(check (list (float 0.0))) "same seed, same schedule" a b;
+  List.iteri
+    (fun i d ->
+      let base = 0.1 *. Float.pow 2.0 (float_of_int i) in
+      (* delay_i = base * 2^i * u_i with u_i in [0.5, 1.5). *)
+      Alcotest.(check bool)
+        (Printf.sprintf "delay %d in its jitter band" i)
+        true
+        (d >= 0.5 *. base && d < 1.5 *. base))
+    a;
+  let c = Runner.backoff_delays ~seed:100 ~base_ms:100 ~attempts:6 in
+  Alcotest.(check bool) "different seed, different jitter" true (a <> c)
+
+(* --- the runner itself --- *)
+
+let render campaign outcomes = Stabexp.Report.render (Runner.report campaign outcomes)
+
+let test_run_all_green () =
+  let campaign = green_campaign () in
+  let outcomes, stats = Runner.run ~options:(quiet_options ()) campaign in
+  Alcotest.(check int) "all cells" 4 (List.length outcomes);
+  Alcotest.(check int) "all done" 4 stats.Runner.done_;
+  Alcotest.(check int) "nothing skipped" 0 stats.Runner.skipped;
+  Alcotest.(check int) "nothing unfinished" 0 stats.Runner.unfinished;
+  (* Outcomes come back in campaign order regardless of execution. *)
+  List.iter2
+    (fun (o : Runner.cell_outcome) cell ->
+      Alcotest.(check string) "order" (Campaign.cell_label cell)
+        (Campaign.cell_label o.Runner.cell))
+    outcomes campaign.Campaign.cells
+
+let test_kill_and_resume_matches_uninterrupted () =
+  let campaign = green_campaign () in
+  (* Ground truth: one uninterrupted run, no checkpoint. *)
+  let full_outcomes, _ = Runner.run ~options:(quiet_options ()) campaign in
+  let expected = render campaign full_outcomes in
+  (* Interrupted run: drain after two checkpoint appends — the
+     deterministic stand-in for a kill between two cells. *)
+  let path = tmp_checkpoint () in
+  let killed =
+    {
+      (quiet_options ()) with
+      Runner.checkpoint = Some path;
+      fresh = true;
+      stop_after = Some 2;
+    }
+  in
+  let _, stats1 = Runner.run ~options:killed campaign in
+  Alcotest.(check int) "two cells survived the kill" 2 stats1.Runner.executed;
+  Alcotest.(check int) "two cells unfinished" 2 stats1.Runner.unfinished;
+  (* Resume: the finished cells are skipped, the rest re-executed. *)
+  let resumed = { (quiet_options ()) with Runner.checkpoint = Some path } in
+  let outcomes2, stats2 = Runner.run ~options:resumed campaign in
+  Sys.remove path;
+  Alcotest.(check int) "resume skips finished cells" 2 stats2.Runner.skipped;
+  Alcotest.(check int) "resume executes the rest" 2 stats2.Runner.executed;
+  Alcotest.(check int) "campaign complete" 0 stats2.Runner.unfinished;
+  (* The headline guarantee: the merged report is byte-identical to the
+     uninterrupted run's. *)
+  Alcotest.(check string) "byte-identical report" expected (render campaign outcomes2)
+
+let test_poison_cell_quarantined () =
+  let campaign = green_campaign () in
+  let poison =
+    { (List.hd campaign.Campaign.cells) with Campaign.protocol = "no-such-protocol" }
+  in
+  let campaign =
+    { campaign with Campaign.cells = [ poison; List.nth campaign.Campaign.cells 1 ] }
+  in
+  let outcomes, stats = Runner.run ~options:(quiet_options ()) campaign in
+  Alcotest.(check int) "campaign not aborted" 2 (List.length outcomes);
+  Alcotest.(check int) "poison quarantined" 1 stats.Runner.quarantined;
+  Alcotest.(check int) "healthy cell done" 1 stats.Runner.done_;
+  let o = List.hd outcomes in
+  Alcotest.(check bool) "quarantine carries the error" true (o.Runner.error <> None);
+  (* Quarantine means the crash budget (two worker crashes) was spent:
+     one retry beyond the first attempt. *)
+  Alcotest.(check int) "crashed twice" 1 o.Runner.retries
+
+let test_zero_timeout_exhausts_ladder () =
+  let campaign = green_campaign () in
+  let campaign = { campaign with Campaign.cells = [ List.hd campaign.Campaign.cells ] } in
+  let options = { (quiet_options ()) with Runner.timeout_ms = Some 0 } in
+  let outcomes, stats = Runner.run ~options campaign in
+  Alcotest.(check int) "timed out" 1 stats.Runner.timed_out;
+  let o = List.hd outcomes in
+  (* Every rung timed out, so the final mode is the ladder's last. *)
+  Alcotest.(check string) "died on the last rung" "montecarlo" o.Runner.mode;
+  Alcotest.(check bool)
+    "demotions counted as retries" true (o.Runner.retries >= 2)
+
+let test_degraded_montecarlo_is_deterministic () =
+  (* A Monte-Carlo cell's numbers depend only on (cell, campaign seed):
+     running the same campaign twice gives identical payloads. *)
+  let campaign = green_campaign () in
+  let mc = List.nth campaign.Campaign.cells 2 in
+  let campaign = { campaign with Campaign.cells = [ mc ] } in
+  let run () =
+    let outcomes, _ = Runner.run ~options:(quiet_options ()) campaign in
+    Json.to_string (List.hd outcomes).Runner.payload
+  in
+  Alcotest.(check string) "identical payloads" (run ()) (run ())
+
+let suite =
+  [
+    Alcotest.test_case "matrix cross product" `Quick test_matrix_cross_product;
+    Alcotest.test_case "faulty check cell rejected" `Quick test_parse_rejects_faulty_check_cell;
+    Alcotest.test_case "empty campaign rejected" `Quick test_parse_rejects_empty;
+    Alcotest.test_case "cell hash content-addressed" `Quick test_cell_hash_is_content_addressed;
+    Alcotest.test_case "checkpoint json roundtrip" `Quick test_checkpoint_roundtrip;
+    Alcotest.test_case "checkpoint tolerates torn tail" `Quick test_checkpoint_parse_tolerates_torn_tail;
+    Alcotest.test_case "checkpoint later record wins" `Quick test_checkpoint_index_later_wins;
+    Alcotest.test_case "checkpoint append and load" `Quick test_checkpoint_file_append_and_load;
+    Alcotest.test_case "checkpoint repairs torn tail" `Quick test_checkpoint_append_after_torn_tail;
+    Alcotest.test_case "cancel latches first reason" `Quick test_cancel_latches_first_reason;
+    Alcotest.test_case "cancel deadline fires" `Quick test_cancel_deadline_fires;
+    Alcotest.test_case "cancel current scoping" `Quick test_cancel_current_scoping;
+    Alcotest.test_case "backoff deterministic" `Quick test_backoff_deterministic_and_bounded;
+    Alcotest.test_case "run all green" `Quick test_run_all_green;
+    Alcotest.test_case "kill and resume byte-identical" `Quick test_kill_and_resume_matches_uninterrupted;
+    Alcotest.test_case "poison cell quarantined" `Quick test_poison_cell_quarantined;
+    Alcotest.test_case "zero timeout exhausts ladder" `Quick test_zero_timeout_exhausts_ladder;
+    Alcotest.test_case "degraded montecarlo deterministic" `Quick test_degraded_montecarlo_is_deterministic;
+  ]

@@ -276,6 +276,58 @@ let test_recovery_profile_under_plan_converges () =
   in
   Alcotest.(check int) "all runs converge" 0 profile.Montecarlo.timeouts
 
+(* --- plan edge cases: the boundaries of every plan's parameter space --- *)
+
+let test_burst_at_step_zero_fires () =
+  (* A burst scheduled at step 0 fires on the engine's very first hook
+     call — there is no silent warm-up step. *)
+  let n = 4 in
+  let p = Stabalgo.Token_ring.make ~n in
+  let plan = Faults.burst p ~at:[ 0 ] ~faults:1 in
+  let inject = Faults.arm plan (Stabrng.Rng.create 30) in
+  let cfg = Stabalgo.Token_ring.legitimate_config ~n in
+  Alcotest.(check bool) "step 0 fires" true (inject ~step:0 ~cfg <> None);
+  Alcotest.(check bool) "one-shot: step 1 silent" true (inject ~step:1 ~cfg = None)
+
+let test_bernoulli_rate_zero_rejected () =
+  (* Both degenerate rates are rejected: p = 0 never fires and p = 1 is
+     a periodic plan with gap 1 — both are spelled differently. *)
+  let p = Stabalgo.Token_ring.make ~n:4 in
+  Alcotest.check_raises "rate 0"
+    (Invalid_argument "Faults.bernoulli: rate outside (0, 1)") (fun () ->
+      ignore (Faults.bernoulli p ~rate:0.0 ~faults:1))
+
+let test_bernoulli_rate_one_rejected () =
+  let p = Stabalgo.Token_ring.make ~n:4 in
+  Alcotest.check_raises "rate 1"
+    (Invalid_argument "Faults.bernoulli: rate outside (0, 1)") (fun () ->
+      ignore (Faults.bernoulli p ~rate:1.0 ~faults:1))
+
+let test_crash_wake_p_zero_is_permanent () =
+  (* wake_p = 0 is the permanent crash: a fully-failed ring stalls on
+     the first scheduler call, exactly like the no-wake_p default. *)
+  let n = 4 in
+  let p = Stabalgo.Token_ring.make ~n in
+  let sched =
+    Scheduler.crash ~wake_p:0.0 ~failed:[ 0; 1; 2; 3 ] (Scheduler.central_random ())
+  in
+  let rng = Stabrng.Rng.create 31 in
+  let r =
+    Engine.run ~record:false ~max_steps:50 rng p sched
+      ~init:(Stabalgo.Token_ring.legitimate_config ~n)
+  in
+  Alcotest.(check bool) "stalled" true (r.Engine.stop = Engine.Stalled);
+  Alcotest.(check int) "no steps" 0 r.Engine.steps
+
+let test_crash_wake_p_one_rejected () =
+  (* wake_p = 1 would mean "crashed but always awake" — the interval is
+     half-open [0, 1) and the top end is rejected. *)
+  Alcotest.check_raises "wake_p 1"
+    (Invalid_argument "Scheduler.crash: wake_p outside [0, 1)") (fun () ->
+      ignore
+        (Scheduler.crash ~wake_p:1.0 ~failed:[ 0 ]
+           (Scheduler.central_random () : int Scheduler.t)))
+
 (* --- crash faults --- *)
 
 let test_crash_scheduler_silences_permanently () =
@@ -426,6 +478,11 @@ let suite =
     Alcotest.test_case "burst plan one-shot entries" `Quick test_burst_plan_fires_once_per_entry;
     Alcotest.test_case "plan validation" `Quick test_plan_validation;
     Alcotest.test_case "adversarial plan severity" `Quick test_adversarial_plan_increases_severity;
+    Alcotest.test_case "burst at step 0 fires" `Quick test_burst_at_step_zero_fires;
+    Alcotest.test_case "bernoulli rate 0 rejected" `Quick test_bernoulli_rate_zero_rejected;
+    Alcotest.test_case "bernoulli rate 1 rejected" `Quick test_bernoulli_rate_one_rejected;
+    Alcotest.test_case "crash wake_p 0 permanent" `Quick test_crash_wake_p_zero_is_permanent;
+    Alcotest.test_case "crash wake_p 1 rejected" `Quick test_crash_wake_p_one_rejected;
     Alcotest.test_case "inject hook stepless" `Quick test_engine_injections_counted_and_stepless;
     Alcotest.test_case "availability bounds" `Quick test_availability_bounds_and_entries;
     Alcotest.test_case "recovery under plan" `Quick test_recovery_profile_under_plan_converges;

@@ -29,6 +29,7 @@ let () =
       ("taxonomy", Test_taxonomy.suite);
       ("onthefly", Test_onthefly.suite);
       ("faults", Test_faults.suite);
+      ("campaign", Test_campaign.suite);
       ("resilience", Test_resilience.suite);
       ("structures", Test_structures.suite);
       ("obs", Test_obs.suite);
