@@ -246,6 +246,7 @@ let campaign_resume () =
    regression means instrumentation started taxing the uninstrumented
    hot path. *)
 let dark_dist = Dist.make "bench.dark"
+let dark_gauge = Stabobs.Registry.Gauge.make "bench.dark-gauge"
 
 let ignore_unit f () = ignore (f ())
 
@@ -293,6 +294,7 @@ let tests : (string * (unit -> unit)) list =
     ("obs-span-disabled", fun () -> Obs.span "bench.noop" ignore);
     ("obs-counter-disabled", fun () -> Obs.Counter.add Obs.configs_expanded 1);
     ("obs-dist-disabled", fun () -> Dist.record dark_dist 1.0);
+    ("obs-gauge-disabled", fun () -> Stabobs.Registry.Gauge.set dark_gauge 1);
   ]
 
 (* --- the sampling harness --- *)

@@ -90,7 +90,7 @@ let print_dists () =
    of the default immediate death, so a ^C mid-run still leaves valid
    JSONL / Chrome-trace files behind. The campaign subcommand replaces
    these with its drain-first handlers. *)
-let setup_obs verbose quiet log_json profile gc_stats =
+let setup_obs verbose quiet log_json trace profile gc_stats =
   (try
      Sys.set_signal Sys.sigint (Sys.Signal_handle (fun _ -> exit 130));
      Sys.set_signal Sys.sigterm (Sys.Signal_handle (fun _ -> exit 143))
@@ -106,6 +106,9 @@ let setup_obs verbose quiet log_json profile gc_stats =
   (match log_json with
   | None -> ()
   | Some path -> Obs.install (Obs.jsonl_channel (open_out path)));
+  (match trace with
+  | None -> ()
+  | Some path -> Obs.install (Obs.chrome_channel (open_out path)));
   if profile then begin
     let p = Obs.Profile.create () in
     Obs.install (Obs.Profile.sink p);
@@ -131,6 +134,13 @@ let obs_term =
     let doc = "Write telemetry (spans, counters, messages) to $(docv) as JSON lines." in
     Arg.(value & opt (some string) None & info [ "log-json" ] ~docv:"FILE" ~doc)
   in
+  let trace_arg =
+    let doc =
+      "Write a Chrome trace_event file to $(docv): one lane per Domain, spans as \
+       nested slices (open in chrome://tracing or Perfetto)."
+    in
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+  in
   let profile_arg =
     let doc = "Collect per-phase timings and print profile tables on exit." in
     Arg.(value & flag & info [ "profile" ] ~doc)
@@ -144,8 +154,8 @@ let obs_term =
     Arg.(value & flag & info [ "gc-stats" ] ~doc)
   in
   Term.(
-    const setup_obs $ verbose_arg $ quiet_arg $ log_json_arg $ profile_arg
-    $ gc_stats_arg)
+    const setup_obs $ verbose_arg $ quiet_arg $ log_json_arg $ trace_arg
+    $ profile_arg $ gc_stats_arg)
 
 (* --- shared arguments --- *)
 
@@ -844,8 +854,51 @@ let faults_cmd =
 
 (* --- profile (per-phase telemetry over the whole pipeline) --- *)
 
+(* Machine-readable twin of the profile tables: same rows, exact
+   nanoseconds instead of pretty-printed durations. *)
+let profile_json profile =
+  let module Json = Stabobs.Json in
+  Json.Obj
+    [
+      ("wall_ns", Json.Int (Obs.Profile.wall_ns profile));
+      ( "phases",
+        Json.List
+          (List.map
+             (fun (r : Obs.Profile.row) ->
+               Json.Obj
+                 [
+                   ("name", Json.String r.Obs.Profile.name);
+                   ("count", Json.Int r.Obs.Profile.count);
+                   ("total_ns", Json.Int r.Obs.Profile.total_ns);
+                   ("max_ns", Json.Int r.Obs.Profile.max_ns);
+                   ("minor_words", Json.Int r.Obs.Profile.minor_words);
+                   ("major_collections", Json.Int r.Obs.Profile.major_collections);
+                 ])
+             (Obs.Profile.rows profile)) );
+      ( "counters",
+        Json.Obj
+          (List.filter_map
+             (fun (name, v) -> if v = 0 then None else Some (name, Json.Int v))
+             (Obs.Counter.snapshot ())) );
+      ( "dists",
+        Json.Obj
+          (List.map
+             (fun (name, (s : Stabobs.Dist.summary)) ->
+               ( name,
+                 Json.Obj
+                   [
+                     ("count", Json.Int s.Stabobs.Dist.count);
+                     ("mean", Json.Float s.Stabobs.Dist.mean);
+                     ("p50", Json.Float s.Stabobs.Dist.p50);
+                     ("p95", Json.Float s.Stabobs.Dist.p95);
+                     ("p99", Json.Float s.Stabobs.Dist.p99);
+                     ("max", Json.Float s.Stabobs.Dist.max);
+                   ] ))
+             (Stabobs.Dist.snapshot ())) );
+    ]
+
 let profile_cmd =
-  let run () protocol n topology cls seed runs trace =
+  let run () protocol n topology cls seed runs json =
     wrap (fun () ->
         let topology =
           match topology with
@@ -865,9 +918,6 @@ let profile_cmd =
         in
         let profile = Obs.Profile.create () in
         Obs.install (Obs.Profile.sink profile);
-        (match trace with
-        | None -> ()
-        | Some path -> Obs.install (Obs.chrome_channel (open_out path)));
         Obs.Counter.reset_all ();
         let rng = Stabrng.Rng.create seed in
         (* The full pipeline, end to end: exhaustive verdicts, the
@@ -894,24 +944,71 @@ let profile_cmd =
           Stabcore.Montecarlo.estimate ~runs ~max_steps:1_000_000 rng e.protocol sched
             e.spec
         in
-        Format.printf "%s under the %a class (%d configurations)@.%s@.@." e.label
-          Stabcore.Statespace.pp_sched_class cls
-          (Stabcore.Statespace.count space)
-          e.describe;
-        Format.printf
-          "verdicts: weak-stabilizing %b, self-stabilizing %b, prob-1 convergence %b@."
-          (Stabcore.Checker.weak_stabilizing v)
-          (Stabcore.Checker.self_stabilizing v)
-          (match prob1 with Ok () -> true | Error _ -> false);
-        (match hit_stats with
-        | Some s ->
-          Format.printf "expected stabilization time: mean %.4f steps, worst %.4f steps@."
-            s.Stabcore.Markov.mean s.Stabcore.Markov.max
-        | None -> ());
-        Format.printf "montecarlo (%d runs): %a@.@." runs Stabcore.Montecarlo.pp_result mc;
-        print_profile profile;
-        print_counters ();
-        print_dists ())
+        if json then begin
+          let module Json = Stabobs.Json in
+          let doc =
+            Json.Obj
+              [
+                ("protocol", Json.String e.label);
+                ( "class",
+                  Json.String
+                    (Format.asprintf "%a" Stabcore.Statespace.pp_sched_class cls) );
+                ("configs", Json.Int (Stabcore.Statespace.count space));
+                ( "verdicts",
+                  Json.Obj
+                    [
+                      ("weak", Json.Bool (Stabcore.Checker.weak_stabilizing v));
+                      ("self", Json.Bool (Stabcore.Checker.self_stabilizing v));
+                      ( "prob1",
+                        Json.Bool
+                          (match prob1 with Ok () -> true | Error _ -> false) );
+                    ] );
+                ( "hitting",
+                  match hit_stats with
+                  | Some s ->
+                    Json.Obj
+                      [
+                        ("mean", Json.Float s.Stabcore.Markov.mean);
+                        ("max", Json.Float s.Stabcore.Markov.max);
+                      ]
+                  | None -> Json.Null );
+                ( "montecarlo",
+                  Json.Obj
+                    [
+                      ("runs", Json.Int runs);
+                      ( "converged",
+                        Json.Int (Array.length mc.Stabcore.Montecarlo.times) );
+                      ("timeouts", Json.Int mc.Stabcore.Montecarlo.timeouts);
+                      ( "mean_steps",
+                        match mc.Stabcore.Montecarlo.summary with
+                        | Some s -> Json.Float s.Stabstats.Stats.mean
+                        | None -> Json.Null );
+                    ] );
+                ("profile", profile_json profile);
+              ]
+          in
+          print_endline (Json.to_string ~minify:false doc)
+        end
+        else begin
+          Format.printf "%s under the %a class (%d configurations)@.%s@.@." e.label
+            Stabcore.Statespace.pp_sched_class cls
+            (Stabcore.Statespace.count space)
+            e.describe;
+          Format.printf
+            "verdicts: weak-stabilizing %b, self-stabilizing %b, prob-1 convergence %b@."
+            (Stabcore.Checker.weak_stabilizing v)
+            (Stabcore.Checker.self_stabilizing v)
+            (match prob1 with Ok () -> true | Error _ -> false);
+          (match hit_stats with
+          | Some s ->
+            Format.printf "expected stabilization time: mean %.4f steps, worst %.4f steps@."
+              s.Stabcore.Markov.mean s.Stabcore.Markov.max
+          | None -> ());
+          Format.printf "montecarlo (%d runs): %a@.@." runs Stabcore.Montecarlo.pp_result mc;
+          print_profile profile;
+          print_counters ();
+          print_dists ()
+        end)
   in
   let protocol_pos_arg =
     let doc =
@@ -932,17 +1029,18 @@ let profile_cmd =
     Arg.(
       value & opt int 200 & info [ "runs" ] ~docv:"RUNS" ~doc:"Monte-Carlo runs to sample.")
   in
-  let trace_arg =
+  let json_arg =
     let doc =
-      "Write a Chrome trace_event file to $(docv) (open in chrome://tracing or Perfetto)."
+      "Emit one JSON document (verdicts, per-phase timings, counters, \
+       distributions) instead of the human tables."
     in
-    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+    Arg.(value & flag & info [ "json" ] ~doc)
   in
   let term =
     Term.(
       term_result
         (const run $ obs_term $ protocol_pos_arg $ n_arg $ topology_opt_arg
-       $ sched_class_arg $ seed_arg $ runs_arg $ trace_arg))
+       $ sched_class_arg $ seed_arg $ runs_arg $ json_arg))
   in
   Cmd.v
     (Cmd.info "profile"
@@ -1115,7 +1213,8 @@ let bench_cmd =
 (* --- campaign (sharded, crash-resumable experiment matrices) --- *)
 
 let campaign_cmd =
-  let run () file checkpoint no_checkpoint fresh domains timeout_ms report_md =
+  let run () file checkpoint no_checkpoint fresh domains timeout_ms report_md
+      status_socket status_port =
     wrap (fun () ->
         let campaign =
           match Stabcampaign.Campaign.load file with
@@ -1154,7 +1253,24 @@ let campaign_cmd =
               | None -> defaults.Stabcampaign.Runner.timeout_ms);
           }
         in
-        let outcomes, stats = Stabcampaign.Runner.run ~options campaign in
+        let status_server =
+          if status_socket = None && status_port = None then None
+          else begin
+            let s =
+              Stabcampaign.Status.start ?socket:status_socket ?port:status_port ()
+            in
+            (match Stabcampaign.Status.port s with
+            | Some p -> Obs.infof "status server listening on 127.0.0.1:%d" p
+            | None -> ());
+            Some s
+          end
+        in
+        let outcomes, stats =
+          Fun.protect
+            ~finally:(fun () ->
+              Option.iter Stabcampaign.Status.stop status_server)
+            (fun () -> Stabcampaign.Runner.run ~options campaign)
+        in
         let table = Stabcampaign.Runner.report campaign outcomes in
         Stabexp.Report.print table;
         (match report_md with
@@ -1209,17 +1325,88 @@ let campaign_cmd =
     let doc = "Also write the result table as GitHub markdown to $(docv)." in
     Arg.(value & opt (some string) None & info [ "report-md" ] ~docv:"FILE" ~doc)
   in
+  let status_socket_arg =
+    let doc =
+      "Serve live $(b,/metrics) (Prometheus text) and $(b,/status) (JSON) on a \
+       Unix-domain socket at $(docv) while the campaign runs. Query it with \
+       $(b,stabsim status) $(docv) or curl --unix-socket."
+    in
+    Arg.(value & opt (some string) None & info [ "status-socket" ] ~docv:"PATH" ~doc)
+  in
+  let status_port_arg =
+    let doc =
+      "Also serve the status endpoints over TCP on 127.0.0.1:$(docv) (0 picks an \
+       ephemeral port, logged at info level)."
+    in
+    Arg.(value & opt (some int) None & info [ "status-port" ] ~docv:"PORT" ~doc)
+  in
   let term =
     Term.(
       term_result
         (const run $ obs_term $ file_pos_arg $ checkpoint_arg $ no_checkpoint_arg
-       $ fresh_arg $ domains_arg $ timeout_ms_arg $ report_md_arg))
+       $ fresh_arg $ domains_arg $ timeout_ms_arg $ report_md_arg
+       $ status_socket_arg $ status_port_arg))
   in
   Cmd.v
     (Cmd.info "campaign"
        ~doc:
          "Run a sharded experiment matrix with per-cell timeouts, retry/backoff, \
-          poison-cell quarantine and crash-resumable checkpoints.")
+          poison-cell quarantine, crash-resumable checkpoints and an optional \
+          live status server.")
+    term
+
+(* --- status (client for the campaign status server) --- *)
+
+let status_cmd =
+  let run () target watch metrics =
+    wrap (fun () ->
+        let path = if metrics then "/metrics" else "/status" in
+        let fetch_and_print () =
+          match Stabcampaign.Status.client_fetch ~target ~path with
+          | Error e -> failwith e
+          | Ok body ->
+            if metrics then print_string body
+            else (
+              match Stabobs.Json.of_string body with
+              | Error e -> failwith (Printf.sprintf "bad /status document: %s" e)
+              | Ok json -> print_string (Stabcampaign.Status.render_status json));
+            flush stdout
+        in
+        match watch with
+        | None -> fetch_and_print ()
+        | Some secs ->
+          let secs = Float.max 0.1 secs in
+          while true do
+            fetch_and_print ();
+            print_endline "---";
+            flush stdout;
+            Unix.sleepf secs
+          done)
+  in
+  let target_pos_arg =
+    let doc =
+      "Where the server listens: a Unix socket path (as given to \
+       $(b,--status-socket)), $(b,:PORT) or $(b,HOST:PORT)."
+    in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"TARGET" ~doc)
+  in
+  let watch_arg =
+    let doc = "Poll every $(docv) seconds until interrupted." in
+    Arg.(value & opt (some float) None & info [ "watch" ] ~docv:"SECS" ~doc)
+  in
+  let metrics_arg =
+    let doc = "Fetch the raw Prometheus $(b,/metrics) text instead of $(b,/status)." in
+    Arg.(value & flag & info [ "metrics" ] ~doc)
+  in
+  let term =
+    Term.(
+      term_result (const run $ obs_term $ target_pos_arg $ watch_arg $ metrics_arg))
+  in
+  Cmd.v
+    (Cmd.info "status"
+       ~doc:
+         "Query a running campaign's status server and render the live progress \
+          (cells settled, per-worker heartbeats, ETA).")
     term
 
 let main =
@@ -1241,6 +1428,7 @@ let main =
       profile_cmd;
       bench_cmd;
       campaign_cmd;
+      status_cmd;
     ]
 
 let () =

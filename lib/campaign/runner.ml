@@ -54,12 +54,100 @@ let c_quarantined = Obs.Counter.make "campaign.quarantined"
 let c_retried = Obs.Counter.make "campaign.retried"
 let c_skipped = Obs.Counter.make "campaign.skipped"
 let d_cell_duration = Stabobs.Dist.make "campaign.cell.duration"
+let g_cells_total = Stabobs.Registry.Gauge.make "campaign.cells.total"
+let g_cells_remaining = Stabobs.Registry.Gauge.make "campaign.cells.remaining"
+let g_workers = Stabobs.Registry.Gauge.make "campaign.workers"
+let l_campaign = Stabobs.Registry.Label.make "campaign.name"
 
 let counter_of_status = function
   | Checkpoint.Done -> c_done
   | Checkpoint.Degraded -> c_degraded
   | Checkpoint.Timed_out -> c_timed_out
   | Checkpoint.Quarantined -> c_quarantined
+
+(* {1 Live progress}
+
+   The status server reads campaign progress from any domain while
+   workers run, so everything here is a single Atomic cell per field:
+   no locks on either side, no torn reads. One [live] record per
+   {!run}; it stays readable after the run finishes (finished_ns set)
+   so a scrape between campaign end and process exit still answers. *)
+
+type heartbeat = {
+  hb_worker : int;
+  hb_domain : int;
+  hb_cell : (string * int) option;  (* current cell label, started at ns *)
+}
+
+type progress = {
+  p_name : string;
+  p_started_ns : int;
+  p_finished_ns : int option;
+  p_total : int;
+  p_workers : int;
+  p_done : int;
+  p_degraded : int;
+  p_timed_out : int;
+  p_quarantined : int;
+  p_skipped : int;
+  p_retried : int;
+  p_executed : int;
+  p_executed_ns : int;
+  p_draining : bool;
+}
+
+type slot = { s_domain : int Atomic.t; s_cell : (string * int) option Atomic.t }
+
+type live = {
+  v_name : string;
+  v_started : int;
+  v_finished : int Atomic.t;  (* 0 while running *)
+  v_total : int;
+  v_done : int Atomic.t;
+  v_degraded : int Atomic.t;
+  v_timed_out : int Atomic.t;
+  v_quarantined : int Atomic.t;
+  v_skipped : int Atomic.t;
+  v_retried : int Atomic.t;
+  v_executed : int Atomic.t;
+  v_executed_ns : int Atomic.t;
+  v_slots : slot array;
+}
+
+let live_state : live option Atomic.t = Atomic.make None
+
+let live_create ~name ~total ~workers =
+  let v =
+    {
+      v_name = name;
+      v_started = Obs.now_ns ();
+      v_finished = Atomic.make 0;
+      v_total = total;
+      v_done = Atomic.make 0;
+      v_degraded = Atomic.make 0;
+      v_timed_out = Atomic.make 0;
+      v_quarantined = Atomic.make 0;
+      v_skipped = Atomic.make 0;
+      v_retried = Atomic.make 0;
+      v_executed = Atomic.make 0;
+      v_executed_ns = Atomic.make 0;
+      v_slots =
+        Array.init workers (fun _ ->
+            { s_domain = Atomic.make (-1); s_cell = Atomic.make None });
+    }
+  in
+  Atomic.set live_state (Some v);
+  v
+
+let live_settled v =
+  Atomic.get v.v_done + Atomic.get v.v_degraded + Atomic.get v.v_timed_out
+  + Atomic.get v.v_quarantined + Atomic.get v.v_skipped
+
+let live_counter v = function
+  | Checkpoint.Done -> v.v_done
+  | Checkpoint.Degraded -> v.v_degraded
+  | Checkpoint.Timed_out -> v.v_timed_out
+  | Checkpoint.Quarantined -> v.v_quarantined
 
 (* {1 Graceful drain}
 
@@ -85,6 +173,43 @@ let request_drain () =
   List.iter (fun tok -> Cancel.cancel tok) (Atomic.get inflight)
 
 let draining () = Atomic.get drain_flag
+
+let progress () =
+  match Atomic.get live_state with
+  | None -> None
+  | Some v ->
+    Some
+      {
+        p_name = v.v_name;
+        p_started_ns = v.v_started;
+        p_finished_ns =
+          (match Atomic.get v.v_finished with 0 -> None | t -> Some t);
+        p_total = v.v_total;
+        p_workers = Array.length v.v_slots;
+        p_done = Atomic.get v.v_done;
+        p_degraded = Atomic.get v.v_degraded;
+        p_timed_out = Atomic.get v.v_timed_out;
+        p_quarantined = Atomic.get v.v_quarantined;
+        p_skipped = Atomic.get v.v_skipped;
+        p_retried = Atomic.get v.v_retried;
+        p_executed = Atomic.get v.v_executed;
+        p_executed_ns = Atomic.get v.v_executed_ns;
+        p_draining = draining ();
+      }
+
+let heartbeats () =
+  match Atomic.get live_state with
+  | None -> []
+  | Some v ->
+    Array.to_list
+      (Array.mapi
+         (fun i s ->
+           {
+             hb_worker = i;
+             hb_domain = Atomic.get s.s_domain;
+             hb_cell = Atomic.get s.s_cell;
+           })
+         v.v_slots)
 
 (* {1 Deterministic backoff} *)
 
@@ -278,7 +403,10 @@ let attempt_cell (campaign : Campaign.t) options (cell : Campaign.cell) =
   let retries = ref 0 in
   let retry () =
     incr retries;
-    Obs.Counter.incr c_retried
+    Obs.Counter.incr c_retried;
+    match Atomic.get live_state with
+    | Some v -> Atomic.incr v.v_retried
+    | None -> ()
   in
   let transients = ref 0 in
   let crashes = ref 0 in
@@ -406,7 +534,18 @@ let run ?options campaign =
   let results = Array.make n None in
   let next = Atomic.make 0 in
   let appended = Atomic.make 0 in
-  let work () =
+  let workers = max 1 (min options.domains (max n 1)) in
+  let live = live_create ~name:campaign.Campaign.name ~total:n ~workers in
+  Stabobs.Registry.Gauge.set g_cells_total n;
+  Stabobs.Registry.Gauge.set g_cells_remaining n;
+  Stabobs.Registry.Gauge.set g_workers workers;
+  Stabobs.Registry.Label.set l_campaign campaign.Campaign.name;
+  let settle () =
+    Stabobs.Registry.Gauge.set g_cells_remaining (n - live_settled live)
+  in
+  let work w =
+    let slot = live.v_slots.(w) in
+    Atomic.set slot.s_domain (Domain.self () :> int);
     let continue = ref true in
     while !continue do
       if draining () then continue := false
@@ -419,11 +558,24 @@ let run ?options campaign =
           match Hashtbl.find_opt finished hash with
           | Some r ->
             Obs.Counter.incr c_skipped;
+            Atomic.incr live.v_skipped;
+            settle ();
             results.(i) <- Some (outcome_of_record cell r)
           | None -> (
             let label = Campaign.cell_label cell in
             let t0 = Obs.now_ns () in
+            Atomic.set slot.s_cell (Some (label, t0));
             match
+              Fun.protect
+                ~finally:(fun () -> Atomic.set slot.s_cell None)
+              @@ fun () ->
+              Obs.with_tags
+                [
+                  ("cell", Json.String label);
+                  ("cell_hash", Json.String hash);
+                  ("worker", Json.Int w);
+                ]
+              @@ fun () ->
               Obs.span "campaign.cell" ~args:[ ("label", Json.String label) ]
                 (fun () -> attempt_cell campaign options cell)
             with
@@ -432,6 +584,10 @@ let run ?options campaign =
               let duration_ns = Obs.now_ns () - t0 in
               Stabobs.Dist.record_int d_cell_duration duration_ns;
               Obs.Counter.incr (counter_of_status f.f_status);
+              Atomic.incr (live_counter live f.f_status);
+              Atomic.incr live.v_executed;
+              ignore (Atomic.fetch_and_add live.v_executed_ns duration_ns);
+              settle ();
               let outcome =
                 {
                   cell;
@@ -467,7 +623,6 @@ let run ?options campaign =
       end
     done
   in
-  let workers = max 1 (min options.domains (max n 1)) in
   Obs.span "campaign.run"
     ~args:
       [
@@ -479,11 +634,12 @@ let run ?options campaign =
   let first = ref None in
   let note e = match !first with None -> first := Some e | Some _ -> () in
   let spawned =
-    List.init (workers - 1) (fun _ -> Domain.spawn (fun () -> work ()))
+    List.init (workers - 1) (fun i -> Domain.spawn (fun () -> work (i + 1)))
   in
-  (try work () with e -> note e);
+  (try work 0 with e -> note e);
   List.iter (fun d -> try Domain.join d with e -> note e) spawned;
   Option.iter Checkpoint.close sink;
+  Atomic.set live.v_finished (Obs.now_ns ());
   (match !first with Some e -> raise e | None -> ());
   let outcomes =
     Array.to_list results |> List.filter_map Fun.id

@@ -64,6 +64,45 @@ val request_drain : unit -> unit
 
 val draining : unit -> bool
 
+(** {1 Live progress}
+
+    The status server ({!Status}) polls these from its accept-loop
+    domain while workers run. Every field is read from its own
+    [Atomic.t], so values are never torn; the record as a whole is a
+    best-effort instant, not a barrier. *)
+
+type heartbeat = {
+  hb_worker : int;  (** worker slot index, 0 = the calling domain *)
+  hb_domain : int;  (** [Domain.self] of the worker, -1 before it starts *)
+  hb_cell : (string * int) option;
+      (** cell label and start instant (ns, monotonic) of the cell the
+          worker is executing; [None] when idle or between cells *)
+}
+
+type progress = {
+  p_name : string;
+  p_started_ns : int;  (** monotonic, {!Stabobs.Obs.now_ns} clock *)
+  p_finished_ns : int option;  (** set once {!run} returns *)
+  p_total : int;
+  p_workers : int;
+  p_done : int;
+  p_degraded : int;
+  p_timed_out : int;
+  p_quarantined : int;
+  p_skipped : int;  (** replayed from the checkpoint *)
+  p_retried : int;
+  p_executed : int;  (** cells actually run this process (not replayed) *)
+  p_executed_ns : int;  (** summed wall time of executed cells *)
+  p_draining : bool;
+}
+
+val progress : unit -> progress option
+(** [None] until the first {!run} of the process; afterwards the
+    latest run's progress, still readable after it finished. *)
+
+val heartbeats : unit -> heartbeat list
+(** One entry per worker slot of the latest run, in slot order. *)
+
 val backoff_delays : seed:int -> base_ms:int -> attempts:int -> float list
 (** The deterministic backoff schedule, in seconds: delay [i] is
     [base_ms * 2^i * u_i / 1000] with [u_i] uniform in [0.5, 1.5) drawn

@@ -172,6 +172,24 @@ let gc_sampling () = Atomic.get gc_mode
 
 let word_bytes = Sys.word_size / 8
 
+(* Ambient tags: a Domain-local list of (key, json) pairs appended to
+   the args of every span event the domain emits while a [with_tags]
+   scope is active. This is how the campaign runner threads the cell
+   id and worker index into every nested span without touching the
+   instrumentation sites. Dark path: [f ()] and nothing else. *)
+let tags_key : (string * Json.t) list Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> [])
+
+let current_tags () = Domain.DLS.get tags_key
+
+let with_tags tags f =
+  if not (on ()) then f ()
+  else begin
+    let prev = Domain.DLS.get tags_key in
+    Domain.DLS.set tags_key (prev @ tags);
+    Fun.protect f ~finally:(fun () -> Domain.DLS.set tags_key prev)
+  end
+
 (* [Gc.quick_stat] only folds the young generation into [minor_words]
    at a minor collection, so its delta reads 0 across any span that
    doesn't trigger one; [Gc.minor_words ()] reads the allocation
@@ -199,6 +217,9 @@ let gc_delta_of g0 g1 =
 let span ?(args = []) name f =
   if not (on ()) then f ()
   else begin
+    let args =
+      match current_tags () with [] -> args | tags -> args @ tags
+    in
     let domain = self_id () in
     let t0 = now_ns () in
     emit (Span_begin { name; ts = t0; domain; args });
@@ -313,6 +334,8 @@ let event_to_json = function
         ("text", Json.String text);
       ]
 
+let null_sink () = { emit = (fun _ -> ()); close = (fun () -> ()) }
+
 let jsonl_sink ~write_line =
   let mu = Mutex.create () in
   {
@@ -334,12 +357,48 @@ let jsonl_channel oc =
 let chrome_channel oc =
   let mu = Mutex.create () in
   let first = ref true in
-  output_string oc "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
-  let put j =
-    Mutex.protect mu (fun () ->
-        if !first then first := false else output_string oc ",\n";
-        Json.output oc j)
+  (* One lane per Domain: the first event seen from a domain emits the
+     trace_event metadata ("M") records naming its lane and pinning its
+     sort order, so Perfetto/chrome://tracing render a labeled track
+     per domain instead of anonymous tid numbers. *)
+  let seen_tids : (int, unit) Hashtbl.t = Hashtbl.create 8 in
+  let put_locked j =
+    if !first then first := false else output_string oc ",\n";
+    Json.output oc j
   in
+  let meta ~name ~tid args =
+    Json.Obj
+      [
+        ("name", Json.String name);
+        ("ph", Json.String "M");
+        ("pid", Json.Int 0);
+        ("tid", Json.Int tid);
+        ("args", Json.Obj args);
+      ]
+  in
+  let put ~tid j =
+    Mutex.protect mu (fun () ->
+        if not (Hashtbl.mem seen_tids tid) then begin
+          Hashtbl.add seen_tids tid ();
+          put_locked
+            (meta ~name:"thread_name" ~tid
+               [ ("name", Json.String (Printf.sprintf "domain %d" tid)) ]);
+          put_locked
+            (meta ~name:"thread_sort_index" ~tid
+               [ ("sort_index", Json.Int tid) ])
+        end;
+        put_locked j)
+  in
+  output_string oc "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  Mutex.protect mu (fun () ->
+      put_locked
+        (Json.Obj
+           [
+             ("name", Json.String "process_name");
+             ("ph", Json.String "M");
+             ("pid", Json.Int 0);
+             ("args", Json.Obj [ ("name", Json.String "stabsim") ]);
+           ]));
   let us ns = float_of_int ns /. 1e3 in
   let emit = function
     | Span_begin _ -> () (* complete events carry begin and end at once *)
@@ -354,7 +413,7 @@ let chrome_channel oc =
               ("gc.major_collections", Json.Int g.major_collections);
             ]
       in
-      put
+      put ~tid:domain
         (Json.Obj
            ([
               ("name", Json.String name);
@@ -366,7 +425,7 @@ let chrome_channel oc =
             ]
            @ if args = [] then [] else [ ("args", fields_to_json args) ]))
     | Message { level; ts; domain; text } ->
-      put
+      put ~tid:domain
         (Json.Obj
            [
              ("name", Json.String text);

@@ -127,6 +127,19 @@ val span : ?args:(string * Json.t) list -> string -> (unit -> 'a) -> 'a
     (see {!set_gc_sampling}) and a sink installed, the end event also
     carries the span's allocation and collection deltas. *)
 
+val with_tags : (string * Json.t) list -> (unit -> 'a) -> 'a
+(** [with_tags tags f] appends [tags] to the args of every span event
+    this domain emits while [f] runs (nested scopes accumulate; inner
+    scopes append after outer ones). The campaign runner uses this to
+    stamp every span of a cell's analysis with the cell label, hash
+    and worker index, so JSONL logs are greppable by cell and the
+    Chrome trace shows cells as labeled nested slices. Tags are
+    domain-local: spans emitted by domains spawned inside [f] do not
+    inherit them. With no sink installed this is [f ()]. *)
+
+val current_tags : unit -> (string * Json.t) list
+(** The ambient tag list of the calling domain (outermost first). *)
+
 val set_gc_sampling : bool -> unit
 (** Off by default. When on, every span brackets its body with a
     [Gc.quick_stat] pair and reports the deltas ({!gc_delta}) on its
@@ -182,6 +195,11 @@ val event_to_json : event -> Json.t
     "dur_ns":...,"domain":...,"args":{...},"counters":{...}}] and
     likewise for [span_begin] / [message] (see docs/observability.md). *)
 
+val null_sink : unit -> sink
+(** A sink that records nothing. Installing one still flips {!on}, so
+    counters, gauges and distributions accumulate — this is how the
+    status server lights the metrics path without writing any file. *)
+
 val stderr_sink : unit -> sink
 (** Human sink for [-v]: one line per closed span with its duration;
     span opens shown only at {!Debug}. Messages are not re-printed
@@ -196,9 +214,12 @@ val jsonl_channel : out_channel -> sink
 
 val chrome_channel : out_channel -> sink
 (** Chrome [trace_event] exporter: spans become complete ("X") events
-    with microsecond timestamps, tid = domain id; messages become
-    instant events. The resulting file loads directly in
-    [chrome://tracing] and Perfetto. Owns the channel. *)
+    with microsecond timestamps, tid = domain id, so every Domain gets
+    its own lane; messages become instant events. Each domain's first
+    event is preceded by [thread_name] / [thread_sort_index] metadata
+    records (and the file opens with a [process_name] record), so the
+    lanes render labeled and ordered. The resulting file loads directly
+    in [chrome://tracing] and Perfetto. Owns the channel. *)
 
 val memory_sink : unit -> sink * (unit -> event list)
 (** Buffering sink for tests: the accessor returns events in emission

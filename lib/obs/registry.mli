@@ -1,0 +1,83 @@
+(** The metrics registry: named gauges and labels, plus one-call
+    snapshot access to every metric the process maintains.
+
+    {!Obs.Counter} answers "how many so far" and {!Dist} "how are they
+    spread"; a {b gauge} is the missing third kind — a value that goes
+    up and down (cells remaining, workers busy) — and a {b label} its
+    textual sibling (the campaign name, a worker's current cell). The
+    registry ties all four together: {!snapshot} reads every counter,
+    gauge, label and distribution at one instant, from any domain,
+    without stopping writers. This is what the campaign status server
+    serves on [/metrics] and [/status].
+
+    {b Same cost discipline as counters.} With no sink installed
+    ({!Obs.on} false) a gauge [set]/[add] and a label [set] are one
+    atomic load and a branch — nothing is stored. Installing any sink
+    (the status server installs {!Obs.null_sink}) lights them.
+
+    {b Never torn.} Gauges and labels are single [Atomic.t] cells, so
+    a reader sees either the value before a concurrent write or the
+    value after it, never a mix; counter cells are single-writer
+    atomics merged on read, so a counter incremented with non-negative
+    amounts can only grow between two snapshots. [test_obs.ml] pins
+    both properties under hammering domains. *)
+
+module Gauge : sig
+  type t
+
+  val make : string -> t
+  (** Registers a new named gauge. Gauges live for the process; make
+      them once at module initialization, not per call. *)
+
+  val set : t -> int -> unit
+  (** No-op unless a sink is installed (see {!Obs.on}). *)
+
+  val add : t -> int -> unit
+  (** Atomic increment (negative [k] decrements); no-op when dark. *)
+
+  val value : t -> int
+  val name : t -> string
+
+  val snapshot : unit -> (string * int) list
+  (** Every registered gauge with its current value, in registration
+      order. *)
+
+  val reset_all : unit -> unit
+end
+
+module Label : sig
+  type t
+
+  val make : string -> t
+
+  val set : t -> string -> unit
+  (** No-op unless a sink is installed. *)
+
+  val clear : t -> unit
+  val value : t -> string option
+
+  val snapshot : unit -> (string * string) list
+  (** Every set label, in registration order; cleared and never-set
+      labels are omitted. *)
+
+  val reset_all : unit -> unit
+end
+
+type snapshot = {
+  ts_ns : int;  (** monotonic instant the snapshot was taken *)
+  counters : (string * int) list;  (** {!Obs.Counter.snapshot} *)
+  gauges : (string * int) list;  (** {!Gauge.snapshot} *)
+  labels : (string * string) list;  (** {!Label.snapshot} *)
+  dists : (string * Dist.summary) list;  (** {!Dist.snapshot} *)
+}
+
+val snapshot : unit -> snapshot
+(** One coherent-enough read of everything: each metric is read
+    atomically (no torn values); the snapshot as a whole is not a
+    global barrier — metrics written while it runs may or may not be
+    included, which is the right trade for never blocking writers. *)
+
+val snapshot_json : snapshot -> Json.t
+(** [{"ts_ns":..., "counters":{...}, "gauges":{...}, "labels":{...},
+    "dists":{"name":{"count":...,"mean":...,...},...}}] — the
+    machine-readable rendering served under [/status]. *)

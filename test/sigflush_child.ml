@@ -1,0 +1,32 @@
+(* Child process for the signal-flush test (test_sigflush.ml).
+
+   Usage: sigflush_child JSONL_PATH CHROME_PATH
+
+   Installs a JSONL sink and a Chrome trace sink, prints "ready" once
+   both are live, then emits spans until killed. SIGTERM exits with the
+   conventional 143 *through at_exit*, which is exactly the flush path
+   the main binary relies on: the parent asserts both files parse. *)
+
+module Obs = Stabobs.Obs
+module Json = Stabobs.Json
+
+let () =
+  let jsonl_path = Sys.argv.(1) in
+  let chrome_path = Sys.argv.(2) in
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle (fun _ -> exit 143));
+  at_exit Obs.clear;
+  Obs.install (Obs.jsonl_channel (open_out jsonl_path));
+  Obs.install (Obs.chrome_channel (open_out chrome_path));
+  (* One complete span before "ready" so the files are non-trivial even
+     if the TERM lands immediately after. *)
+  Obs.span "child.setup" (fun () -> ());
+  print_endline "ready";
+  flush stdout;
+  let i = ref 0 in
+  while true do
+    incr i;
+    Obs.with_tags [ ("iter", Json.Int !i) ] (fun () ->
+        Obs.span "child.work"
+          ~args:[ ("i", Json.Int !i) ]
+          (fun () -> Unix.sleepf 0.005))
+  done

@@ -6,6 +6,7 @@
 
 open Stabcampaign
 module Json = Stabobs.Json
+module Obs = Stabobs.Obs
 
 let tmp_checkpoint () = Filename.temp_file "stabsim-campaign" ".jsonl"
 
@@ -309,6 +310,154 @@ let test_degraded_montecarlo_is_deterministic () =
   in
   Alcotest.(check string) "identical payloads" (run ()) (run ())
 
+(* --- the status server --- *)
+
+let get_ok what = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "%s failed: %s" what e
+
+let parse_json what s =
+  match Json.of_string s with
+  | Ok j -> j
+  | Error e -> Alcotest.failf "%s is not JSON: %s" what e
+
+let contains haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+let tmp_socket () =
+  (* temp_file creates a regular file; the server wants to create the
+     socket itself, so reserve the name and remove the placeholder. *)
+  let path = Filename.temp_file "stabsim-status" ".sock" in
+  Sys.remove path;
+  path
+
+let spin_until ~what pred =
+  let deadline = Unix.gettimeofday () +. 10.0 in
+  while not (pred ()) do
+    if Unix.gettimeofday () > deadline then Alcotest.failf "timed out: %s" what;
+    Domain.cpu_relax ()
+  done
+
+let test_status_server_scrape_mid_run () =
+  (* Deterministic "scrape while a cell executes": the first cell is
+     poison, and the injectable backoff sleeper doubles as a rendezvous
+     — it parks the (only) worker mid-cell until the main thread has
+     scraped both endpoints. *)
+  let campaign = green_campaign () in
+  let poison =
+    { (List.hd campaign.Campaign.cells) with Campaign.protocol = "no-such-protocol" }
+  in
+  let campaign =
+    { campaign with Campaign.cells = [ poison; List.nth campaign.Campaign.cells 1 ] }
+  in
+  let mid = Atomic.make false and release = Atomic.make false in
+  let sleep _ =
+    Atomic.set mid true;
+    while not (Atomic.get release) do
+      Domain.cpu_relax ()
+    done
+  in
+  let options = { (quiet_options ()) with Runner.sleep = sleep } in
+  let socket = tmp_socket () in
+  let server = Status.start ~socket () in
+  Fun.protect ~finally:(fun () -> Status.stop server; Obs.clear ())
+  @@ fun () ->
+  let runner = Domain.spawn (fun () -> Runner.run ~options campaign) in
+  spin_until ~what:"worker reaching the poison cell's backoff" (fun () ->
+      Atomic.get mid);
+  (* The worker is parked inside the poison cell: /status must show a
+     running campaign with a busy worker and nothing settled. *)
+  let body = get_ok "/status" (Status.client_fetch ~target:socket ~path:"/status") in
+  let doc = parse_json "/status" body in
+  let campaign_doc =
+    match Json.member "campaign" doc with
+    | Some (Json.Obj _ as c) -> c
+    | _ -> Alcotest.fail "no campaign object in /status"
+  in
+  Alcotest.(check bool) "campaign name" true
+    (Json.member "name" campaign_doc = Some (Json.String "test"));
+  Alcotest.(check bool) "not finished" true
+    (Json.member "finished" campaign_doc = Some (Json.Bool false));
+  (match Json.member "cells" campaign_doc with
+  | Some cells ->
+    Alcotest.(check bool) "total 2" true
+      (Json.member "total" cells = Some (Json.Int 2));
+    Alcotest.(check bool) "nothing settled yet" true
+      (Json.member "remaining" cells = Some (Json.Int 2))
+  | None -> Alcotest.fail "no cells object");
+  (match Json.member "workers" campaign_doc with
+  | Some (Json.List [ w ]) ->
+    Alcotest.(check bool) "worker busy on the poison cell" true
+      (match Json.member "cell" w with Some (Json.String _) -> true | _ -> false)
+  | _ -> Alcotest.fail "expected exactly one worker heartbeat");
+  let metrics =
+    get_ok "/metrics" (Status.client_fetch ~target:socket ~path:"/metrics")
+  in
+  Alcotest.(check bool) "cells.total gauge exposed" true
+    (contains metrics "stabsim_campaign_cells_total 2");
+  Alcotest.(check bool) "busy worker gauge exposed" true
+    (contains metrics "stabsim_campaign_worker_busy{worker=\"0\"} 1");
+  Alcotest.(check bool) "TYPE lines present" true
+    (contains metrics "# TYPE stabsim_campaign_cells_total gauge");
+  (* 404 for anything else. *)
+  (match Status.client_fetch ~target:socket ~path:"/nope" with
+  | Ok _ -> Alcotest.fail "unknown path answered 200"
+  | Error e -> Alcotest.(check bool) "404 reported" true (contains e "404"));
+  Atomic.set release true;
+  let _, stats = Domain.join runner in
+  Alcotest.(check int) "campaign finished" 0 stats.Runner.unfinished;
+  (* Post-run scrape: the live state stays readable after run returns. *)
+  let body = get_ok "/status" (Status.client_fetch ~target:socket ~path:"/status") in
+  let doc = parse_json "/status" body in
+  (match Json.member "campaign" doc with
+  | Some c ->
+    Alcotest.(check bool) "finished flag set" true
+      (Json.member "finished" c = Some (Json.Bool true));
+    (match Json.member "cells" c with
+    | Some cells ->
+      Alcotest.(check bool) "none remaining" true
+        (Json.member "remaining" cells = Some (Json.Int 0))
+    | None -> Alcotest.fail "no cells object after run")
+  | None -> Alcotest.fail "no campaign after run");
+  (* The human rendering digests the same document without raising. *)
+  let rendered = Status.render_status doc in
+  Alcotest.(check bool) "render mentions the campaign" true
+    (contains rendered "campaign test")
+
+let test_status_server_tcp_ephemeral () =
+  let server = Status.start ~port:0 () in
+  Fun.protect ~finally:(fun () -> Status.stop server; Obs.clear ())
+  @@ fun () ->
+  let port =
+    match Status.port server with
+    | Some p -> p
+    | None -> Alcotest.fail "no TCP port reported"
+  in
+  Alcotest.(check bool) "ephemeral port is real" true (port > 0);
+  let target = Printf.sprintf ":%d" port in
+  let body = get_ok "/status" (Status.client_fetch ~target ~path:"/status") in
+  let doc = parse_json "/status" body in
+  Alcotest.(check bool) "schema stamped" true
+    (Json.member "schema" doc = Some (Json.Int 1));
+  Alcotest.(check bool) "metrics section present" true
+    (match Json.member "metrics" doc with Some (Json.Obj _) -> true | _ -> false);
+  let root = get_ok "/" (Status.client_fetch ~target ~path:"/") in
+  Alcotest.(check bool) "root lists endpoints" true (contains root "/metrics")
+
+let test_status_stop_idempotent_and_unlinks () =
+  let socket = tmp_socket () in
+  let server = Status.start ~socket () in
+  Alcotest.(check bool) "socket exists while serving" true (Sys.file_exists socket);
+  Status.stop server;
+  Status.stop server;
+  Obs.clear ();
+  Alcotest.(check bool) "socket unlinked on stop" false (Sys.file_exists socket);
+  match Status.client_fetch ~target:socket ~path:"/status" with
+  | Ok _ -> Alcotest.fail "fetch succeeded after stop"
+  | Error _ -> ()
+
 let suite =
   [
     Alcotest.test_case "matrix cross product" `Quick test_matrix_cross_product;
@@ -329,4 +478,10 @@ let suite =
     Alcotest.test_case "poison cell quarantined" `Quick test_poison_cell_quarantined;
     Alcotest.test_case "zero timeout exhausts ladder" `Quick test_zero_timeout_exhausts_ladder;
     Alcotest.test_case "degraded montecarlo deterministic" `Quick test_degraded_montecarlo_is_deterministic;
+    Alcotest.test_case "status server scrape mid-run" `Quick
+      test_status_server_scrape_mid_run;
+    Alcotest.test_case "status server tcp ephemeral port" `Quick
+      test_status_server_tcp_ephemeral;
+    Alcotest.test_case "status stop idempotent and unlinks" `Quick
+      test_status_stop_idempotent_and_unlinks;
   ]

@@ -33,6 +33,7 @@ let () =
       ("resilience", Test_resilience.suite);
       ("structures", Test_structures.suite);
       ("obs", Test_obs.suite);
+      ("sigflush", Test_sigflush.suite);
       ("benchcmp", Test_benchcmp.suite);
       ("gcp", Test_gcp.suite);
       ("experiments", Test_experiments.suite);

@@ -378,6 +378,226 @@ let test_dist_profile_capture_in_pipeline () =
         (Dist.count Dist.checker_out_degree));
   Dist.reset_all ()
 
+(* --- registry: gauges, labels, snapshots --- *)
+
+module Registry = Stabobs.Registry
+
+let g_test = Registry.Gauge.make "test.gauge"
+let l_test = Registry.Label.make "test.label"
+
+let test_gauge_basics () =
+  let sink, _ = Obs.memory_sink () in
+  with_sink sink (fun () ->
+      Registry.Gauge.set g_test 7;
+      Alcotest.(check int) "set" 7 (Registry.Gauge.value g_test);
+      Registry.Gauge.add g_test 5;
+      Registry.Gauge.add g_test (-2);
+      Alcotest.(check int) "add up and down" 10 (Registry.Gauge.value g_test);
+      Alcotest.(check string) "name" "test.gauge" (Registry.Gauge.name g_test);
+      Alcotest.(check (option int))
+        "in the gauge snapshot" (Some 10)
+        (List.assoc_opt "test.gauge" (Registry.Gauge.snapshot ()));
+      Registry.Label.set l_test "hello";
+      Alcotest.(check (option string))
+        "label set" (Some "hello")
+        (Registry.Label.value l_test);
+      Alcotest.(check (option string))
+        "in the label snapshot" (Some "hello")
+        (List.assoc_opt "test.label" (Registry.Label.snapshot ()));
+      Registry.Label.clear l_test;
+      Alcotest.(check bool) "cleared label leaves the snapshot" true
+        (List.assoc_opt "test.label" (Registry.Label.snapshot ()) = None));
+  Registry.Gauge.reset_all ();
+  Registry.Label.reset_all ()
+
+let test_gauge_dark_without_sink () =
+  Obs.clear ();
+  Registry.Gauge.reset_all ();
+  Registry.Label.reset_all ();
+  Registry.Gauge.set g_test 42;
+  Registry.Gauge.add g_test 42;
+  Registry.Label.set l_test "dropped";
+  Alcotest.(check int) "gauge writes dropped when dark" 0
+    (Registry.Gauge.value g_test);
+  Alcotest.(check bool) "label writes dropped when dark" true
+    (Registry.Label.value l_test = None)
+
+let hammer_gauge = Registry.Gauge.make "test.hammer.gauge"
+let hammer_counter = Obs.Counter.make "test.hammer.counter"
+
+let test_snapshot_consistency_under_domains () =
+  (* Four domains hammer a gauge and a counter while the main domain
+     snapshots repeatedly. Two invariants: the gauge value is always one
+     that some writer actually wrote (never a torn mix), and a counter
+     incremented with non-negative amounts never decreases between
+     snapshots. *)
+  let sink, _ = Obs.memory_sink () in
+  with_sink sink (fun () ->
+      Obs.Counter.reset_all ();
+      Registry.Gauge.reset_all ();
+      let stop = Atomic.make false in
+      (* Writers only ever store 10^k: any torn read would produce a
+         value outside this set. *)
+      let legal = [ 0; 1; 10; 100; 1000 ] in
+      let worker k () =
+        while not (Atomic.get stop) do
+          Registry.Gauge.set hammer_gauge k;
+          Obs.Counter.incr hammer_counter
+        done
+      in
+      let spawned =
+        List.map (fun k -> Domain.spawn (worker k)) [ 1; 10; 100; 1000 ]
+      in
+      let prev_counter = ref 0 in
+      for _ = 1 to 2_000 do
+        let s = Registry.snapshot () in
+        let g =
+          Option.value ~default:0
+            (List.assoc_opt "test.hammer.gauge" s.Registry.gauges)
+        in
+        if not (List.mem g legal) then
+          Alcotest.failf "torn gauge read: %d" g;
+        let c =
+          Option.value ~default:0
+            (List.assoc_opt "test.hammer.counter" s.Registry.counters)
+        in
+        if c < !prev_counter then
+          Alcotest.failf "counter went backwards: %d after %d" c !prev_counter;
+        prev_counter := c
+      done;
+      Atomic.set stop true;
+      List.iter Domain.join spawned;
+      Alcotest.(check bool) "writers made progress" true (!prev_counter > 0));
+  Obs.Counter.reset_all ();
+  Registry.Gauge.reset_all ()
+
+let test_snapshot_json_shape () =
+  let sink, _ = Obs.memory_sink () in
+  with_sink sink (fun () ->
+      Registry.Gauge.set g_test 3;
+      let j = Registry.snapshot_json (Registry.snapshot ()) in
+      (* The document must round-trip through the serializer and keep
+         the four sections. *)
+      match Json.of_string (Json.to_string j) with
+      | Error e -> Alcotest.failf "snapshot_json does not round-trip: %s" e
+      | Ok v ->
+        List.iter
+          (fun k ->
+            match Json.member k v with
+            | Some (Json.Obj _) -> ()
+            | _ -> Alcotest.failf "missing or non-object section %S" k)
+          [ "counters"; "gauges"; "labels"; "dists" ]);
+  Registry.Gauge.reset_all ()
+
+(* --- ambient span tags --- *)
+
+let args_of name events =
+  List.filter_map
+    (function
+      | Obs.Span_begin { name = n; args; _ } when n = name -> Some args
+      | _ -> None)
+    events
+
+let test_with_tags () =
+  let sink, events = Obs.memory_sink () in
+  with_sink sink (fun () ->
+      Obs.with_tags [ ("cell", Json.String "c1") ] (fun () ->
+          Obs.span "tagged" ~args:[ ("own", Json.Int 1) ] (fun () ->
+              Obs.with_tags [ ("worker", Json.Int 3) ] (fun () ->
+                  Obs.span "nested" (fun () -> ()))));
+      Obs.span "after" (fun () -> ()));
+  let events = events () in
+  (match args_of "tagged" events with
+  | [ args ] ->
+    Alcotest.(check bool) "own args kept" true
+      (List.assoc_opt "own" args = Some (Json.Int 1));
+    Alcotest.(check bool) "ambient tag appended" true
+      (List.assoc_opt "cell" args = Some (Json.String "c1"))
+  | _ -> Alcotest.fail "expected one tagged begin");
+  (match args_of "nested" events with
+  | [ args ] ->
+    Alcotest.(check bool) "outer tag inherited" true
+      (List.assoc_opt "cell" args = Some (Json.String "c1"));
+    Alcotest.(check bool) "inner tag accumulated" true
+      (List.assoc_opt "worker" args = Some (Json.Int 3))
+  | _ -> Alcotest.fail "expected one nested begin");
+  (match args_of "after" events with
+  | [ args ] -> Alcotest.(check bool) "tags restored on exit" true (args = [])
+  | _ -> Alcotest.fail "expected one after begin");
+  (* End events carry the tags too. *)
+  let end_args =
+    List.filter_map
+      (function
+        | Obs.Span_end { name = "tagged"; args; _ } -> Some args | _ -> None)
+      events
+  in
+  match end_args with
+  | [ args ] ->
+    Alcotest.(check bool) "end event tagged" true
+      (List.assoc_opt "cell" args = Some (Json.String "c1"))
+  | _ -> Alcotest.fail "expected one tagged end"
+
+let test_with_tags_dark () =
+  Obs.clear ();
+  let r = Obs.with_tags [ ("k", Json.Int 1) ] (fun () -> 5) in
+  Alcotest.(check int) "dark with_tags is just the body" 5 r;
+  Alcotest.(check bool) "no tags retained" true (Obs.current_tags () = [])
+
+(* --- Chrome trace per-Domain lanes --- *)
+
+let test_chrome_domain_metadata () =
+  let path = Filename.temp_file "stabsim-chrome" ".json" in
+  with_sink
+    (Obs.chrome_channel (open_out path))
+    (fun () ->
+      Obs.span "main.work" (fun () -> ());
+      let d =
+        Domain.spawn (fun () -> Obs.span "worker.work" (fun () -> ()))
+      in
+      Domain.join d);
+  let ic = open_in_bin path in
+  let raw = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  (match Json.of_string raw with
+  | Error e -> Alcotest.failf "chrome trace unparseable: %s" e
+  | Ok doc -> (
+    match Json.member "traceEvents" doc with
+    | Some (Json.List events) ->
+      let meta name =
+        List.filter
+          (fun e -> Json.member "name" e = Some (Json.String name))
+          events
+      in
+      (match meta "process_name" with
+      | [ e ] ->
+        Alcotest.(check bool) "process named stabsim" true
+          (match Json.member "args" e with
+          | Some args ->
+            Json.member "name" args = Some (Json.String "stabsim")
+          | None -> false)
+      | l -> Alcotest.failf "expected 1 process_name record, got %d" (List.length l));
+      let thread_names = meta "thread_name" in
+      let tids =
+        List.sort_uniq compare
+          (List.filter_map (fun e -> Json.member "tid" e) thread_names)
+      in
+      Alcotest.(check int) "one thread_name per domain" 2 (List.length tids);
+      Alcotest.(check int) "no duplicate thread_name records" 2
+        (List.length thread_names);
+      (* Every span event's tid has a thread_name record. *)
+      List.iter
+        (fun e ->
+          match Json.member "ph" e with
+          | Some (Json.String "X") ->
+            Alcotest.(check bool) "span tid has metadata" true
+              (match Json.member "tid" e with
+              | Some t -> List.mem t tids
+              | None -> false)
+          | _ -> ())
+        events
+    | _ -> Alcotest.fail "no traceEvents array"));
+  Sys.remove path
+
 let test_json_parser () =
   let ok s = match Json.of_string s with Ok v -> v | Error e -> Alcotest.failf "%s" e in
   (match ok {|{"a":[1,2.5,"x\n",true,null],"b":{"c":-3}}|} with
@@ -424,4 +644,14 @@ let suite =
     Alcotest.test_case "pipeline dists populate" `Quick
       test_dist_profile_capture_in_pipeline;
     Alcotest.test_case "json parser" `Quick test_json_parser;
+    Alcotest.test_case "gauge and label basics" `Quick test_gauge_basics;
+    Alcotest.test_case "gauge dark without sink" `Quick
+      test_gauge_dark_without_sink;
+    Alcotest.test_case "snapshots never tear under domains" `Quick
+      test_snapshot_consistency_under_domains;
+    Alcotest.test_case "snapshot json shape" `Quick test_snapshot_json_shape;
+    Alcotest.test_case "ambient span tags" `Quick test_with_tags;
+    Alcotest.test_case "with_tags dark path" `Quick test_with_tags_dark;
+    Alcotest.test_case "chrome per-domain lane metadata" `Quick
+      test_chrome_domain_metadata;
   ]

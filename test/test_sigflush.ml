@@ -1,0 +1,94 @@
+(* A SIGTERM mid-run must still leave parseable telemetry files behind:
+   the CLI's signal handlers exit through at_exit, which closes every
+   sink, and the JSONL / Chrome sinks flush their trailers on close.
+   Exercised for real — a child process (sigflush_child.ml) with both
+   sinks installed is TERM-killed while emitting spans. *)
+
+module Json = Stabobs.Json
+
+let child_exe =
+  Filename.concat (Filename.dirname Sys.executable_name) "sigflush_child.exe"
+
+let tmp_file suffix = Filename.temp_file "stabsim-sigflush" suffix
+
+let read_line_fd fd =
+  (* Read byte-wise up to the first newline: enough for "ready". *)
+  let buf = Buffer.create 16 in
+  let b = Bytes.create 1 in
+  let rec go () =
+    match Unix.read fd b 0 1 with
+    | 0 -> Buffer.contents buf
+    | _ ->
+      if Bytes.get b 0 = '\n' then Buffer.contents buf
+      else begin
+        Buffer.add_char buf (Bytes.get b 0);
+        go ()
+      end
+  in
+  go ()
+
+let run_child_and_term () =
+  let jsonl = tmp_file ".jsonl" in
+  let chrome = tmp_file ".trace.json" in
+  let r, w = Unix.pipe () in
+  let pid =
+    Unix.create_process child_exe
+      [| child_exe; jsonl; chrome |]
+      Unix.stdin w Unix.stderr
+  in
+  Unix.close w;
+  let ready = read_line_fd r in
+  Unix.close r;
+  Alcotest.(check string) "child reported ready" "ready" ready;
+  (* Let it get some spans in flight so the kill lands mid-stream. *)
+  Unix.sleepf 0.05;
+  Unix.kill pid Sys.sigterm;
+  let _, status = Unix.waitpid [] pid in
+  (jsonl, chrome, status)
+
+let test_sigterm_flush () =
+  let jsonl, chrome, status = run_child_and_term () in
+  (match status with
+  | Unix.WEXITED 143 -> ()
+  | Unix.WEXITED n -> Alcotest.failf "child exited %d, wanted 143" n
+  | Unix.WSIGNALED n -> Alcotest.failf "child died on signal %d (no at_exit flush)" n
+  | Unix.WSTOPPED _ -> Alcotest.fail "child stopped");
+  (* Every JSONL line is one complete JSON object. *)
+  let ic = open_in jsonl in
+  let lines = ref 0 in
+  (try
+     while true do
+       let line = input_line ic in
+       if String.trim line <> "" then begin
+         incr lines;
+         match Json.of_string line with
+         | Ok (Json.Obj _) -> ()
+         | Ok _ -> Alcotest.failf "JSONL line %d is not an object" !lines
+         | Error e -> Alcotest.failf "JSONL line %d does not parse: %s" !lines e
+       end
+     done
+   with End_of_file -> close_in ic);
+  Alcotest.(check bool) "JSONL saw events" true (!lines > 0);
+  (* The Chrome file is one complete document with a closed traceEvents
+     array — the trailer the at_exit close writes. *)
+  let ic = open_in_bin chrome in
+  let raw = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  (match Json.of_string raw with
+  | Error e -> Alcotest.failf "Chrome trace does not parse: %s" e
+  | Ok doc -> (
+    match Json.member "traceEvents" doc with
+    | Some (Json.List events) ->
+      Alcotest.(check bool) "trace has events" true (events <> []);
+      let is_process_name e =
+        Json.member "name" e = Some (Json.String "process_name")
+      in
+      Alcotest.(check bool) "process_name metadata present" true
+        (List.exists is_process_name events)
+    | _ -> Alcotest.fail "no traceEvents array"));
+  Sys.remove jsonl;
+  Sys.remove chrome
+
+let suite =
+  [ Alcotest.test_case "SIGTERM flushes JSONL and Chrome sinks" `Slow
+      test_sigterm_flush ]
