@@ -144,6 +144,23 @@ let analyze_leader_tree ~quotient () =
   Stabcore.Checker.analyze space Stabcore.Statespace.Distributed
     (Stabalgo.Leader_tree.spec g)
 
+(* The work-stealing expansion entries time the same full-space
+   analysis at pinned pool widths, so a committed baseline records the
+   machine's actual 1-domain vs 4-domain expansion scaling. A fresh
+   [Statespace.build] per run gives the space a fresh uid, which
+   bypasses the checker's (space, scheduler) expansion cache — every
+   run pays for row expansion, the thing being measured. On a 1-core
+   container the 4d entry measures pool overhead, not speedup; read
+   the two together. *)
+let expand_ws ~width () =
+  Stabcore.Pool.set_width width;
+  let n = 8 in
+  let p = Stabalgo.Token_ring.make ~n in
+  let space = Stabcore.Statespace.build p in
+  ignore
+    (Stabcore.Checker.analyze space Stabcore.Statespace.Distributed
+       (Stabalgo.Token_ring.spec ~n))
+
 (* The sparse-solver entries time one BSCC-blocked solve of the
    orbit-lumped token-ring chain at N = 10 (5934 states, 85 blocks) —
    the weak-stabilizing shape where the iterative sweeps actually
@@ -291,6 +308,8 @@ let tests : (string * (unit -> unit)) list =
     ("campaign-resume", campaign_resume);
     ("markov-sparse-gs", markov_sparse Stabcore.Markov.Gauss_seidel);
     ("markov-sparse-jacobi", markov_sparse Stabcore.Markov.Jacobi);
+    ("expand-ws-1d", expand_ws ~width:1);
+    ("expand-ws-4d", expand_ws ~width:4);
     ("obs-span-disabled", fun () -> Obs.span "bench.noop" ignore);
     ("obs-counter-disabled", fun () -> Obs.Counter.add Obs.configs_expanded 1);
     ("obs-dist-disabled", fun () -> Dist.record dark_dist 1.0);
@@ -503,7 +522,7 @@ let build_doc measured =
         ("dirty", Json.Bool (git_dirty ()));
         ("timestamp", Json.String (iso_timestamp ()));
         ("ocaml", Json.String Sys.ocaml_version);
-        ("domains", Json.Int (Domain.recommended_domain_count ()));
+        ("domains", Json.Int (Stabcore.Pool.width ()));
         ("quick", Json.Bool !quick);
       ]
   in
@@ -521,7 +540,15 @@ let write_doc doc =
   output_string oc (Json.to_string ~minify:false doc);
   output_char oc '\n';
   close_out oc;
-  Printf.printf "(wrote per-artifact timing distributions to %s)\n%!" !json_path
+  Printf.printf "(wrote per-artifact timing distributions to %s)\n%!" !json_path;
+  (* A baseline stamped from a dirty tree cannot be reproduced from its
+     own meta.commit — don't let one slip into the repository quietly. *)
+  if git_dirty () then
+    Printf.eprintf
+      "bench: WARNING: working tree is dirty — %s records meta.dirty=true and \
+       must NOT be committed as a baseline; rerun from a clean checkout.\n\
+       %!"
+      !json_path
 
 (* The trajectory log: one compact line per bench run, so regressions
    can be traced to a commit without diffing committed records. *)
@@ -678,6 +705,10 @@ let () =
   print_endline "=== Part 1: micro-benchmarks (calibrated batches, distribution) ===\n";
   let measured = run_benchmarks () in
   Stabexp.Report.print (timing_table measured);
+  (* The expand-ws entries pin the pool width; everything after part 1
+     (reference-pipeline profile, figure/theorem replay) runs at the
+     default again. *)
+  Stabcore.Pool.set_width (Stabcore.Pool.default_width ());
   let doc = build_doc measured in
   write_doc doc;
   append_history doc;

@@ -51,6 +51,32 @@ let print_profile profile =
     Stabexp.Report.print table;
     Printf.printf "wall clock: %s\n%!" (Obs.pretty_ns (Obs.Profile.wall_ns profile))
 
+(* Per-domain pool utilization: how the task-execution time of the
+   work-stealing pool split across its lanes. Empty (and silent) when
+   nothing ran through the pool, e.g. at width 1. *)
+let print_pool () =
+  let lanes = List.filter (fun (_, ns) -> ns > 0) (Stabcore.Pool.busy_ns ()) in
+  match lanes with
+  | [] -> ()
+  | lanes ->
+    let total = List.fold_left (fun acc (_, ns) -> acc + ns) 0 lanes in
+    let table =
+      Stabexp.Report.create
+        ~title:
+          (Printf.sprintf "pool busy time (width %d)" (Stabcore.Pool.width ()))
+        ~columns:[ "lane"; "busy"; "share" ]
+    in
+    List.iter
+      (fun (lane, ns) ->
+        Stabexp.Report.add_row table
+          [
+            lane;
+            Obs.pretty_ns ns;
+            Printf.sprintf "%.1f%%" (100.0 *. float_of_int ns /. float_of_int total);
+          ])
+      lanes;
+    Stabexp.Report.print table
+
 let print_counters () =
   match List.filter (fun (_, v) -> v <> 0) (Obs.Counter.snapshot ()) with
   | [] -> ()
@@ -90,11 +116,12 @@ let print_dists () =
    of the default immediate death, so a ^C mid-run still leaves valid
    JSONL / Chrome-trace files behind. The campaign subcommand replaces
    these with its drain-first handlers. *)
-let setup_obs verbose quiet log_json trace profile gc_stats =
+let setup_obs verbose quiet log_json trace profile gc_stats domains =
   (try
      Sys.set_signal Sys.sigint (Sys.Signal_handle (fun _ -> exit 130));
      Sys.set_signal Sys.sigterm (Sys.Signal_handle (fun _ -> exit 143))
    with Invalid_argument _ | Sys_error _ -> ());
+  Option.iter Stabcore.Pool.set_width domains;
   (match (quiet, List.length verbose) with
   | true, _ -> Obs.set_level Obs.Quiet
   | false, 0 -> ()
@@ -114,6 +141,7 @@ let setup_obs verbose quiet log_json trace profile gc_stats =
     Obs.install (Obs.Profile.sink p);
     at_exit (fun () ->
         print_profile p;
+        print_pool ();
         print_counters ();
         print_dists ())
   end
@@ -153,9 +181,19 @@ let obs_term =
     in
     Arg.(value & flag & info [ "gc-stats" ] ~doc)
   in
+  let domains_arg =
+    let doc =
+      "Width of the work-stealing Domain pool shared by every parallel stage \
+       (state-space expansion, quotient canonicalization, Monte-Carlo \
+       sampling, sparse-chain construction, campaign workers). Default: the \
+       recommended domain count minus one, at least 1; values below 1 are \
+       clamped."
+    in
+    Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N" ~doc)
+  in
   Term.(
     const setup_obs $ verbose_arg $ quiet_arg $ log_json_arg $ trace_arg
-    $ profile_arg $ gc_stats_arg)
+    $ profile_arg $ gc_stats_arg $ domains_arg)
 
 (* --- shared arguments --- *)
 
@@ -895,6 +933,21 @@ let profile_json profile =
                      ("max", Json.Float s.Stabobs.Dist.max);
                    ] ))
              (Stabobs.Dist.snapshot ())) );
+      ( "pool",
+        Json.Obj
+          [
+            ("width", Json.Int (Stabcore.Pool.width ()));
+            ( "busy_ns",
+              Json.Obj
+                (List.map
+                   (fun (lane, ns) -> (lane, Json.Int ns))
+                   (Stabcore.Pool.busy_ns ())) );
+            ( "grain_ns_per_unit",
+              Json.Obj
+                (List.map
+                   (fun (site, c) -> (site, Json.Float c))
+                   (Stabcore.Pool.Grain.snapshot ())) );
+          ] );
     ]
 
 let profile_cmd =
@@ -1006,6 +1059,7 @@ let profile_cmd =
           | None -> ());
           Format.printf "montecarlo (%d runs): %a@.@." runs Stabcore.Montecarlo.pp_result mc;
           print_profile profile;
+          print_pool ();
           print_counters ();
           print_dists ()
         end)
@@ -1213,7 +1267,7 @@ let bench_cmd =
 (* --- campaign (sharded, crash-resumable experiment matrices) --- *)
 
 let campaign_cmd =
-  let run () file checkpoint no_checkpoint fresh domains timeout_ms report_md
+  let run () file checkpoint no_checkpoint fresh timeout_ms report_md
       status_socket status_port =
     wrap (fun () ->
         let campaign =
@@ -1246,7 +1300,8 @@ let campaign_cmd =
             defaults with
             Stabcampaign.Runner.checkpoint;
             fresh;
-            domains = Option.value domains ~default:defaults.Stabcampaign.Runner.domains;
+            (* The shared --domains flag sizes the pool; workers follow it. *)
+            domains = Stabcore.Pool.width ();
             timeout_ms =
               (match timeout_ms with
               | Some _ -> timeout_ms
@@ -1309,10 +1364,6 @@ let campaign_cmd =
     let doc = "Truncate the checkpoint and start over instead of resuming." in
     Arg.(value & flag & info [ "fresh" ] ~doc)
   in
-  let domains_arg =
-    let doc = "Worker domains (default: the recommended domain count)." in
-    Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N" ~doc)
-  in
   let timeout_ms_arg =
     let doc =
       "Per-cell wall-clock timeout in milliseconds; overrides the campaign file. A \
@@ -1344,7 +1395,7 @@ let campaign_cmd =
     Term.(
       term_result
         (const run $ obs_term $ file_pos_arg $ checkpoint_arg $ no_checkpoint_arg
-       $ fresh_arg $ domains_arg $ timeout_ms_arg $ report_md_arg
+       $ fresh_arg $ timeout_ms_arg $ report_md_arg
        $ status_socket_arg $ status_port_arg))
   in
   Cmd.v

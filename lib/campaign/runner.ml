@@ -37,7 +37,7 @@ type options = {
 
 let default_options () =
   {
-    domains = Domain.recommended_domain_count ();
+    domains = Pool.default_width ();
     checkpoint = None;
     fresh = false;
     timeout_ms = None;
@@ -633,11 +633,12 @@ let run ?options campaign =
   @@ fun () ->
   let first = ref None in
   let note e = match !first with None -> first := Some e | Some _ -> () in
-  let spawned =
-    List.init (workers - 1) (fun i -> Domain.spawn (fun () -> work (i + 1)))
-  in
-  (try work 0 with e -> note e);
-  List.iter (fun d -> try Domain.join d with e -> note e) spawned;
+  (* Workers are pool tasks, not dedicated Domains: each pulls cells
+     off the shared [next] queue until it drains, so surplus workers on
+     a narrower pool just find the queue empty and return. The pool
+     joins every task even when one raises (first exception wins);
+     defer it until the checkpoint sink is closed. *)
+  (try Pool.scatter workers work with e -> note e);
   Option.iter Checkpoint.close sink;
   Atomic.set live.v_finished (Obs.now_ns ());
   (match !first with Some e -> raise e | None -> ());

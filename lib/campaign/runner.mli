@@ -54,7 +54,7 @@ type options = {
 }
 
 val default_options : unit -> options
-(** [Domain.recommended_domain_count] workers, no checkpoint, resume
+(** {!Stabcore.Pool.default_width} workers, no checkpoint, resume
     semantics, campaign timeout, [Unix.sleepf]. *)
 
 val request_drain : unit -> unit

@@ -234,38 +234,24 @@ let expand_serial space cls n nproc =
   record_expansion g;
   g
 
-(* Multi-domain expansion: workers enumerate transition rows for
+(* Multi-domain expansion: pool workers enumerate transition rows for
    disjoint slices of the configuration range, so the merge is a join
    and the result is deterministic regardless of scheduling. Spaces
    are immutable and protocol step functions are pure, which makes the
    per-configuration calls safe to run concurrently. The packing pass
    then re-walks the rows in configuration order, so the CSR layout
-   (and the interned-set numbering) is identical to the serial path. *)
-let expand_rows space cls n workers =
+   (and the interned-set numbering) is identical to the serial path.
+   Cancellation propagation and first-exception-wins joining are the
+   pool's contract. *)
+let expand_grain = Pool.Grain.site "checker.expand"
+
+let expand_rows space cls n =
   let rows = Array.make n [] in
-  let tok = Cancel.current () in
-  let fill lo hi =
-    for c = lo to hi - 1 do
-      if c land 255 = 0 then Cancel.poll ();
-      rows.(c) <- Statespace.transitions space cls c
-    done
-  in
-  let chunk = (n + workers - 1) / workers in
-  let spawned =
-    List.init (workers - 1) (fun i ->
-        let lo = (i + 1) * chunk in
-        let hi = min n (lo + chunk) in
-        Domain.spawn (fun () ->
-            Cancel.set_current tok;
-            fill lo hi))
-  in
-  (* Join every worker even when a fill raises (a cancelled expansion
-     must not leak running domains); the first exception wins. *)
-  let first = ref None in
-  let note e = match !first with None -> first := Some e | Some _ -> () in
-  (try fill 0 (min n chunk) with e -> note e);
-  List.iter (fun d -> try Domain.join d with e -> note e) spawned;
-  (match !first with Some e -> raise e | None -> ());
+  Pool.parallel_for ~site:expand_grain ~min_chunk:64 n (fun ~lo ~hi ->
+      for c = lo to hi - 1 do
+        if c land 255 = 0 then Cancel.poll ();
+        rows.(c) <- Statespace.transitions space cls c
+      done);
   rows
 
 let pack n nproc cls rows =
@@ -323,10 +309,10 @@ let build_graph space cls =
   let nproc =
     Stabgraph.Graph.size (Statespace.protocol space).Protocol.graph
   in
-  (* Below ~512 configurations per worker the spawn cost dominates. *)
-  let workers = min (Domain.recommended_domain_count ()) (n / 512) in
-  if workers <= 1 then expand_serial space cls n nproc
-  else pack n nproc cls (expand_rows space cls n workers)
+  (* Below ~1k configurations even pool scheduling is not worth the
+     row materialization; the streaming serial pass wins. *)
+  if Pool.width () <= 1 || n < 1024 then expand_serial space cls n nproc
+  else pack n nproc cls (expand_rows space cls n)
 
 let expand space cls =
   let key = (Statespace.uid space, cls) in

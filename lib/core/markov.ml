@@ -37,7 +37,7 @@ let merge_row entries =
    array (no per-row hash table), the merged targets are
    insertion-sorted (rows are short and arrive nearly sorted off the
    packed graph), and empty rows become absorbing self-loops. *)
-let pack n ~each_row =
+let pack_serial n ~each_row =
   let off = Array.make (n + 1) 0 in
   let cap = ref (max 16 (2 * n)) in
   let cols = ref (Array.make !cap 0) in
@@ -94,6 +94,96 @@ let pack n ~each_row =
     off.(c + 1) <- !len
   done;
   { n; off; cols = Array.sub !cols 0 !len; w = Array.sub !wbuf 0 !len }
+
+(* Pool-parallel packing: rows are independent, so chunks of the row
+   range compute their merged-and-sorted target lists concurrently
+   into per-row buffers, and a serial pass concatenates them in row
+   order — the resulting CSR triple is byte-identical to
+   [pack_serial]'s (same per-row arrival order, so the same
+   first-occurrence weight sums and the same sorted layout). Each
+   domain keeps one stamp/accumulator scratch pair in domain-local
+   storage, tagged by a pack generation so a stale stamp from an
+   earlier chain can never alias a row of this one. *)
+type scratch = {
+  mutable s_gen : int;
+  mutable s_stamp : int array;
+  mutable s_acc : float array;
+}
+
+let pack_generation = Atomic.make 0
+
+let dls_scratch : scratch Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> { s_gen = -1; s_stamp = [||]; s_acc = [||] })
+
+let pack_grain = Pool.Grain.site "markov.pack"
+
+let pack_parallel n ~each_row =
+  let gen = Atomic.fetch_and_add pack_generation 1 in
+  let row_cols = Array.make n [||] in
+  let row_ws = Array.make n [||] in
+  Pool.parallel_for ~site:pack_grain ~min_chunk:64 n (fun ~lo ~hi ->
+      let s = Domain.DLS.get dls_scratch in
+      if s.s_gen <> gen || Array.length s.s_stamp < n then begin
+        s.s_stamp <- Array.make n (-1);
+        s.s_acc <- Array.make n 0.0;
+        s.s_gen <- gen
+      end;
+      let stamp = s.s_stamp and acc = s.s_acc in
+      let targets = ref (Array.make 16 0) in
+      for c = lo to hi - 1 do
+        if c land 1023 = 0 then Cancel.poll ();
+        let ntargets = ref 0 in
+        each_row c (fun c' wgt ->
+            if stamp.(c') = c then acc.(c') <- acc.(c') +. wgt
+            else begin
+              stamp.(c') <- c;
+              acc.(c') <- wgt;
+              if !ntargets = Array.length !targets then begin
+                let grown = Array.make (2 * !ntargets) 0 in
+                Array.blit !targets 0 grown 0 !ntargets;
+                targets := grown
+              end;
+              !targets.(!ntargets) <- c';
+              incr ntargets
+            end);
+        if !ntargets = 0 then begin
+          row_cols.(c) <- [| c |];
+          row_ws.(c) <- [| 1.0 |] (* terminal: absorbing *)
+        end
+        else begin
+          let t = !targets in
+          for i = 1 to !ntargets - 1 do
+            let v = t.(i) in
+            let j = ref (i - 1) in
+            while !j >= 0 && t.(!j) > v do
+              t.(!j + 1) <- t.(!j);
+              decr j
+            done;
+            t.(!j + 1) <- v
+          done;
+          let cs = Array.sub t 0 !ntargets in
+          row_cols.(c) <- cs;
+          row_ws.(c) <- Array.map (fun c' -> acc.(c')) cs
+        end
+      done);
+  let off = Array.make (n + 1) 0 in
+  for c = 0 to n - 1 do
+    off.(c + 1) <- off.(c) + Array.length row_cols.(c)
+  done;
+  let total = off.(n) in
+  let cols = Array.make total 0 and w = Array.make total 0.0 in
+  for c = 0 to n - 1 do
+    Array.blit row_cols.(c) 0 cols off.(c) (Array.length row_cols.(c));
+    Array.blit row_ws.(c) 0 w off.(c) (Array.length row_ws.(c))
+  done;
+  { n; off; cols; w }
+
+(* Below a few thousand rows the per-row buffer allocation outweighs
+   the sharding; the streaming serial pass also stays the width-1
+   reference the parallel path is pinned against. *)
+let pack n ~each_row =
+  if Pool.width () <= 1 || n < 4096 then pack_serial n ~each_row
+  else pack_parallel n ~each_row
 
 (* Strong-lumpability audit of a quotient chain, enabled by paranoid
    mode: every orbit member of the *full* space must project (through

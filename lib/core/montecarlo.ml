@@ -59,49 +59,35 @@ let merge results =
   let timeouts = List.fold_left (fun acc r -> acc + r.timeouts) 0 results in
   of_samples ~times ~rounds ~timeouts
 
+let mc_grain = Pool.Grain.site "montecarlo.runs"
+
 let estimate_parallel ?domains ~runs ~max_steps rng protocol scheduler spec =
-  let domains =
-    match domains with Some d -> max 1 d | None -> Domain.recommended_domain_count ()
-  in
+  let domains = match domains with Some d -> max 1 d | None -> Pool.width () in
   if domains <= 1 || runs <= 1 then estimate ~runs ~max_steps rng protocol scheduler spec
   else begin
     Stabobs.Obs.span "montecarlo.estimate_parallel" @@ fun () ->
-    (* Split one stream per run BEFORE spawning, in exactly the order
+    (* Split one stream per run BEFORE scheduling, in exactly the order
        the sequential [estimate] loop would: run [r]'s outcome is a
        pure function of its pre-split stream, so the pooled sample is
        identical to the sequential one for the same seed, whatever the
-       domain count or scheduling. *)
+       pool width or scheduling. *)
     let streams = Array.make runs rng in
     for r = 0 to runs - 1 do
       streams.(r) <- Stabrng.Rng.split rng
     done;
     let out = Array.make runs None in
-    let tok = Cancel.current () in
-    let fill lo hi =
-      for r = lo to hi - 1 do
-        Cancel.poll ();
-        Stabobs.Obs.Counter.incr Stabobs.Obs.montecarlo_runs;
-        let stream = streams.(r) in
-        let init = Protocol.random_config stream protocol in
-        out.(r) <- Engine.convergence_cost ~max_steps stream protocol scheduler spec ~init
-      done
-    in
-    let chunk = (runs + domains - 1) / domains in
-    let spawned =
-      List.init (domains - 1) (fun i ->
-          let lo = (i + 1) * chunk in
-          let hi = min runs (lo + chunk) in
-          Domain.spawn (fun () ->
-              Cancel.set_current tok;
-              fill lo hi))
-    in
-    (* Join every worker even when a fill raises (see
-       [Checker.expand_rows]); the first exception wins. *)
-    let first = ref None in
-    let note e = match !first with None -> first := Some e | Some _ -> () in
-    (try fill 0 (min runs chunk) with e -> note e);
-    List.iter (fun d -> try Domain.join d with e -> note e) spawned;
-    (match !first with Some e -> raise e | None -> ());
+    (* The pool propagates the caller's cancellation token into every
+       chunk and joins all of them even when one raises; the first
+       exception wins. *)
+    Pool.parallel_for ~site:mc_grain runs (fun ~lo ~hi ->
+        for r = lo to hi - 1 do
+          Cancel.poll ();
+          Stabobs.Obs.Counter.incr Stabobs.Obs.montecarlo_runs;
+          let stream = streams.(r) in
+          let init = Protocol.random_config stream protocol in
+          out.(r) <-
+            Engine.convergence_cost ~max_steps stream protocol scheduler spec ~init
+        done);
     (* Reassemble in run order, as [collect] does. *)
     let times = ref [] in
     let rounds = ref [] in

@@ -55,10 +55,11 @@ val estimate_parallel :
   'a Scheduler.t ->
   'a Spec.t ->
   result
-(** Like {!estimate}, but sharded across [domains] OCaml 5 domains
-    (default: [Domain.recommended_domain_count ()]). One RNG stream is
-    split off [rng] per run, in the sequential order, before any
-    domain spawns; each run's outcome is a pure function of its
+(** Like {!estimate}, but scheduled over the shared work-stealing
+    {!Pool} with adaptive run chunks (default [domains]:
+    {!Pool.width}). One RNG stream is split off [rng] per run, in the
+    sequential order, before any work is scheduled; each run's outcome
+    is a pure function of its
     stream, so the pooled result equals the sequential {!estimate}
     sample for the same seed — whatever the domain count. (Stateful
     schedulers such as round-robin are shared across domains and

@@ -148,12 +148,14 @@ let quotient ?relabel t =
           let rep_of = Array.make n (-1) in
           let reps_rev = ref [] in
           let nreps = ref 0 in
-          (* Ascending sweep: the orbit minimum is met first, so a code
-             is a representative exactly when it is its own canon; the
-             sweep also fills the whole canon cache eagerly, making it
+          (* Pool-parallel canonicalization, then a serial ascending
+             sweep over the filled cache: the orbit minimum is its own
+             canon, so a code is a representative exactly when
+             [canon_value c = c]; the eager fill also makes the cache
              read-only for any later Domain-parallel expansion. *)
+          Symmetry.fill_table sym;
           for c = 0 to n - 1 do
-            let r = Symmetry.canon sym c in
+            let r = Symmetry.canon_value sym c in
             if r = c then begin
               rep_of.(c) <- !nreps;
               reps_rev := c :: !reps_rev;

@@ -305,6 +305,54 @@ let canon t c =
     m
   end
 
+(* Pool-parallel canonicalization sweep. The orbit minimum of a code
+   does not depend on visit order, so when two domains race on members
+   of the same orbit both compute the same minimum and store the same
+   values — the duplicated orbit walk is the only cost, and the filled
+   table is identical to the serial ascending sweep's. Counters are
+   emitted once from an exact post-pass (a representative is its own
+   canon), so the recorded hit/miss/orbit totals match the serial sweep
+   at every pool width instead of varying with race outcomes. Meant to
+   be called once on a freshly built group (see Statespace.quotient);
+   the post-pass would re-count orbits already charged by earlier
+   [canon] misses. *)
+let canon_grain = Pool.Grain.site "symmetry.canon"
+
+let fill_table t =
+  let n = Encoding.count t.encoding in
+  let tbl = table t in
+  let enc = t.encoding in
+  Pool.parallel_for ~site:canon_grain ~min_chunk:256 n (fun ~lo ~hi ->
+      for c = lo to hi - 1 do
+        if c land 1023 = 0 then Cancel.poll ();
+        if tbl.(c) < 0 then begin
+          let m = ref c in
+          Array.iter
+            (fun e ->
+              let image = apply_element enc e c in
+              if image < !m then m := image)
+            t.elements;
+          let m = !m in
+          Array.iter (fun e -> tbl.(apply_element enc e c) <- m) t.elements
+        end
+      done);
+  let orbits = ref 0 in
+  for c = 0 to n - 1 do
+    if tbl.(c) = c then incr orbits
+  done;
+  Stabobs.Obs.Counter.add Stabobs.Obs.symmetry_orbits !orbits;
+  Stabobs.Obs.Counter.add Stabobs.Obs.symmetry_canon_misses !orbits;
+  Stabobs.Obs.Counter.add Stabobs.Obs.symmetry_canon_hits (n - !orbits)
+
+(* Counter-free table read for consumers that just ran {!fill_table}:
+   the quotient sweep reads every code once more to assign
+   representative indexes, and charging those reads as cache hits
+   would make the counters depend on which sweep ran. *)
+let canon_value t c =
+  let v = (table t).(c) in
+  assert (v >= 0);
+  v
+
 let orbit t c =
   let enc = t.encoding in
   let tbl = Hashtbl.create 8 in

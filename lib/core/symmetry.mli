@@ -52,8 +52,20 @@ val canon : 'a t -> int -> int
     first lookup of an orbit fills the entry of every member, counted by
     the [symmetry.canon-hit] / [symmetry.canon-miss] /
     [symmetry.orbits] counters. The cache is written only by
-    single-threaded sweeps; concurrent readers of a fully-populated
-    cache are safe. *)
+    single-threaded sweeps or {!fill_table}; concurrent readers of a
+    fully-populated cache are safe. *)
+
+val fill_table : 'a t -> unit
+(** Populate the whole canon cache, sharded across the
+    {!Stabcore.Pool}. Safe at any pool width: the orbit minimum is
+    visit-order independent, so racing domains write identical values,
+    and the hit/miss/orbit counters are emitted from an exact post-pass
+    — the same totals the serial ascending sweep records. Call it once,
+    on a freshly built group, before read-only parallel consumption. *)
+
+val canon_value : 'a t -> int -> int
+(** Counter-free read of a cache entry filled by {!fill_table} (or by
+    earlier {!canon} calls). Asserts the entry is present. *)
 
 val orbit : 'a t -> int -> int list
 (** All codes in the orbit of [c], sorted, without memoization. *)

@@ -135,11 +135,12 @@ let e1_token_sweep ?method_ ?(seed = 42) ?(quick = true) () =
       exact_sizes
   in
   (* Dijkstra's 3-state token circulation carries the exact curve into
-     genuinely sparse territory: at N = 12 the full space has 3^12 =
-     531441 configurations, far past the dense solver's cutoff. The
+     genuinely sparse territory: at N = 13 the full space has 3^13 =
+     1594323 configurations, far past the dense solver's cutoff. The
      protocol is self-stabilizing under the central daemon, so the
      transient graph is acyclic and the BSCC-blocked backend finishes
-     in one back-substitution pass. *)
+     in one back-substitution pass; expansion and CSR construction go
+     through the work-stealing pool. *)
   let dijkstra3 =
     List.map
       (fun n ->
@@ -147,7 +148,7 @@ let e1_token_sweep ?method_ ?(seed = 42) ?(quick = true) () =
         let spec = Stabalgo.Dijkstra_three.spec ~n in
         exact_datum ?method_ ~algorithm:"dijkstra-3state" ~scheduler:"central-random" ~n
           p spec Markov.Central_uniform)
-      (if quick then [ 4; 5 ] else [ 6; 8; 10; 12 ])
+      (if quick then [ 4; 5 ] else [ 6; 8; 10; 12; 13 ])
   in
   let raw_mc =
     List.map

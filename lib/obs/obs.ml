@@ -142,6 +142,9 @@ let symmetry_canon_misses = Counter.make "symmetry.canon-miss"
 let gc_minor_words = Counter.make "gc.minor_words"
 let gc_major_collections = Counter.make "gc.major_collections"
 let markov_solve_sweeps = Counter.make "markov.solve.sweeps"
+let pool_tasks = Counter.make "pool.tasks"
+let pool_steals = Counter.make "pool.steals"
+let pool_splits = Counter.make "pool.splits"
 
 (* --- messages --- *)
 

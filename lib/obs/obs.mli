@@ -116,6 +116,15 @@ val markov_solve_sweeps : Counter.t
     ("markov.solve.sweeps"), accumulated per solved block; exact
     singleton-block back-substitutions do not count. *)
 
+val pool_tasks : Counter.t
+val pool_steals : Counter.t
+val pool_splits : Counter.t
+(** Work-stealing pool activity ("pool.tasks" / "pool.steals" /
+    "pool.splits"): tasks executed, tasks taken from another domain's
+    deque, and adaptive range splits performed by
+    [Stabcore.Pool.parallel_for]. Scheduling telemetry only — their
+    values legitimately vary run to run and across widths. *)
+
 (** {1 Spans} *)
 
 val span : ?args:(string * Json.t) list -> string -> (unit -> 'a) -> 'a

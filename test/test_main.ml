@@ -32,6 +32,7 @@ let () =
       ("campaign", Test_campaign.suite);
       ("resilience", Test_resilience.suite);
       ("structures", Test_structures.suite);
+      ("pool", Test_pool.suite);
       ("obs", Test_obs.suite);
       ("sigflush", Test_sigflush.suite);
       ("benchcmp", Test_benchcmp.suite);
