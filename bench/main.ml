@@ -542,8 +542,16 @@ let write_doc doc =
   close_out oc;
   Printf.printf "(wrote per-artifact timing distributions to %s)\n%!" !json_path;
   (* A baseline stamped from a dirty tree cannot be reproduced from its
-     own meta.commit — don't let one slip into the repository quietly. *)
-  if git_dirty () then
+     own meta.commit — don't let one slip into the repository quietly.
+     Read the stamped meta rather than re-running git: the record just
+     written is itself tracked, so a fresh porcelain check would always
+     see a dirty tree and cry wolf. *)
+  let stamped_dirty =
+    match Option.bind (Json.member "meta" doc) (Json.member "dirty") with
+    | Some (Json.Bool b) -> b
+    | _ -> false
+  in
+  if stamped_dirty then
     Printf.eprintf
       "bench: WARNING: working tree is dirty — %s records meta.dirty=true and \
        must NOT be committed as a baseline; rerun from a clean checkout.\n\
@@ -592,8 +600,20 @@ let timing_table measured =
     measured;
   table
 
-let write_report measured compare_section =
+let write_report doc measured compare_section =
   if !report_path <> "" then begin
+    (* Provenance from the stamped meta: by the time the report is
+       written the record file has already dirtied the tree. *)
+    let meta_string key fallback =
+      match Option.bind (Json.member "meta" doc) (Json.member key) with
+      | Some (Json.String s) -> s
+      | _ -> fallback
+    in
+    let meta_dirty =
+      match Option.bind (Json.member "meta" doc) (Json.member "dirty") with
+      | Some (Json.Bool b) -> b
+      | _ -> false
+    in
     let oc = open_out !report_path in
     Printf.fprintf oc
       "# Bench report\n\n\
@@ -601,8 +621,9 @@ let write_report measured compare_section =
        is a distribution over calibrated-batch samples; `ci95` is the half-width \
        of the mean's 95%% confidence interval. Regenerate with `dune exec \
        bench/main.exe` (see docs/observability.md for the schema).\n\n%s\n"
-      (iso_timestamp ()) (git_commit ())
-      (if git_dirty () then " (dirty)" else "")
+      (meta_string "timestamp" (iso_timestamp ()))
+      (meta_string "commit" (git_commit ()))
+      (if meta_dirty then " (dirty)" else "")
       !quick
       (Stabexp.Report.to_markdown (timing_table measured));
     (match compare_section with
@@ -713,7 +734,7 @@ let () =
   write_doc doc;
   append_history doc;
   let compare_md, gate_failed = run_compare doc in
-  write_report measured compare_md;
+  write_report doc measured compare_md;
   let theorems_ok =
     if !micro_only then true
     else begin
