@@ -314,6 +314,7 @@ let tests : (string * (unit -> unit)) list =
     ("obs-counter-disabled", fun () -> Obs.Counter.add Obs.configs_expanded 1);
     ("obs-dist-disabled", fun () -> Dist.record dark_dist 1.0);
     ("obs-gauge-disabled", fun () -> Stabobs.Registry.Gauge.set dark_gauge 1);
+    ("obs-flight-disabled", fun () -> Stabobs.Flight.note "bench.noop");
   ]
 
 (* --- the sampling harness --- *)
@@ -523,6 +524,7 @@ let build_doc measured =
         ("timestamp", Json.String (iso_timestamp ()));
         ("ocaml", Json.String Sys.ocaml_version);
         ("domains", Json.Int (Stabcore.Pool.width ()));
+        ("cores", Json.Int (Domain.recommended_domain_count ()));
         ("quick", Json.Bool !quick);
       ]
   in
@@ -648,6 +650,9 @@ let run_compare doc =
         Printf.eprintf "bench: candidate record malformed: %s\n%!" e;
         (None, true)
       | Ok candidate ->
+        (match Stabexp.Benchcmp.cores_mismatch ~baseline ~candidate with
+        | Some w -> Printf.eprintf "bench: WARNING: %s\n%!" w
+        | None -> ());
         let deltas =
           Stabexp.Benchcmp.compare_docs ~gate_pct:!gate_pct ~baseline ~candidate
             ()

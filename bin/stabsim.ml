@@ -116,11 +116,40 @@ let print_dists () =
    of the default immediate death, so a ^C mid-run still leaves valid
    JSONL / Chrome-trace files behind. The campaign subcommand replaces
    these with its drain-first handlers. *)
-let setup_obs verbose quiet log_json trace profile gc_stats domains =
+let default_flight_dump () =
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "stabsim-%d.flight.jsonl" (Unix.getpid ()))
+
+let setup_obs verbose quiet log_json trace profile gc_stats domains no_flight
+    flight_dump =
   (try
-     Sys.set_signal Sys.sigint (Sys.Signal_handle (fun _ -> exit 130));
-     Sys.set_signal Sys.sigterm (Sys.Signal_handle (fun _ -> exit 143))
+     Sys.set_signal Sys.sigint
+       (Sys.Signal_handle
+          (fun _ ->
+            Stabobs.Flight.set_pending "fatal signal: SIGINT";
+            exit 130));
+     Sys.set_signal Sys.sigterm
+       (Sys.Signal_handle
+          (fun _ ->
+            Stabobs.Flight.set_pending "fatal signal: SIGTERM";
+            exit 143))
    with Invalid_argument _ | Sys_error _ -> ());
+  (* The flight recorder is always on (opt out with --no-flight): per-
+     Domain rings record at ring cost, and a crash dump is written only
+     when a fatal path latched a reason — via at_exit for signal exits,
+     directly from the uncaught-exception handler (which OCaml runs
+     *after* at_exit) for crashes. Clean exits leave no artifact. *)
+  if not no_flight then begin
+    Stabobs.Flight.enable ();
+    Stabobs.Flight.set_exit_dump
+      (match flight_dump with Some p -> p | None -> default_flight_dump ());
+    Printexc.set_uncaught_exception_handler (fun exn bt ->
+        Stabobs.Flight.set_pending
+          ("uncaught exception: " ^ Printexc.to_string exn);
+        Stabobs.Flight.dump_pending ();
+        Printexc.default_uncaught_exception_handler exn bt)
+  end;
   Option.iter Stabcore.Pool.set_width domains;
   (match (quiet, List.length verbose) with
   | true, _ -> Obs.set_level Obs.Quiet
@@ -191,9 +220,26 @@ let obs_term =
     in
     Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N" ~doc)
   in
+  let no_flight_arg =
+    let doc =
+      "Disable the always-on flight recorder (per-Domain rings of the last \
+       events, dumped as a JSONL artifact on crash — see $(b,stabsim doctor))."
+    in
+    Arg.(value & flag & info [ "no-flight" ] ~doc)
+  in
+  let flight_dump_arg =
+    let doc =
+      "Where the crash flight dump is written (default: \
+       $(b,stabsim-<pid>.flight.jsonl) in the system temp directory; the \
+       campaign subcommand additionally keeps dumps next to its checkpoint)."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "flight-dump" ] ~docv:"FILE" ~doc)
+  in
   Term.(
     const setup_obs $ verbose_arg $ quiet_arg $ log_json_arg $ trace_arg
-    $ profile_arg $ gc_stats_arg $ domains_arg)
+    $ profile_arg $ gc_stats_arg $ domains_arg $ no_flight_arg
+    $ flight_dump_arg)
 
 (* --- shared arguments --- *)
 
@@ -948,6 +994,12 @@ let profile_json profile =
                    (fun (site, c) -> (site, Json.Float c))
                    (Stabcore.Pool.Grain.snapshot ())) );
           ] );
+      (* The full Registry snapshot (gauges + labels included), so one
+         document carries phases, pool state and gauges together. The
+         counters/dists above stay for compatibility; this section is
+         the complete metric view. *)
+      ( "registry",
+        Stabobs.Registry.snapshot_json (Stabobs.Registry.snapshot ()) );
     ]
 
 let profile_cmd =
@@ -1204,6 +1256,9 @@ let bench_cmd =
         in
         let baseline = load baseline in
         let candidate = load candidate in
+        (match Stabexp.Benchcmp.cores_mismatch ~baseline ~candidate with
+        | Some w -> Obs.warnf "bench: %s" w
+        | None -> ());
         let deltas =
           Stabexp.Benchcmp.compare_docs ~gate_pct ~baseline ~candidate ()
         in
@@ -1281,8 +1336,15 @@ let campaign_cmd =
         let signals = ref 0 in
         let graceful signal _ =
           incr signals;
-          if !signals = 1 then Stabcampaign.Runner.request_drain ()
-          else exit (128 + signal)
+          if !signals = 1 then begin
+            Stabobs.Flight.note "campaign: drain requested by signal";
+            Stabcampaign.Runner.request_drain ()
+          end
+          else begin
+            Stabobs.Flight.set_pending
+              (Printf.sprintf "fatal signal: %d (drain abandoned)" signal);
+            exit (128 + signal)
+          end
         in
         Sys.set_signal Sys.sigint (Sys.Signal_handle (graceful 2));
         Sys.set_signal Sys.sigterm (Sys.Signal_handle (graceful 15));
@@ -1306,6 +1368,16 @@ let campaign_cmd =
               (match timeout_ms with
               | Some _ -> timeout_ms
               | None -> defaults.Stabcampaign.Runner.timeout_ms);
+            (* Flight dumps ride next to the checkpoint: the rolling
+               dump survives a SIGKILL between checkpoints, and each
+               quarantined / timed-out cell leaves its own artifact.
+               --no-flight (the shared obs flag) turns the recorder
+               off, which leaves the dumps empty of events, so skip
+               them entirely in that case. *)
+            flight =
+              (if Stabobs.Flight.enabled () then
+                 Option.map Filename.remove_extension checkpoint
+               else None);
           }
         in
         let status_server =
@@ -1460,6 +1532,38 @@ let status_cmd =
           (cells settled, per-worker heartbeats, ETA).")
     term
 
+(* --- doctor (post-mortem reader for flight dumps) --- *)
+
+let doctor_cmd =
+  let run () dump last =
+    wrap (fun () ->
+        match Stabcampaign.Doctor.load dump with
+        | Error e -> failwith (Printf.sprintf "%s: %s" dump e)
+        | Ok t -> print_string (Stabcampaign.Doctor.render ~last t))
+  in
+  let dump_pos_arg =
+    let doc =
+      "Flight-dump artifact (JSONL), as written on crash (see \
+       $(b,--flight-dump)) or next to a campaign checkpoint \
+       ($(b,*.flight.jsonl) rolling dump, $(b,*.flight-<hash>.jsonl) per \
+       quarantined/timed-out cell)."
+    in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"DUMP" ~doc)
+  in
+  let last_arg =
+    let doc = "Show the last $(docv) events of the merged timeline." in
+    Arg.(value & opt int 20 & info [ "last" ] ~docv:"N" ~doc)
+  in
+  let term = Term.(term_result (const run $ obs_term $ dump_pos_arg $ last_arg)) in
+  Cmd.v
+    (Cmd.info "doctor"
+       ~doc:
+         "Render a flight-recorder dump: merged event timeline, per-Domain last \
+          events, open spans at the time of death, metric snapshot and \
+          heuristic hints (stalled cancel polls, sweep-budget exits, worker \
+          heartbeat gaps).")
+    term
+
 let main =
   let doc = "stabilization laboratory: weak vs. self vs. probabilistic stabilization" in
   let info = Cmd.info "stabsim" ~version:"1.0.0" ~doc in
@@ -1480,10 +1584,15 @@ let main =
       bench_cmd;
       campaign_cmd;
       status_cmd;
+      doctor_cmd;
     ]
 
 let () =
   (* cmdliner spells one-character names as short options; accept the
      natural "--n" for `profile --n 7` too. *)
   let argv = Array.map (function "--n" -> "-n" | a -> a) Sys.argv in
-  exit (Cmd.eval ~argv main)
+  (* catch:false so an unexpected exception reaches the uncaught-
+     exception handler installed by setup_obs (which writes the flight
+     dump) instead of being swallowed by cmdliner's pretty-printer.
+     Expected errors still travel as [Error `Msg] through [wrap]. *)
+  exit (Cmd.eval ~catch:false ~argv main)

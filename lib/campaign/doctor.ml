@@ -1,0 +1,328 @@
+(* Post-mortem rendering of flight-dump artifacts (see
+   Stabobs.Flight): parse the JSONL lines back into their four kinds
+   (header, sections, registry snapshot, events) and print what a
+   human wants first — why the process died, what every domain was
+   doing, which spans were still open, and heuristic hints for the
+   known failure smells. *)
+
+module Json = Stabobs.Json
+module Obs = Stabobs.Obs
+
+type t = {
+  header : Json.t;
+  sections : (string * Json.t) list;
+  registry : Json.t option;
+  events : Json.t list;  (* ts-sorted by the dump writer *)
+}
+
+(* --- Json accessors (total: missing fields read as None) --- *)
+
+let mem_str k j =
+  match Json.member k j with Some (Json.String s) -> Some s | _ -> None
+
+let mem_int k j =
+  match Json.member k j with Some (Json.Int i) -> Some i | _ -> None
+
+let mem_bool k j =
+  match Json.member k j with Some (Json.Bool b) -> Some b | _ -> None
+
+let mem_list k j =
+  match Json.member k j with Some (Json.List l) -> l | _ -> []
+
+let mem_obj k j =
+  match Json.member k j with Some (Json.Obj kvs) -> kvs | _ -> []
+
+(* --- parsing --- *)
+
+let parse_string s =
+  let lines =
+    String.split_on_char '\n' s
+    |> List.filter_map (fun l ->
+           let l = String.trim l in
+           if l = "" then None else Some l)
+  in
+  let rec classify acc = function
+    | [] -> Ok acc
+    | line :: rest -> (
+      match Json.of_string line with
+      | Error e -> Error (Printf.sprintf "bad dump line: %s" e)
+      | Ok j -> (
+        match mem_str "type" j with
+        | Some "flight" -> classify { acc with header = j } rest
+        | Some "section" ->
+          let name = Option.value ~default:"?" (mem_str "name" j) in
+          let data = Option.value ~default:Json.Null (Json.member "data" j) in
+          classify { acc with sections = acc.sections @ [ (name, data) ] } rest
+        | Some "registry" ->
+          classify { acc with registry = Json.member "data" j } rest
+        | Some ("span_begin" | "span_end" | "message") ->
+          classify { acc with events = acc.events @ [ j ] } rest
+        | Some other ->
+          Error (Printf.sprintf "unknown dump line type %S" other)
+        | None -> Error "dump line without a type field"))
+  in
+  match
+    classify { header = Json.Null; sections = []; registry = None; events = [] }
+      lines
+  with
+  | Error _ as e -> e
+  | Ok t ->
+    if t.header = Json.Null then Error "not a flight dump (no header line)"
+    else Ok t
+
+let load path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | s -> parse_string s
+  | exception Sys_error msg -> Error msg
+
+(* --- derived views --- *)
+
+let dump_ts t = Option.value ~default:0 (mem_int "ts_ns" t.header)
+let event_ts e = Option.value ~default:0 (mem_int "ts_ns" e)
+let event_domain e = Option.value ~default:(-1) (mem_int "domain" e)
+
+let domains t =
+  List.sort_uniq compare (List.map event_domain t.events)
+
+(* Open spans per domain: replay begin/end pairs in timestamp order;
+   whatever is still on a domain's stack when the dump was taken is
+   what that domain was doing at the time of death. Ring eviction can
+   drop a begin whose end survives (or vice versa): an unmatched end
+   is ignored, an unmatched begin stays open — both are the honest
+   reading of a bounded black box. *)
+let open_spans t =
+  let tbl : (int, (string * int) list ref) Hashtbl.t = Hashtbl.create 8 in
+  let stack d =
+    match Hashtbl.find_opt tbl d with
+    | Some r -> r
+    | None ->
+      let r = ref [] in
+      Hashtbl.add tbl d r;
+      r
+  in
+  List.iter
+    (fun e ->
+      let d = event_domain e in
+      match (mem_str "type" e, mem_str "name" e) with
+      | Some "span_begin", Some name ->
+        let r = stack d in
+        r := (name, event_ts e) :: !r
+      | Some "span_end", Some name ->
+        let r = stack d in
+        (match !r with
+        | (top, _) :: rest when top = name -> r := rest
+        | other -> r := List.filter (fun (n, _) -> n <> name) other)
+      | _ -> ())
+    t.events;
+  Hashtbl.fold (fun d r acc -> (d, List.rev !r) :: acc) tbl []
+  |> List.filter (fun (_, s) -> s <> [])
+  |> List.sort compare
+
+(* --- heuristic hints --- *)
+
+let pretty = Obs.pretty_ns
+
+(* A deadline token that expired without a recent poll means the cell
+   stopped reaching its Cancel.poll sites — a stuck loop, not a slow
+   one. "Recent" is generous: polls run every few hundred work units,
+   so a second of silence on an expired token is already damning. *)
+let stale_poll_ns = 1_000_000_000
+
+(* A worker whose current cell started this long before the dump and
+   never settled is presumed wedged. *)
+let heartbeat_gap_ns = 10_000_000_000
+
+let hints t =
+  let now = dump_ts t in
+  let campaign =
+    match List.assoc_opt "campaign" t.sections with
+    | Some (Json.Obj _ as j) -> Some j
+    | _ -> None
+  in
+  let token_hints =
+    match campaign with
+    | None -> []
+    | Some c ->
+      List.filter_map
+        (fun tok ->
+          match mem_int "deadline_ns" tok with
+          | Some d when now > d ->
+            let poll_note =
+              match mem_int "last_poll_ns" tok with
+              | None -> Some "never checked its deadline"
+              | Some p when now - p > stale_poll_ns ->
+                Some
+                  (Printf.sprintf "last checked its deadline %s before the dump"
+                     (pretty (now - p)))
+              | Some _ -> None
+            in
+            Option.map
+              (fun note ->
+                Printf.sprintf
+                  "an in-flight cell is %s past its deadline and %s — its \
+                   inner loop likely stopped reaching Cancel.poll"
+                  (pretty (now - d)) note)
+              poll_note
+          | _ -> None)
+        (mem_list "inflight" c)
+  in
+  let heartbeat_hints =
+    match campaign with
+    | None -> []
+    | Some c ->
+      List.filter_map
+        (fun w ->
+          match (mem_str "cell" w, mem_int "cell_started_ns" w) with
+          | Some cell, Some t0 when now - t0 > heartbeat_gap_ns ->
+            Some
+              (Printf.sprintf
+                 "worker %d had been on cell %s for %s at dump time — \
+                  heartbeat gap, the cell never settled"
+                 (Option.value ~default:(-1) (mem_int "worker" w))
+                 cell
+                 (pretty (now - t0)))
+          | _ -> None)
+        (mem_list "workers" c)
+  in
+  let sweep_hints =
+    let budget_note e =
+      match (mem_str "type" e, mem_str "text" e) with
+      | Some "message", Some text
+        when String.length text > 0
+             &&
+             let has sub =
+               let n = String.length sub and m = String.length text in
+               let rec go i =
+                 i + n <= m && (String.sub text i n = sub || go (i + 1))
+               in
+               go 0
+             in
+             has "sweep budget" || has "Max_sweeps" ->
+        Some text
+      | _ -> None
+    in
+    match List.filter_map budget_note t.events with
+    | [] -> []
+    | texts ->
+      [
+        Printf.sprintf
+          "the sparse solver hit its sweep budget (Max_sweeps) %d time(s) — \
+           the cell degrades down the ladder instead of converging (last: %s)"
+          (List.length texts)
+          (List.nth texts (List.length texts - 1));
+      ]
+  in
+  token_hints @ heartbeat_hints @ sweep_hints
+
+(* --- rendering --- *)
+
+let render_event ~origin b e =
+  let kind = Option.value ~default:"?" (mem_str "type" e) in
+  let rel =
+    let d = event_ts e - origin in
+    if d < 0 then "-" ^ pretty (-d) else "+" ^ pretty d
+  in
+  let what =
+    match kind with
+    | "message" ->
+      Printf.sprintf "%-7s %s"
+        (Option.value ~default:"info" (mem_str "level" e))
+        (Option.value ~default:"" (mem_str "text" e))
+    | "span_begin" ->
+      Printf.sprintf "begin   %s" (Option.value ~default:"?" (mem_str "name" e))
+    | "span_end" ->
+      Printf.sprintf "end     %s (%s)"
+        (Option.value ~default:"?" (mem_str "name" e))
+        (pretty (Option.value ~default:0 (mem_int "dur_ns" e)))
+    | k -> k
+  in
+  Buffer.add_string b
+    (Printf.sprintf "  %12s  [d%d]  %s\n" rel (event_domain e) what)
+
+let take_last k l =
+  let n = List.length l in
+  if n <= k then l else List.filteri (fun i _ -> i >= n - k) l
+
+let render ?(last = 20) t =
+  let b = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  let h = t.header in
+  add "flight dump: %s\n"
+    (Option.value ~default:"(no reason recorded)" (mem_str "reason" h));
+  add "  pid %d · commit %s%s · %d cores · OCaml %s\n"
+    (Option.value ~default:0 (mem_int "pid" h))
+    (Option.value ~default:"unknown" (mem_str "commit" h))
+    (if Option.value ~default:false (mem_bool "dirty" h) then " (dirty)"
+     else "")
+    (Option.value ~default:0 (mem_int "cores" h))
+    (Option.value ~default:"?" (mem_str "ocaml" h));
+  let cmdline =
+    mem_list "cmdline" h
+    |> List.filter_map (function Json.String s -> Some s | _ -> None)
+  in
+  if cmdline <> [] then add "  cmdline: %s\n" (String.concat " " cmdline);
+  let now = dump_ts t in
+  let evs = t.events in
+  let shown = take_last last evs in
+  add "\ntimeline (last %d of %d events, relative to the dump instant):\n"
+    (List.length shown) (List.length evs);
+  if shown = [] then add "  (no events recorded)\n"
+  else List.iter (render_event ~origin:now b) shown;
+  let ds = domains t in
+  if ds <> [] then begin
+    add "\nper-domain last events:\n";
+    List.iter
+      (fun d ->
+        let mine = List.filter (fun e -> event_domain e = d) evs in
+        add "  domain %d (%d events):\n" d (List.length mine);
+        List.iter (render_event ~origin:now b) (take_last 3 mine))
+      ds
+  end;
+  (match open_spans t with
+  | [] -> ()
+  | open_ ->
+    add "\nopen spans at dump time:\n";
+    List.iter
+      (fun (d, stack) ->
+        add "  domain %d: %s\n" d
+          (String.concat " > "
+             (List.map
+                (fun (name, ts) ->
+                  Printf.sprintf "%s (open %s)" name (pretty (now - ts)))
+                stack)))
+      open_);
+  (match t.registry with
+  | None -> ()
+  | Some reg ->
+    let nonzero kvs =
+      List.filter_map
+        (function
+          | (k, Json.Int v) when v <> 0 -> Some (k, string_of_int v)
+          | _ -> None)
+        kvs
+    in
+    let counters = nonzero (mem_obj "counters" reg) in
+    let gauges = nonzero (mem_obj "gauges" reg) in
+    let labels =
+      List.filter_map
+        (function (k, Json.String v) -> Some (k, v) | _ -> None)
+        (mem_obj "labels" reg)
+    in
+    if counters <> [] then begin
+      add "\ncounters (nonzero):\n";
+      List.iter (fun (k, v) -> add "  %-32s %s\n" k v) counters
+    end;
+    if gauges <> [] then begin
+      add "\ngauges (nonzero):\n";
+      List.iter (fun (k, v) -> add "  %-32s %s\n" k v) gauges
+    end;
+    if labels <> [] then begin
+      add "\nlabels:\n";
+      List.iter (fun (k, v) -> add "  %-32s %s\n" k v) labels
+    end);
+  (match hints t with
+  | [] -> ()
+  | hs ->
+    add "\nhints:\n";
+    List.iter (fun h -> add "  - %s\n" h) hs);
+  Buffer.contents b

@@ -33,6 +33,7 @@ type options = {
   timeout_ms : int option;
   sleep : float -> unit;
   stop_after : int option;
+  flight : string option;
 }
 
 let default_options () =
@@ -43,7 +44,22 @@ let default_options () =
     timeout_ms = None;
     sleep = Unix.sleepf;
     stop_after = None;
+    flight = None;
   }
+
+(* Flight-dump paths, derived from the base the caller picked (the CLI
+   uses the checkpoint path minus its extension, so the artifacts sit
+   next to the checkpoint they explain). The rolling dump is refreshed
+   after every settled cell — it is what survives a SIGKILL — and each
+   quarantined / timed-out cell gets its own dump keyed by the cell
+   hash. *)
+let rolling_dump_path base = base ^ ".flight.jsonl"
+
+let cell_dump_path base hash =
+  let short =
+    if String.length hash > 12 then String.sub hash 0 12 else hash
+  in
+  Printf.sprintf "%s.flight-%s.jsonl" base short
 
 (* {1 Telemetry} *)
 
@@ -210,6 +226,64 @@ let heartbeats () =
              hb_cell = Atomic.get s.s_cell;
            })
          v.v_slots)
+
+(* Flight-dump section: campaign progress, per-worker heartbeats and
+   the in-flight cancellation tokens (deadline + last poll instant),
+   which is exactly what [stabsim doctor]'s stuck-cell heuristics
+   read. Registered once at module init; runs only when a dump is
+   written. *)
+let () =
+  Stabobs.Flight.add_section "campaign" (fun () ->
+      match Atomic.get live_state with
+      | None -> Json.Null
+      | Some v ->
+        let opt_int = function None -> Json.Null | Some i -> Json.Int i in
+        let worker hb =
+          Json.Obj
+            [
+              ("worker", Json.Int hb.hb_worker);
+              ("domain", Json.Int hb.hb_domain);
+              ( "cell",
+                match hb.hb_cell with
+                | None -> Json.Null
+                | Some (label, _) -> Json.String label );
+              ( "cell_started_ns",
+                match hb.hb_cell with
+                | None -> Json.Null
+                | Some (_, t0) -> Json.Int t0 );
+            ]
+        in
+        let token tok =
+          Json.Obj
+            [
+              ("deadline_ns", opt_int (Cancel.deadline_ns tok));
+              ( "last_poll_ns",
+                match Cancel.last_poll_ns tok with
+                | 0 -> Json.Null
+                | t -> Json.Int t );
+              ( "cancelled",
+                match Cancel.peek tok with
+                | None -> Json.Null
+                | Some r -> Json.String (Format.asprintf "%a" Cancel.pp_reason r)
+              );
+            ]
+        in
+        Json.Obj
+          [
+            ("name", Json.String v.v_name);
+            ("started_ns", Json.Int v.v_started);
+            ("total", Json.Int v.v_total);
+            ("done", Json.Int (Atomic.get v.v_done));
+            ("degraded", Json.Int (Atomic.get v.v_degraded));
+            ("timed_out", Json.Int (Atomic.get v.v_timed_out));
+            ("quarantined", Json.Int (Atomic.get v.v_quarantined));
+            ("skipped", Json.Int (Atomic.get v.v_skipped));
+            ("retried", Json.Int (Atomic.get v.v_retried));
+            ("draining", Json.Bool (draining ()));
+            ("workers", Json.List (List.map worker (heartbeats ())));
+            ( "inflight",
+              Json.List (List.map token (Atomic.get inflight)) );
+          ])
 
 (* {1 Deterministic backoff} *)
 
@@ -444,10 +518,14 @@ let attempt_cell (campaign : Campaign.t) options (cell : Campaign.cell) =
       | next :: rest' ->
         Obs.infof "campaign: %s timed out on the %s rung; demoting"
           (Campaign.cell_label cell) mode;
+        Stabobs.Flight.notef "campaign: %s timed out on the %s rung; demoting"
+          (Campaign.cell_label cell) mode;
         retry ();
         backoff ();
         attempt next rest' true
       | [] ->
+        Stabobs.Flight.notef "campaign: %s timed out on the %s rung (no rung left)"
+          (Campaign.cell_label cell) mode;
         finish Checkpoint.Timed_out mode Json.Null
           (Some (Printf.sprintf "timed out on the %s rung (no rung left)" mode)))
     | `Demote reason -> (
@@ -455,8 +533,13 @@ let attempt_cell (campaign : Campaign.t) options (cell : Campaign.cell) =
       | next :: rest' ->
         Obs.infof "campaign: %s degrades below the %s rung (%s)"
           (Campaign.cell_label cell) mode reason;
+        Stabobs.Flight.notef "campaign: %s degrades below the %s rung (%s)"
+          (Campaign.cell_label cell) mode reason;
         attempt next rest' true
-      | [] -> finish Checkpoint.Quarantined mode Json.Null (Some reason))
+      | [] ->
+        Stabobs.Flight.notef "campaign: quarantining %s on the %s rung (%s)"
+          (Campaign.cell_label cell) mode reason;
+        finish Checkpoint.Quarantined mode Json.Null (Some reason))
     | `Transient msg ->
       if !transients < campaign.Campaign.retries then begin
         incr transients;
@@ -470,6 +553,8 @@ let attempt_cell (campaign : Campaign.t) options (cell : Campaign.cell) =
                    campaign.Campaign.retries msg))
     | `Crash msg ->
       incr crashes;
+      Stabobs.Flight.notef "campaign: %s crashed on the %s rung (%d/%d): %s"
+        (Campaign.cell_label cell) mode !crashes crash_budget msg;
       if !crashes >= crash_budget then
         finish Checkpoint.Quarantined mode Json.Null (Some msg)
       else begin
@@ -514,6 +599,14 @@ let append_with_retry options sink record =
       end
   in
   go 0
+
+(* Dumps are forensics, not results: a full disk or unwritable
+   directory must not fail the cell that triggered the dump. *)
+let write_dump ~reason path =
+  try Stabobs.Flight.dump_to ~reason path
+  with exn ->
+    Obs.warnf "campaign: failed to write flight dump %s: %s" path
+      (Printexc.to_string exn)
 
 let run ?options campaign =
   let options = match options with Some o -> o | None -> default_options () in
@@ -602,6 +695,28 @@ let run ?options campaign =
                 }
               in
               results.(i) <- Some outcome;
+              (* Forensics before bookkeeping: a quarantined or
+                 timed-out cell gets its own dump while the rings
+                 still hold its final events, and the rolling dump is
+                 refreshed after every settled cell so a later SIGKILL
+                 leaves at most one cell unexplained. Both writes are
+                 atomic-rename, so a kill mid-refresh cannot tear the
+                 artifact. *)
+              Option.iter
+                (fun base ->
+                  (match f.f_status with
+                  | Checkpoint.Quarantined | Checkpoint.Timed_out ->
+                    let reason =
+                      Printf.sprintf "cell %s: %s%s" label
+                        (Checkpoint.status_to_string f.f_status)
+                        (match f.f_error with
+                        | None -> ""
+                        | Some e -> ": " ^ e)
+                    in
+                    write_dump ~reason (cell_dump_path base hash)
+                  | Checkpoint.Done | Checkpoint.Degraded -> ());
+                  write_dump ~reason:"rolling" (rolling_dump_path base))
+                options.flight;
               Option.iter
                 (fun sink ->
                   append_with_retry options sink

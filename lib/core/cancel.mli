@@ -44,10 +44,22 @@ val cancel : ?reason:reason -> t -> unit
 val cancelled : t -> reason option
 (** The flag, checking (and latching) the deadline first. *)
 
+val peek : t -> reason option
+(** The flag as-is: no deadline check, no latch, no {!last_poll_ns}
+    update. This is the observer a flight dump uses so inspecting a
+    live token never perturbs it. *)
+
 val check : t -> unit
 (** @raise Cancelled if the token is cancelled or past its deadline. *)
 
 val deadline_ns : t -> int option
+
+val last_poll_ns : t -> int
+(** Monotonic instant of the last deadline check on this token, or 0
+    if none happened yet. Only deadline-guarded tokens track this
+    (flag-only tokens never read the clock); the flight recorder's
+    campaign section reports it so [stabsim doctor] can tell a cell
+    that stopped polling from one that is polling but stuck. *)
 
 (** {1 The per-domain current token} *)
 

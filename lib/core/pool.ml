@@ -422,3 +422,22 @@ let scatter k f =
       done;
       join job
     end
+
+(* Flight-dump section: the pool state a post-mortem wants — target
+   width, helpers actually alive, per-lane busy nanoseconds and the
+   learned grain estimates. Registered once at module init; the
+   provider only runs when a dump is written. *)
+let () =
+  Stabobs.Flight.add_section "pool" (fun () ->
+      let module Json = Stabobs.Json in
+      Json.Obj
+        [
+          ("width", Json.Int (width ()));
+          ("helpers_alive", Json.Int (helpers_alive ()));
+          ( "busy_ns",
+            Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) (busy_ns ())) );
+          ( "grain_ns_per_unit",
+            Json.Obj
+              (List.map (fun (k, v) -> (k, Json.Float v)) (Grain.snapshot ()))
+          );
+        ])

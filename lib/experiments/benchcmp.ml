@@ -16,6 +16,7 @@ type doc = {
   schema : int;
   commit : string;
   dirty : bool;
+  cores : int option;
   entries : (string * entry) list;
 }
 
@@ -78,12 +79,15 @@ let of_json j =
     let dirty =
       match Json.member "dirty" meta with Some (Json.Bool b) -> b | _ -> false
     in
+    let cores =
+      match Json.member "cores" meta with Some (Json.Int n) -> Some n | _ -> None
+    in
     let entries =
       List.filter_map
         (fun (name, j) -> Option.map (fun e -> (name, e)) (entry_of_json j))
         artifacts
     in
-    Ok { schema; commit; dirty; entries }
+    Ok { schema; commit; dirty; cores; entries }
   | _ -> Error "bench record: no \"artifacts\" object"
 
 let load path =
@@ -215,14 +219,36 @@ let report deltas =
 
 let count status deltas = List.length (List.filter (fun d -> d.status = status) deltas)
 
+(* Parallel entries (the expand-ws family) scale with the machine,
+   so a
+   baseline recorded on a different core count is comparing apples to
+   oranges for them — PR 9's expand-ws-4d was recorded on a 1-core
+   container and only prose explained it. Surface the mismatch at
+   every compare instead. *)
+let cores_mismatch ~baseline ~candidate =
+  match (baseline.cores, candidate.cores) with
+  | Some b, Some c when b <> c ->
+    Some
+      (Printf.sprintf
+         "baseline was recorded on %d core(s) but this machine has %d: \
+          parallel entries (expand-ws-*) are not comparable at face value"
+         b c)
+  | _ -> None
+
 let markdown ~gate_pct ~baseline ~candidate deltas =
   let dirty d = if d then " (dirty)" else "" in
+  let cores_note =
+    match cores_mismatch ~baseline ~candidate with
+    | Some w -> Printf.sprintf "\n\n**Warning:** %s." w
+    | None -> ""
+  in
   let header =
     Printf.sprintf
       "Baseline `%s`%s (schema %d) vs candidate `%s`%s (schema %d); gate: mean \
        slowdown ≥ %.0f%% beyond the pooled ci95 noise band."
       baseline.commit (dirty baseline.dirty) baseline.schema candidate.commit
       (dirty candidate.dirty) candidate.schema gate_pct
+    ^ cores_note
   in
   let failures = gate_failures deltas in
   let summary =

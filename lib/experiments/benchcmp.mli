@@ -31,6 +31,9 @@ type doc = {
   schema : int;
   commit : string;
   dirty : bool;
+  cores : int option;
+      (** [meta.cores] of the recording machine; [None] for records
+          written before the field existed *)
   entries : (string * entry) list;  (** in document order *)
 }
 
@@ -88,6 +91,12 @@ val gate_failures : delta list -> delta list
 val report : delta list -> Report.t
 (** The per-entry delta table ([artifact | base | cand | Δ% | ±noise% |
     mem Δ% | verdict]). *)
+
+val cores_mismatch : baseline:doc -> candidate:doc -> string option
+(** A one-line warning when both docs carry [meta.cores] and they
+    differ — parallel entries ([expand-ws-*]) are machine-shaped, so a
+    cross-core-count compare must be read with care. [None] when the
+    counts match or either record predates the field. *)
 
 val markdown : gate_pct:float -> baseline:doc -> candidate:doc -> delta list -> string
 (** The delta table as GitHub markdown, prefixed with the two commits

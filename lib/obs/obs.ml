@@ -56,17 +56,56 @@ type sink = { emit : event -> unit; close : unit -> unit }
 
 let sinks : sink list Atomic.t = Atomic.make []
 
-let on () = match Atomic.get sinks with [] -> false | _ :: _ -> true
+(* One atomic word gates every instrumentation site: bit 0 is "a sink
+   is installed", bit 1 is "the flight recorder is on". [on] answers
+   "is anyone streaming events" (sinks only) and keeps gating the
+   unbounded-retention paths (Dist samples, span counter snapshots);
+   [hot] answers "does anyone want events at all" and gates the event
+   constructors themselves. The dark path stays one atomic load plus a
+   branch either way. *)
+let sink_bit = 1
+let flight_bit = 2
+let state = Atomic.make 0
+
+let rec set_state_bit b =
+  let cur = Atomic.get state in
+  if not (Atomic.compare_and_set state cur (cur lor b)) then set_state_bit b
+
+let rec clear_state_bit b =
+  let cur = Atomic.get state in
+  if not (Atomic.compare_and_set state cur (cur land lnot b)) then
+    clear_state_bit b
+
+let on () = Atomic.get state land sink_bit <> 0
+let hot () = Atomic.get state <> 0
+let flight_on () = Atomic.get state land flight_bit <> 0
 
 let rec install s =
   let cur = Atomic.get sinks in
   if not (Atomic.compare_and_set sinks cur (cur @ [ s ])) then install s
+  else set_state_bit sink_bit
 
 let clear () =
   let cur = Atomic.exchange sinks [] in
+  clear_state_bit sink_bit;
   List.iter (fun s -> s.close ()) cur
 
-let emit e = List.iter (fun s -> s.emit e) (Atomic.get sinks)
+(* The flight recorder lives in [Flight] (which depends on this
+   module), so it reaches the event stream through a hook installed at
+   enable time rather than a direct call. *)
+let flight_hook : (event -> unit) Atomic.t = Atomic.make ignore
+
+let set_flight_hook = function
+  | Some f ->
+    Atomic.set flight_hook f;
+    set_state_bit flight_bit
+  | None ->
+    clear_state_bit flight_bit;
+    Atomic.set flight_hook ignore
+
+let emit e =
+  if Atomic.get state land flight_bit <> 0 then (Atomic.get flight_hook) e;
+  List.iter (fun s -> s.emit e) (Atomic.get sinks)
 
 let self_id () = (Domain.self () :> int)
 
@@ -103,7 +142,7 @@ module Counter = struct
     t
 
   let add t k =
-    if k <> 0 && on () then begin
+    if k <> 0 && hot () then begin
       let cell = Domain.DLS.get t.key in
       Atomic.set cell (Atomic.get cell + k)
     end
@@ -186,7 +225,7 @@ let tags_key : (string * Json.t) list Domain.DLS.key =
 let current_tags () = Domain.DLS.get tags_key
 
 let with_tags tags f =
-  if not (on ()) then f ()
+  if not (hot ()) then f ()
   else begin
     let prev = Domain.DLS.get tags_key in
     Domain.DLS.set tags_key (prev @ tags);
@@ -218,7 +257,7 @@ let gc_delta_of g0 g1 =
   }
 
 let span ?(args = []) name f =
-  if not (on ()) then f ()
+  if not (hot ()) then f ()
   else begin
     let args =
       match current_tags () with [] -> args | tags -> args @ tags
@@ -250,7 +289,12 @@ let span ?(args = []) name f =
                domain;
                args;
                gc;
-               counters = Counter.snapshot ();
+               (* The counter sweep walks every (counter, domain) cell
+                  under its mutex — cheap next to a streamed span, but
+                  not something the always-on flight ring should pay on
+                  every span close. The flight dump carries a Registry
+                  snapshot taken at dump time instead. *)
+               counters = (if on () then Counter.snapshot () else []);
              }))
   end
 

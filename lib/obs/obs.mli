@@ -53,7 +53,8 @@ module Counter : sig
       make them once at module initialization, not per call. *)
 
   val incr : t -> unit
-  (** No-op unless a sink is installed (see {!on}). *)
+  (** No-op unless a sink is installed or the flight recorder is on
+      (see {!hot}). *)
 
   val add : t -> int -> unit
   val value : t -> int
@@ -130,9 +131,10 @@ val pool_splits : Counter.t
 val span : ?args:(string * Json.t) list -> string -> (unit -> 'a) -> 'a
 (** [span name f] runs [f], bracketing it with {!Span_begin} /
     {!Span_end} events carrying monotonic timestamps, the running
-    domain, and (at close) a full counter snapshot — so per-Domain
-    accumulators are merged at span close. Exceptions still close the
-    span. With no sink installed this is [f ()]. With GC sampling on
+    domain, and (at close, when a sink is installed) a full counter
+    snapshot — so per-Domain accumulators are merged at span close.
+    Exceptions still close the span. When dark ({!hot} false) this is
+    [f ()]. With GC sampling on
     (see {!set_gc_sampling}) and a sink installed, the end event also
     carries the span's allocation and collection deltas. *)
 
@@ -196,8 +198,33 @@ val clear : unit -> unit
 (** Uninstall and [close] every sink (flushing files). *)
 
 val on : unit -> bool
-(** True iff at least one sink is installed — the guard every
-    instrumentation site checks first. *)
+(** True iff at least one sink is installed. This guard still gates the
+    unbounded-retention paths — {!Dist} samples and the per-span-close
+    counter snapshot — which must stay off under the always-on flight
+    recorder. *)
+
+val hot : unit -> bool
+(** True iff anyone wants events at all: a sink is installed {e or}
+    the {!Flight} recorder is enabled. This is the guard the event
+    constructors (spans, counters, gauges, ambient tags) check; it
+    costs the same one atomic load + branch as {!on}. *)
+
+(**/**)
+
+val flight_on : unit -> bool
+(** True iff the flight recorder is enabled (internal; use
+    [Flight.enabled]). *)
+
+val set_flight_hook : (event -> unit) option -> unit
+(** Installs / removes the flight recorder's event tap and flips the
+    corresponding {!hot} bit. Internal plumbing for [Flight.enable] —
+    the hook sees every event {!emit} delivers to sinks, plus every
+    event produced while only the flight bit is lit. *)
+
+val self_id : unit -> int
+(** The calling domain's id, as stamped into events. *)
+
+(**/**)
 
 val event_to_json : event -> Json.t
 (** The JSONL schema: [{"type":"span_end","name":...,"ts_ns":...,

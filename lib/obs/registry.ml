@@ -14,8 +14,8 @@ module Gauge = struct
     Mutex.protect registry_mu (fun () -> registry := t :: !registry);
     t
 
-  let set t v = if Obs.on () then Atomic.set t.cell v
-  let add t k = if k <> 0 && Obs.on () then ignore (Atomic.fetch_and_add t.cell k)
+  let set t v = if Obs.hot () then Atomic.set t.cell v
+  let add t k = if k <> 0 && Obs.hot () then ignore (Atomic.fetch_and_add t.cell k)
   let value t = Atomic.get t.cell
   let name t = t.gname
   let all () = List.rev (Mutex.protect registry_mu (fun () -> !registry))
@@ -34,7 +34,7 @@ module Label = struct
     Mutex.protect registry_mu (fun () -> registry := t :: !registry);
     t
 
-  let set t v = if Obs.on () then Atomic.set t.cell (Some v)
+  let set t v = if Obs.hot () then Atomic.set t.cell (Some v)
   let clear t = Atomic.set t.cell None
   let value t = Atomic.get t.cell
   let all () = List.rev (Mutex.protect registry_mu (fun () -> !registry))

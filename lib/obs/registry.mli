@@ -10,10 +10,11 @@
     without stopping writers. This is what the campaign status server
     serves on [/metrics] and [/status].
 
-    {b Same cost discipline as counters.} With no sink installed
-    ({!Obs.on} false) a gauge [set]/[add] and a label [set] are one
-    atomic load and a branch — nothing is stored. Installing any sink
-    (the status server installs {!Obs.null_sink}) lights them.
+    {b Same cost discipline as counters.} When dark ({!Obs.hot}
+    false) a gauge [set]/[add] and a label [set] are one atomic load
+    and a branch — nothing is stored. Installing any sink (the status
+    server installs {!Obs.null_sink}) or enabling the {!Flight}
+    recorder lights them.
 
     {b Never torn.} Gauges and labels are single [Atomic.t] cells, so
     a reader sees either the value before a concurrent write or the
@@ -30,7 +31,7 @@ module Gauge : sig
       them once at module initialization, not per call. *)
 
   val set : t -> int -> unit
-  (** No-op unless a sink is installed (see {!Obs.on}). *)
+  (** No-op when dark (see {!Obs.hot}). *)
 
   val add : t -> int -> unit
   (** Atomic increment (negative [k] decrements); no-op when dark. *)
@@ -51,7 +52,7 @@ module Label : sig
   val make : string -> t
 
   val set : t -> string -> unit
-  (** No-op unless a sink is installed. *)
+  (** No-op when dark. *)
 
   val clear : t -> unit
   val value : t -> string option

@@ -1,0 +1,65 @@
+(* Child process for the flight-dump pipeline test (test_flight.ml).
+
+   Usage: flight_child CHECKPOINT_PATH FLIGHT_BASE
+
+   Enables the flight recorder, then runs a long multi-domain campaign
+   with checkpointing and flight dumps on. The parent waits for the
+   rolling dump to appear (the runner refreshes it after every settled
+   cell) and SIGKILLs this process mid-campaign — the hardest death
+   there is, no handlers, no at_exit — and asserts the artifact left
+   behind still parses and carries events from every worker domain. *)
+
+open Stabcampaign
+module Flight = Stabobs.Flight
+
+let () =
+  let checkpoint = Sys.argv.(1) in
+  let base = Sys.argv.(2) in
+  Flight.enable ();
+  (* The runner's parallelism rides on the pool: without this, a 1-core
+     machine (default_width 1) would run every cell inline on domain 0
+     and the multi-domain merge below would have nothing to merge. *)
+  Stabcore.Pool.set_width 2;
+  (* Plenty of cheap cells: the campaign must comfortably outlive the
+     kill window however fast the machine is. *)
+  let cell topology =
+    {
+      Campaign.protocol = "token-ring";
+      topology;
+      transformed = false;
+      sched = Stabcore.Statespace.Central;
+      analysis = Campaign.Montecarlo;
+      faults = Campaign.No_faults;
+      runs = 400;
+      max_steps = 20_000;
+      max_configs = 100_000;
+    }
+  in
+  let cells =
+    List.concat_map
+      (fun n -> List.init 12 (fun _ -> cell (Printf.sprintf "ring:%d" n)))
+      [ 5; 6; 7 ]
+  in
+  let campaign =
+    {
+      Campaign.name = "flight-child";
+      seed = 7;
+      timeout_ms = None;
+      retries = 0;
+      backoff_ms = 1;
+      cells;
+    }
+  in
+  let options =
+    {
+      (Runner.default_options ()) with
+      Runner.domains = 2;
+      checkpoint = Some checkpoint;
+      fresh = true;
+      flight = Some base;
+    }
+  in
+  print_endline "ready";
+  flush stdout;
+  let _ = Runner.run ~options campaign in
+  exit 0

@@ -34,6 +34,8 @@ let () =
       ("structures", Test_structures.suite);
       ("pool", Test_pool.suite);
       ("obs", Test_obs.suite);
+      ("flight", Test_flight.suite);
+      ("status", Test_status.suite);
       ("sigflush", Test_sigflush.suite);
       ("benchcmp", Test_benchcmp.suite);
       ("gcp", Test_gcp.suite);

@@ -1,0 +1,121 @@
+(* Hardening tests for the status server's HTTP error paths: unknown
+   paths, non-GET methods, oversized requests cut off at the 8 KiB cap
+   and malformed request lines. The happy paths (socket + TCP scrape,
+   render, stop idempotence) live in test_campaign.ml; these pin the
+   hand-rolled parser's rejections so a refactor cannot silently turn
+   garbage into a 200. *)
+
+open Stabcampaign
+module Obs = Stabobs.Obs
+
+let with_server f =
+  let server = Status.start ~port:0 () in
+  Fun.protect
+    ~finally:(fun () ->
+      Status.stop server;
+      Obs.clear ())
+    (fun () ->
+      match Status.port server with
+      | None -> Alcotest.fail "TCP server reported no port"
+      | Some port -> f port)
+
+(* Raw client: write exactly [data], half-close, read the whole
+   response. Bypasses Status.client_fetch, which can only speak
+   well-formed GETs. *)
+let raw_request ~port data =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect ~finally:(fun () -> try Unix.close fd with _ -> ())
+  @@ fun () ->
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  let n = String.length data in
+  let sent = ref 0 in
+  while !sent < n do
+    sent := !sent + Unix.write_substring fd data !sent (n - !sent)
+  done;
+  (try Unix.shutdown fd Unix.SHUTDOWN_SEND with _ -> ());
+  let buf = Buffer.create 1024 in
+  let chunk = Bytes.create 1024 in
+  let rec drain () =
+    let k = try Unix.read fd chunk 0 (Bytes.length chunk) with _ -> 0 in
+    if k > 0 then begin
+      Buffer.add_subbytes buf chunk 0 k;
+      drain ()
+    end
+  in
+  drain ();
+  Buffer.contents buf
+
+let status_line response =
+  match String.index_opt response '\r' with
+  | Some i -> String.sub response 0 i
+  | None -> response
+
+let check_status msg expected response =
+  Alcotest.(check string) msg expected (status_line response)
+
+let test_unknown_path_404 () =
+  with_server (fun port ->
+      let r = raw_request ~port "GET /nope HTTP/1.1\r\n\r\n" in
+      check_status "unknown path" "HTTP/1.1 404 Not Found" r;
+      Alcotest.(check bool)
+        "body says not found" true
+        (String.length r > 0
+        &&
+        let n = String.length r in
+        String.sub r (n - 10) 10 = "not found\n"))
+
+let test_non_get_rejected () =
+  with_server (fun port ->
+      List.iter
+        (fun m ->
+          let r = raw_request ~port (m ^ " /status HTTP/1.1\r\n\r\n") in
+          check_status (m ^ " rejected") "HTTP/1.1 405 Method Not Allowed" r)
+        [ "POST"; "PUT"; "DELETE"; "HEAD" ])
+
+let test_oversized_request_cut_at_cap () =
+  with_server (fun port ->
+      (* Twice the 8 KiB cap, no CRLF terminator anywhere: the server
+         must stop reading at the cap and still answer (400: the
+         garbage has no method/path split), not hang or buffer
+         unboundedly. *)
+      let r = raw_request ~port (String.make 16384 'A') in
+      check_status "oversized garbage" "HTTP/1.1 400 Bad Request" r)
+
+let test_oversized_get_still_parses () =
+  with_server (fun port ->
+      (* A well-formed GET followed by >8 KiB of header padding: the
+         cap cuts the read mid-headers, but the request line is intact
+         so it must still route (to 404 here — the path is unknown). *)
+      let padding = String.make 12000 'h' in
+      let r =
+        raw_request ~port ("GET /nope HTTP/1.1\r\nX-Pad: " ^ padding ^ "\r\n\r\n")
+      in
+      check_status "padded GET routes" "HTTP/1.1 404 Not Found" r)
+
+let test_malformed_request_line () =
+  with_server (fun port ->
+      let r = raw_request ~port "GARBAGE\r\n\r\n" in
+      check_status "one-token request line" "HTTP/1.1 400 Bad Request" r;
+      let r = raw_request ~port "\r\n\r\n" in
+      check_status "empty request" "HTTP/1.1 400 Bad Request" r)
+
+let test_known_paths_still_200 () =
+  with_server (fun port ->
+      List.iter
+        (fun path ->
+          let r = raw_request ~port ("GET " ^ path ^ " HTTP/1.1\r\n\r\n") in
+          check_status (path ^ " ok") "HTTP/1.1 200 OK" r)
+        [ "/"; "/metrics"; "/status" ])
+
+let suite =
+  [
+    Alcotest.test_case "unknown path 404" `Quick test_unknown_path_404;
+    Alcotest.test_case "non-GET methods 405" `Quick test_non_get_rejected;
+    Alcotest.test_case "oversized request capped" `Quick
+      test_oversized_request_cut_at_cap;
+    Alcotest.test_case "oversized GET still routes" `Quick
+      test_oversized_get_still_parses;
+    Alcotest.test_case "malformed request line 400" `Quick
+      test_malformed_request_line;
+    Alcotest.test_case "known paths still 200" `Quick test_known_paths_still_200;
+  ]
